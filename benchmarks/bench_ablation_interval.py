@@ -1,0 +1,37 @@
+"""Ablation: repartitioning interval length.
+
+The paper repartitions every 1 M cycles (§II-B).  Shorter intervals adapt
+faster but work from noisier (smaller) SDH samples; longer intervals lag
+phase changes.
+"""
+
+from dataclasses import replace
+
+from repro.config import config_M_L
+from repro.experiments.common import WorkloadRunner, geometric_mean
+from repro.experiments.report import format_table, fmt_rel
+
+MIXES = ("2T_02", "2T_05")
+INTERVALS = (125_000, 500_000, 1_000_000, 4_000_000)
+
+
+def test_interval_ablation(benchmark, scale):
+    def run():
+        results = {}
+        for interval in INTERVALS:
+            runner = WorkloadRunner(replace(scale, interval_cycles=interval))
+            outcomes = [runner.run(mix, config_M_L()).throughput
+                        for mix in MIXES]
+            results[interval] = geometric_mean(outcomes)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = results[1_000_000]
+    rows = [[f"{i // 1000}k cycles", fmt_rel(v / base)]
+            for i, v in results.items()]
+    print()
+    print(format_table(
+        ["interval", "throughput vs 1M-cycle interval"], rows,
+        title="Ablation: repartitioning interval (M-L, 2-core)"))
+    for interval, value in results.items():
+        assert value / base > 0.8, (interval, value / base)

@@ -1,0 +1,58 @@
+"""Ablation: the extended replacement-policy family on a shared L2.
+
+Figure 6 compares LRU against the two pseudo-LRU schemes the paper targets;
+this bench widens the comparison with the library's extension policies —
+FIFO, random, SRRIP/BRRIP (the modern NRU generalisation) and LIP/BIP/DIP
+(insertion-controlled LRU with set dueling).  All run unpartitioned, so the
+numbers isolate pure replacement quality on the paper's workload mixes.
+
+Expected shape: the recency-based family (LRU, SRRIP, DIP) clusters at the
+top; NRU/random trail slightly (the paper's §V-A observation); FIFO and the
+thrash-protecting insertion policies depend strongly on the mix.
+"""
+
+from repro.config import config_unpartitioned
+from repro.experiments.common import geometric_mean
+from repro.experiments.report import format_table, fmt_rel
+
+POLICIES = ("lru", "nru", "bt", "random", "fifo",
+            "srrip", "brrip", "lip", "bip", "dip")
+MIXES = ("2T_02", "2T_05", "2T_08")
+
+
+def test_policy_family_ablation(benchmark, scale, runner):
+    def run():
+        results = {}
+        for policy in POLICIES:
+            ratios = []
+            for mix in MIXES:
+                outcome = runner.run(mix, config_unpartitioned(policy))
+                ratios.append(outcome.throughput)
+            results[policy] = geometric_mean(ratios)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = results["lru"]
+    rows = [[policy.upper(), fmt_rel(value / baseline)]
+            for policy, value in sorted(results.items(),
+                                        key=lambda kv: -kv[1])]
+    print()
+    print(format_table(
+        ["policy", "throughput vs LRU"], rows,
+        title="Ablation: replacement-policy family, non-partitioned "
+              "2-core L2"))
+
+    # Sanity: every policy functions (none is catastrophically broken);
+    # random and FIFO legitimately trail far behind on contended mixes —
+    # no-promotion/no-recency policies evict the co-runner-pressured
+    # working sets the recency family protects.
+    for policy, value in results.items():
+        assert value / baseline > 0.55, (policy, value / baseline)
+    # The paper's ordering instinct: NRU/random never beat true LRU by
+    # more than noise on recency-friendly mixes.
+    assert results["nru"] / baseline < 1.05
+    assert results["random"] / baseline < 1.05
+    # The recency family (incl. the RRIP/DIP extensions) beats the
+    # no-recency baselines.
+    assert min(results["srrip"], results["dip"]) > max(
+        results["random"], results["fifo"])

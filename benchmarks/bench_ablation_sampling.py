@@ -1,0 +1,38 @@
+"""Ablation: ATD set-sampling ratio.
+
+The paper samples 1 of every 32 sets (§III), citing Qureshi & Patt's result
+that sampling barely hurts.  This ablation sweeps the ratio on the scaled
+system (which has 128 L2 sets at the default 1/8 scale, so 1-in-32 keeps
+only 4 ATD sets).
+"""
+
+from dataclasses import replace
+
+from repro.config import config_M_L
+from repro.experiments.common import WorkloadRunner, geometric_mean
+from repro.experiments.report import format_table, fmt_rel
+
+MIXES = ("2T_02", "2T_05")
+RATIOS = (1, 4, 16, 32)
+
+
+def test_atd_sampling_ablation(benchmark, scale):
+    def run():
+        results = {}
+        for ratio in RATIOS:
+            ratio_runner = WorkloadRunner(replace(scale, atd_sampling=ratio))
+            outcomes = [ratio_runner.run(mix, config_M_L()).throughput
+                        for mix in MIXES]
+            results[ratio] = geometric_mean(outcomes)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    full = results[1]
+    rows = [[f"1/{r}", fmt_rel(v / full)] for r, v in results.items()]
+    print()
+    print(format_table(
+        ["sampling", "throughput vs full profiling"], rows,
+        title="Ablation: ATD set sampling (M-L, 2-core)"))
+    # Sparse sampling stays within a few percent of full profiling (the
+    # paper's premise for adopting 1-in-32).
+    assert results[32] / full > 0.9

@@ -1,0 +1,48 @@
+"""Ablation: the NRU eSDH scaling factor and update rule (DESIGN.md).
+
+The paper evaluates S ∈ {1.0, 0.75, 0.5} and finds 0.75 best (§V-B); the
+prose is ambiguous about whether the update increments one register or a
+range, so we additionally measure the literal "spread" reading.
+"""
+
+from dataclasses import replace
+
+from repro.config import config_M_N
+from repro.experiments.common import geometric_mean
+from repro.experiments.report import format_table, fmt_rel
+
+MIXES = ("2T_02", "2T_08")
+VARIANTS = [
+    ("S=1.0", config_M_N(1.0)),
+    ("S=0.75", config_M_N(0.75)),
+    ("S=0.5", config_M_N(0.5)),
+    ("S=1.0 spread", replace(config_M_N(1.0), nru_spread_update=True)),
+    ("S=0.75 spread", replace(config_M_N(0.75), nru_spread_update=True)),
+]
+
+
+def test_esdh_scaling_ablation(benchmark, scale, runner):
+    def run():
+        results = {}
+        for label, config in VARIANTS:
+            ratios = []
+            for mix in MIXES:
+                outcome = runner.run(mix, config)
+                ratios.append(outcome.throughput)
+            results[label] = geometric_mean(ratios)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = results["S=1.0"]
+    rows = [[label, fmt_rel(value / baseline)] for label, value in results.items()]
+    print()
+    print(format_table(
+        ["eSDH variant", "throughput vs S=1.0"], rows,
+        title="Ablation: NRU eSDH scaling factor / update rule (2-core)"))
+    # All variants function — none collapses the partitioning system.  The
+    # laptop scale amplifies eSDH compression error (S = 0.5 halves every
+    # estimated distance, so MinMisses sees prematurely-saturated curves
+    # and starves the needy thread), hence the generous floor;
+    # EXPERIMENTS.md records the measured ordering next to the paper's.
+    for label, value in results.items():
+        assert value / baseline > 0.55, (label, value / baseline)

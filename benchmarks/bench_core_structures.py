@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the core data structures.
+
+These measure raw operation rates of the building blocks (cache accesses
+under each replacement policy, ATD observation, the partition selectors and
+the trace generator), independent of any figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.l1 import SmallLRUCache
+from repro.core.buddy import best_subcube_allocation
+from repro.core.lookahead import lookahead_partition
+from repro.core.minmisses import minmisses_partition
+from repro.profiling.atd import ATD
+from repro.profiling.profilers import make_profiler
+from repro.workloads.generator import generate_trace
+
+GEOMETRY = CacheGeometry(128 * 16 * 128, 16, 128)  # 128 sets x 16 ways
+STREAM = [int(x) for x in
+          np.random.default_rng(0).integers(0, 4096, size=20_000)]
+
+
+@pytest.mark.parametrize("policy", ["lru", "nru", "bt", "random"])
+def test_cache_access_rate(benchmark, policy):
+    cache = SetAssociativeCache(GEOMETRY, policy,
+                                rng=np.random.default_rng(1))
+
+    def run():
+        access = cache.access_line_hit
+        for line in STREAM:
+            access(line)
+
+    benchmark(run)
+    assert cache.stats.total_accesses >= len(STREAM)
+
+
+def test_l1_access_rate(benchmark):
+    l1 = SmallLRUCache(CacheGeometry(32 * 2 * 128, 2, 128))
+
+    def run():
+        access = l1.access_line_hit
+        for line in STREAM:
+            access(line)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("policy", ["lru", "nru", "bt"])
+def test_atd_observe_rate(benchmark, policy):
+    atd = ATD(GEOMETRY, 8, policy, make_profiler(policy),
+              rng=np.random.default_rng(2))
+
+    def run():
+        observe = atd.observe
+        for line in STREAM:
+            observe(line)
+
+    benchmark(run)
+    assert atd.sampled_accesses > 0
+
+
+def test_minmisses_dp_rate(benchmark):
+    rng = np.random.default_rng(3)
+    curves = np.sort(rng.integers(0, 10**6, (8, 17)), axis=1)[:, ::-1]
+    counts = benchmark(minmisses_partition, curves.astype(float), 16)
+    assert sum(counts) == 16
+
+
+def test_lookahead_rate(benchmark):
+    rng = np.random.default_rng(4)
+    curves = np.sort(rng.integers(0, 10**6, (8, 17)), axis=1)[:, ::-1]
+    counts = benchmark(lookahead_partition, curves.astype(float), 16)
+    assert sum(counts) == 16
+
+
+def test_subcube_dp_rate(benchmark):
+    rng = np.random.default_rng(5)
+    curves = np.sort(rng.integers(0, 10**6, (8, 17)), axis=1)[:, ::-1]
+    alloc = benchmark(best_subcube_allocation, curves.astype(float), 16)
+    assert sum(alloc.counts) == 16
+
+
+def test_trace_generation_rate(benchmark):
+    trace = benchmark(generate_trace, "mcf", 100_000, 2048, 7)
+    assert len(trace) == 100_000

@@ -1,0 +1,51 @@
+"""Regenerates Figure 9 — power and energy of the Figure 7 configurations.
+
+Expected shape (§V-C): power/energy track performance through main-memory
+dynamic power; the profiling logic stays below 0.3 % of total power.
+Reuses Figure 7's simulations when bench_fig7 ran in the same session.
+"""
+
+from benchmarks.conftest import SESSION_CACHE
+from repro.experiments import fig7, fig9
+from repro.hwmodel.power import PowerModel
+
+
+def test_fig9_regenerate(benchmark, scale, runner):
+    fig7_data = SESSION_CACHE.get("fig7")
+    if fig7_data is None:
+        fig7_data = fig7.run(scale, runner=runner)
+        SESSION_CACHE["fig7"] = fig7_data
+    data = benchmark.pedantic(
+        lambda: fig9.run(scale, fig7_data=fig7_data), rounds=1, iterations=1)
+    print()
+    print(data.table_relative())
+    print()
+    print(data.table_breakdown())
+
+    # Profiling power below the paper's 0.3 % bound, every config.
+    for acronym, shares in data.breakdown_2core.items():
+        assert shares["profiling"] < 0.003, (acronym, shares["profiling"])
+        # The cores dominate the breakdown (Figure 9(b)).
+        assert shares["cores"] == max(shares.values())
+
+    # Energy stays within a sane band of the baseline.  The paper's
+    # "energy tracks performance" coupling is directional here: MinMisses
+    # optimises *misses*, so an eSDH variant can lose throughput while
+    # also issuing fewer memory refills (lower energy) — the coupling is
+    # loose on this substrate and EXPERIMENTS.md records the numbers.
+    for cores in (2, 4, 8):
+        for acronym in fig9.ACRONYMS:
+            energy = data.relative_energy[cores][acronym]
+            assert 0.5 < energy < 2.2, (cores, acronym, energy)
+
+
+def test_power_model_speed(benchmark, scale, runner):
+    """Micro: the power model itself is cheap (pure arithmetic)."""
+    from repro.config import config_C_L
+
+    outcome = runner.run("2T_05", config_C_L())
+    model = PowerModel()
+    result = outcome.result
+    processor = scale.processor(2)
+    report = benchmark(model.evaluate, result, processor, config_C_L())
+    assert report.total_energy > 0

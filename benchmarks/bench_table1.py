@@ -1,0 +1,23 @@
+"""Regenerates Table I — complexity of LRU/NRU/BT replacement schemes.
+
+Closed-form arithmetic; the printed numbers match the paper exactly
+(11 checkpoint assertions guard them).
+"""
+
+from repro.experiments import table1
+
+
+def test_table1_regenerate(benchmark):
+    data = benchmark(table1.run)
+    print()
+    print(data.table_storage())
+    print()
+    print(data.table_events())
+    checks = table1.paper_checkpoints()
+    failing = [name for name, ok in checks.items() if not ok]
+    assert not failing, f"paper checkpoints failing: {failing}"
+
+
+def test_table1_paper_checkpoints(benchmark):
+    checks = benchmark(table1.paper_checkpoints)
+    assert all(checks.values())

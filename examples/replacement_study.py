@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Replacement-policy study: LRU vs NRU vs BT vs Random (paper Figure 6).
+
+Runs the same SPEC-like workloads against non-partitioned shared L2s under
+each replacement policy and reports miss ratios and IPC — reproducing the
+paper's observation that NRU behaves "random-like" and BT spreads lines
+across the set, both trailing true LRU slightly.
+
+Run:  python examples/replacement_study.py
+"""
+
+from repro import (
+    ProcessorConfig,
+    SimulationConfig,
+    config_unpartitioned,
+    generate_workload_traces,
+    run_workload,
+)
+
+POLICIES = ("lru", "nru", "bt", "random")
+#: Four partition-sensitive mid-size benchmarks: together they
+#: oversubscribe the shared L2, so replacement quality actually matters.
+WORKLOAD = ("twolf", "vpr", "parser", "gcc")
+
+
+def main() -> None:
+    processor = ProcessorConfig(num_cores=4).scaled(8)
+    traces = generate_workload_traces(WORKLOAD, 120_000,
+                                      processor.l2.num_lines, seed=7)
+    sim = SimulationConfig(per_thread_instructions=(250_000,) * 4, seed=7)
+
+    print(f"Workload: {' + '.join(WORKLOAD)}   L2: {processor.l2}\n")
+    print(f"{'policy':8s} {'throughput':>11s} {'L2 miss ratio':>14s} "
+          f"{'rel. to LRU':>12s}")
+
+    baseline = None
+    for policy in POLICIES:
+        result = run_workload(processor, config_unpartitioned(policy),
+                              traces, sim)
+        miss_ratio = (result.events.l2_misses / result.events.l2_accesses)
+        if baseline is None:
+            baseline = result.throughput
+        print(f"{policy:8s} {result.throughput:11.4f} {miss_ratio:14.3f} "
+              f"{result.throughput / baseline:12.3f}")
+
+    print(
+        "\nExpected shape (paper §V-A): LRU best; NRU close to Random\n"
+        "(single rotating replacement pointer shared by all sets); BT\n"
+        "slightly behind both at higher core counts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Cache substrate: geometry, tag store, replacement policies, partitioning.
+
+The public entry points are :class:`CacheGeometry`,
+:class:`SetAssociativeCache`, the replacement policies in
+:mod:`repro.cache.replacement` and the enforcement schemes in
+:mod:`repro.cache.partition`.
+"""
+
+from repro.cache.geometry import (
+    ADDRESS_BITS,
+    BASELINE_L1D,
+    BASELINE_L1I,
+    BASELINE_L2,
+    CacheGeometry,
+)
+from repro.cache.cache import AccessResult, CacheStats, SetAssociativeCache
+from repro.cache.hierarchy import CacheHierarchy, HierarchyAccess
+
+__all__ = [
+    "ADDRESS_BITS",
+    "BASELINE_L1D",
+    "BASELINE_L1I",
+    "BASELINE_L2",
+    "CacheGeometry",
+    "AccessResult",
+    "CacheStats",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "HierarchyAccess",
+]

@@ -1,0 +1,359 @@
+"""Set-associative cache with pluggable replacement and partitioning.
+
+The tag store keeps, per set, a ``dict`` from line address to way (O(1)
+lookup — the behavioural equivalent of the parallel tag comparison) plus the
+reverse way -> line array needed on eviction.  Fills prefer invalid ways
+within the candidate mask before consulting the replacement policy, and a
+miss never refuses: the candidate mask supplied by the enforcement scheme is
+always nonzero.
+
+The cache works in *line address* space (byte address >> line_shift);
+:meth:`access` accepts byte addresses, :meth:`access_line` is the hot path
+used by the simulators.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Union
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.partition.base import PartitionScheme
+from repro.cache.replacement.base import ReplacementPolicy, make_policy
+from repro.cache.replacement.nru import NRUPolicy
+
+
+class AccessResult(NamedTuple):
+    """Outcome of one cache access."""
+
+    hit: bool
+    way: int
+    set_index: int
+    #: Line address evicted by the fill (None on hits / fills of invalid ways).
+    evicted_line: Optional[int]
+
+
+class CacheStats:
+    """Per-core access/hit/miss/eviction counters.
+
+    ``write_accesses`` and ``writebacks`` (dirty evictions) stay zero for
+    read-only workloads — the paper's methodology — and are populated by the
+    write-back extension.
+    """
+
+    __slots__ = ("accesses", "hits", "misses", "evictions",
+                 "write_accesses", "writebacks")
+
+    def __init__(self, num_cores: int) -> None:
+        self.accesses = [0] * num_cores
+        self.hits = [0] * num_cores
+        self.misses = [0] * num_cores
+        self.evictions = [0] * num_cores
+        self.write_accesses = [0] * num_cores
+        self.writebacks = [0] * num_cores
+
+    def reset(self) -> None:
+        for field in (self.accesses, self.hits, self.misses, self.evictions,
+                      self.write_accesses, self.writebacks):
+            for i in range(len(field)):
+                field[i] = 0
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(self.accesses)
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits)
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses)
+
+    @property
+    def total_writebacks(self) -> int:
+        return sum(self.writebacks)
+
+    def miss_ratio(self, core: Optional[int] = None) -> float:
+        """Miss ratio of one core (or aggregate when ``core`` is None)."""
+        if core is None:
+            acc, miss = self.total_accesses, self.total_misses
+        else:
+            acc, miss = self.accesses[core], self.misses[core]
+        return miss / acc if acc else 0.0
+
+
+class SetAssociativeCache:
+    """One cache level.
+
+    Parameters
+    ----------
+    geometry:
+        Capacity/associativity/line-size description.
+    policy:
+        A :class:`ReplacementPolicy` instance sized for this geometry, or a
+        registry name ("lru", "nru", "bt", "random").
+    partition:
+        Optional :class:`PartitionScheme`; ``None`` leaves the cache
+        unpartitioned.
+    num_cores:
+        Number of distinct cores that will access the cache (statistics and
+        ownership arrays are sized accordingly).
+    """
+
+    def __init__(self, geometry: CacheGeometry,
+                 policy: Union[ReplacementPolicy, str],
+                 partition: Optional[PartitionScheme] = None,
+                 num_cores: int = 1,
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "cache") -> None:
+        self.geometry = geometry
+        self.name = name
+        self.num_cores = num_cores
+        if isinstance(policy, str):
+            policy = make_policy(policy, geometry.num_sets, geometry.assoc, rng=rng)
+        if policy.num_sets != geometry.num_sets or policy.assoc != geometry.assoc:
+            raise ValueError(
+                f"policy sized {policy.num_sets}x{policy.assoc} does not match "
+                f"geometry {geometry.num_sets}x{geometry.assoc}"
+            )
+        if partition is not None and (
+            partition.num_sets != geometry.num_sets
+            or partition.assoc != geometry.assoc
+        ):
+            raise ValueError("partition scheme does not match the geometry")
+        self.policy = policy
+        self.partition = partition
+        self._nru = policy if isinstance(policy, NRUPolicy) else None
+
+        nsets = geometry.num_sets
+        self._set_mask = nsets - 1
+        self._full_mask = (1 << geometry.assoc) - 1
+        self._maps: List[dict] = [dict() for _ in range(nsets)]
+        self._lines: List[List[int]] = [[-1] * geometry.assoc for _ in range(nsets)]
+        self._invalid: List[int] = [self._full_mask] * nsets
+        self._dirty: List[int] = [0] * nsets
+        self.stats = CacheStats(num_cores)
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int, core: int = 0) -> AccessResult:
+        """Access a byte address."""
+        return self.access_line(addr >> self.geometry.line_shift, core)
+
+    def access_line(self, line: int, core: int = 0) -> AccessResult:
+        """Access a line address (hot path)."""
+        s = line & self._set_mask
+        tag_map = self._maps[s]
+        stats = self.stats
+        stats.accesses[core] += 1
+        way = tag_map.get(line)
+        partition = self.partition
+        if way is not None:
+            # Hits are unrestricted (paper §II-B); only the NRU reset domain
+            # depends on the partition.
+            domain = partition.reset_domain(core) if partition else None
+            self.policy.touch(s, way, core, domain)
+            stats.hits[core] += 1
+            return AccessResult(True, way, s, None)
+
+        stats.misses[core] += 1
+        mask = partition.candidate_mask(s, core) if partition else self._full_mask
+        invalid = self._invalid[s] & mask
+        evicted = None
+        if invalid:
+            way = (invalid & -invalid).bit_length() - 1
+            self._invalid[s] &= ~(1 << way)
+        else:
+            way = self.policy.victim(s, core, mask)
+            old = self._lines[s][way]
+            if old >= 0:
+                del tag_map[old]
+                evicted = old
+                stats.evictions[core] += 1
+            else:
+                self._invalid[s] &= ~(1 << way)
+        self._lines[s][way] = line
+        tag_map[line] = way
+        if partition:
+            partition.on_fill(s, way, core)
+            domain = partition.reset_domain(core)
+        else:
+            domain = None
+        self.policy.touch_fill(s, way, core, domain)
+        if self._nru is not None:
+            self._nru.fill_done()
+        return AccessResult(False, way, s, evicted)
+
+    def access_line_hit(self, line: int, core: int = 0) -> bool:
+        """Access a line and report only hit/miss.
+
+        Same state transitions as :meth:`access_line` but without building
+        an :class:`AccessResult` — the simulator hot path (millions of
+        calls) only needs the level outcome.  Kept in sync by the
+        ``test_cache_fast_path`` equivalence tests.
+        """
+        s = line & self._set_mask
+        tag_map = self._maps[s]
+        stats = self.stats
+        stats.accesses[core] += 1
+        way = tag_map.get(line)
+        partition = self.partition
+        if way is not None:
+            domain = partition.reset_domain(core) if partition else None
+            self.policy.touch(s, way, core, domain)
+            stats.hits[core] += 1
+            return True
+        stats.misses[core] += 1
+        mask = partition.candidate_mask(s, core) if partition else self._full_mask
+        invalid = self._invalid[s] & mask
+        if invalid:
+            way = (invalid & -invalid).bit_length() - 1
+            self._invalid[s] &= ~(1 << way)
+        else:
+            way = self.policy.victim(s, core, mask)
+            old = self._lines[s][way]
+            if old >= 0:
+                del tag_map[old]
+                stats.evictions[core] += 1
+            else:
+                self._invalid[s] &= ~(1 << way)
+        self._lines[s][way] = line
+        tag_map[line] = way
+        if partition:
+            partition.on_fill(s, way, core)
+            domain = partition.reset_domain(core)
+        else:
+            domain = None
+        self.policy.touch_fill(s, way, core, domain)
+        if self._nru is not None:
+            self._nru.fill_done()
+        return False
+
+    def access_line_rw(self, line: int, core: int = 0,
+                       write: bool = False) -> bool:
+        """Read/write access with dirty-bit bookkeeping; True on a hit.
+
+        The write-back extension path: a write (hit or fill) marks the line
+        dirty; evicting a dirty line counts a writeback against the evicting
+        core.  Identical hit/miss/replacement behaviour to
+        :meth:`access_line_hit` (the equivalence tests pin this).
+        """
+        s = line & self._set_mask
+        tag_map = self._maps[s]
+        stats = self.stats
+        stats.accesses[core] += 1
+        if write:
+            stats.write_accesses[core] += 1
+        way = tag_map.get(line)
+        partition = self.partition
+        if way is not None:
+            domain = partition.reset_domain(core) if partition else None
+            self.policy.touch(s, way, core, domain)
+            stats.hits[core] += 1
+            if write:
+                self._dirty[s] |= 1 << way
+            return True
+        stats.misses[core] += 1
+        mask = partition.candidate_mask(s, core) if partition else self._full_mask
+        invalid = self._invalid[s] & mask
+        if invalid:
+            way = (invalid & -invalid).bit_length() - 1
+            self._invalid[s] &= ~(1 << way)
+        else:
+            way = self.policy.victim(s, core, mask)
+            old = self._lines[s][way]
+            if old >= 0:
+                del tag_map[old]
+                stats.evictions[core] += 1
+                if (self._dirty[s] >> way) & 1:
+                    stats.writebacks[core] += 1
+            else:
+                self._invalid[s] &= ~(1 << way)
+        self._lines[s][way] = line
+        tag_map[line] = way
+        if write:
+            self._dirty[s] |= 1 << way
+        else:
+            self._dirty[s] &= ~(1 << way)
+        if partition:
+            partition.on_fill(s, way, core)
+            domain = partition.reset_domain(core)
+        else:
+            domain = None
+        self.policy.touch_fill(s, way, core, domain)
+        if self._nru is not None:
+            self._nru.fill_done()
+        return False
+
+    def write_back_line(self, line: int, core: int = 0) -> bool:
+        """Absorb a write-back from a private upper level.
+
+        If the line is resident it is marked dirty (no recency update — the
+        victim buffer drains without touching the replacement state) and
+        True is returned.  In this non-inclusive hierarchy the line may have
+        already left the L2; the writeback then bypasses to memory and the
+        caller counts the memory write (returns False).
+        """
+        s = line & self._set_mask
+        way = self._maps[s].get(line)
+        if way is None:
+            return False
+        self._dirty[s] |= 1 << way
+        return True
+
+    # ------------------------------------------------------------------
+    def probe_line(self, line: int) -> Optional[int]:
+        """Way holding ``line`` without updating any state, or None."""
+        return self._maps[line & self._set_mask].get(line)
+
+    def contains_line(self, line: int) -> bool:
+        """True when the line is currently cached (no state change)."""
+        return line in self._maps[line & self._set_mask]
+
+    def invalidate_line(self, line: int) -> bool:
+        """Drop a line if present; returns True when something was dropped."""
+        s = line & self._set_mask
+        way = self._maps[s].pop(line, None)
+        if way is None:
+            return False
+        self._lines[s][way] = -1
+        self._invalid[s] |= 1 << way
+        self._dirty[s] &= ~(1 << way)
+        self.policy.invalidate(s, way)
+        if self.partition is not None:
+            self.partition.on_invalidate(s, way)
+        return True
+
+    def is_dirty(self, line: int) -> bool:
+        """True when the line is resident and dirty (no state change)."""
+        s = line & self._set_mask
+        way = self._maps[s].get(line)
+        return way is not None and bool((self._dirty[s] >> way) & 1)
+
+    def dirty_lines(self) -> int:
+        """Number of resident dirty lines."""
+        return sum(d.bit_count() for d in self._dirty)
+
+    def resident_lines(self, set_index: int) -> List[int]:
+        """Valid line addresses of one set (way order)."""
+        return [line for line in self._lines[set_index] if line >= 0]
+
+    def occupancy(self) -> int:
+        """Total number of valid lines."""
+        return sum(len(m) for m in self._maps)
+
+    def flush(self) -> None:
+        """Invalidate everything and reset replacement state (not stats)."""
+        for s in range(self.geometry.num_sets):
+            self._maps[s].clear()
+            lines = self._lines[s]
+            for w in range(self.geometry.assoc):
+                lines[w] = -1
+            self._invalid[s] = self._full_mask
+            self._dirty[s] = 0
+        self.policy.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SetAssociativeCache({self.geometry}, policy={self.policy.name}, "
+                f"partition={self.partition.name if self.partition else None})")

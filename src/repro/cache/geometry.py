@@ -1,0 +1,142 @@
+"""Cache geometry: address decomposition and size arithmetic.
+
+Addresses are 64-bit byte addresses.  A :class:`CacheGeometry` fixes the line
+size, associativity and capacity of one cache level and provides the
+line/set/tag decomposition used by the tag store and by the profiling ATDs.
+
+The paper's baseline L2 is 2 MB, 16-way, 128-byte lines (1024 sets); its tag
+width for a 64-bit architecture is 47 bits (Table I uses this number for the
+tag-comparison cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.bitops import bit_length_exact, ilog2
+from repro.util.validation import check_positive, check_power_of_two
+
+#: Width of a physical address in bits (paper assumes a 64-bit architecture).
+ADDRESS_BITS = 64
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one set-associative cache.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity in bytes.
+    assoc:
+        Number of ways per set.
+    line_bytes:
+        Cache line size in bytes (power of two).
+    """
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 128
+
+    # Derived fields (computed in __post_init__).
+    num_sets: int = field(init=False)
+    line_shift: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        check_positive("size_bytes", self.size_bytes)
+        check_positive("assoc", self.assoc)
+        check_power_of_two("line_bytes", self.line_bytes)
+        num_lines, rem = divmod(self.size_bytes, self.line_bytes)
+        if rem:
+            raise ValueError(
+                f"size_bytes={self.size_bytes} is not a multiple of "
+                f"line_bytes={self.line_bytes}"
+            )
+        num_sets, rem = divmod(num_lines, self.assoc)
+        if rem:
+            raise ValueError(
+                f"cache with {num_lines} lines cannot be divided into "
+                f"{self.assoc}-way sets"
+            )
+        check_power_of_two("num_sets", num_sets)
+        object.__setattr__(self, "num_sets", num_sets)
+        object.__setattr__(self, "line_shift", ilog2(self.line_bytes))
+
+    # ------------------------------------------------------------------
+    # Address decomposition
+    # ------------------------------------------------------------------
+    def line_address(self, addr: int) -> int:
+        """Line (block) address: byte address without the offset bits."""
+        return addr >> self.line_shift
+
+    def set_index(self, addr: int) -> int:
+        """Set index of a byte address."""
+        return (addr >> self.line_shift) & (self.num_sets - 1)
+
+    def set_index_of_line(self, line: int) -> int:
+        """Set index of a line address."""
+        return line & (self.num_sets - 1)
+
+    def tag(self, addr: int) -> int:
+        """Tag of a byte address (line address without the index bits)."""
+        return addr >> (self.line_shift + self.set_bits)
+
+    def tag_of_line(self, line: int) -> int:
+        """Tag of a line address."""
+        return line >> self.set_bits
+
+    def rebuild_line(self, tag: int, set_index: int) -> int:
+        """Reassemble a line address from ``(tag, set_index)``."""
+        return (tag << self.set_bits) | set_index
+
+    # ------------------------------------------------------------------
+    # Bit widths (used by the hardware complexity model)
+    # ------------------------------------------------------------------
+    @property
+    def set_bits(self) -> int:
+        """Number of index bits."""
+        return bit_length_exact(self.num_sets)
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of line-offset bits."""
+        return self.line_shift
+
+    @property
+    def tag_bits(self) -> int:
+        """Tag width for a 64-bit physical address."""
+        return ADDRESS_BITS - self.set_bits - self.offset_bits
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines in the cache."""
+        return self.num_sets * self.assoc
+
+    def scaled(self, factor: int) -> "CacheGeometry":
+        """Return a geometry with capacity divided by ``factor``.
+
+        Associativity and line size are preserved — only the number of sets
+        shrinks.  Used by the experiment harness to run laptop-scale versions
+        of the paper's configurations.
+        """
+        check_positive("factor", factor)
+        if self.size_bytes % factor:
+            raise ValueError(f"cannot scale {self.size_bytes} B by 1/{factor}")
+        return CacheGeometry(self.size_bytes // factor, self.assoc, self.line_bytes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.size_bytes % 1024 == 0:
+            size = f"{self.size_bytes // 1024}KB"
+        else:
+            size = f"{self.size_bytes}B"
+        return f"{size}/{self.assoc}way/{self.line_bytes}B({self.num_sets}sets)"
+
+
+#: The paper's baseline shared L2: 2 MB, 16-way, 128 B lines -> 47 tag bits.
+BASELINE_L2 = CacheGeometry(size_bytes=2 * 1024 * 1024, assoc=16, line_bytes=128)
+
+#: The paper's private L1 instruction cache: 64 KB, 2-way, 128 B lines.
+BASELINE_L1I = CacheGeometry(size_bytes=64 * 1024, assoc=2, line_bytes=128)
+
+#: The paper's private L1 data cache: 32 KB, 2-way, 128 B lines.
+BASELINE_L1D = CacheGeometry(size_bytes=32 * 1024, assoc=2, line_bytes=128)

@@ -1,0 +1,112 @@
+"""Specialised private L1 cache: low-associativity true LRU.
+
+The paper's L1s are small 2-way LRU caches in front of the shared L2
+(Table II).  They sit on the simulator's hottest path — every memory access
+touches one — so this implementation avoids the generic tag-store machinery:
+each set is a short Python list ordered MRU-first, and a 2-way lookup is one
+or two C-speed comparisons.
+
+Behaviourally identical to ``SetAssociativeCache(geometry, "lru")`` for a
+single accessing core (verified by the equivalence tests in
+``tests/test_cache/test_l1.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.cache import CacheStats
+from repro.cache.geometry import CacheGeometry
+
+
+class SmallLRUCache:
+    """MRU-first per-set lists; exact LRU for any (small) associativity."""
+
+    def __init__(self, geometry: CacheGeometry, name: str = "l1") -> None:
+        self.geometry = geometry
+        self.name = name
+        self._set_mask = geometry.num_sets - 1
+        self._assoc = geometry.assoc
+        self._sets: List[List[int]] = [[] for _ in range(geometry.num_sets)]
+        # Write-back extension: resident dirty lines (empty for read-only
+        # workloads, so the hot read path never consults it).
+        self._dirty: set = set()
+        self.stats = CacheStats(1)
+
+    def access_line_hit(self, line: int, core: int = 0) -> bool:
+        """Access a line address; True on a hit.  LRU replacement."""
+        ways = self._sets[line & self._set_mask]
+        stats = self.stats
+        stats.accesses[0] += 1
+        try:
+            index = ways.index(line)
+        except ValueError:
+            stats.misses[0] += 1
+            ways.insert(0, line)
+            if len(ways) > self._assoc:
+                ways.pop()
+                stats.evictions[0] += 1
+            return False
+        stats.hits[0] += 1
+        if index:
+            ways.insert(0, ways.pop(index))
+        return True
+
+    def access_line_rw(self, line: int, write: bool = False):
+        """Read/write access with write-back bookkeeping.
+
+        Returns ``(hit, dirty_victim)`` where ``dirty_victim`` is the line
+        address whose dirty copy was evicted by this access's fill (None
+        when nothing dirty was displaced).  Same hit/replacement behaviour
+        as :meth:`access_line_hit`.
+        """
+        ways = self._sets[line & self._set_mask]
+        stats = self.stats
+        stats.accesses[0] += 1
+        if write:
+            stats.write_accesses[0] += 1
+        try:
+            index = ways.index(line)
+        except ValueError:
+            stats.misses[0] += 1
+            ways.insert(0, line)
+            dirty_victim = None
+            if len(ways) > self._assoc:
+                victim = ways.pop()
+                stats.evictions[0] += 1
+                if victim in self._dirty:
+                    self._dirty.discard(victim)
+                    stats.writebacks[0] += 1
+                    dirty_victim = victim
+            if write:
+                self._dirty.add(line)
+            return False, dirty_victim
+        stats.hits[0] += 1
+        if index:
+            ways.insert(0, ways.pop(index))
+        if write:
+            self._dirty.add(line)
+        return True, None
+
+    def is_dirty(self, line: int) -> bool:
+        """True when the line is resident and dirty."""
+        return line in self._dirty and self.contains_line(line)
+
+    # ------------------------------------------------------------------
+    def contains_line(self, line: int) -> bool:
+        """Presence probe without state change."""
+        return line in self._sets[line & self._set_mask]
+
+    def stack_of(self, set_index: int) -> List[int]:
+        """Resident lines of a set, MRU first (for tests)."""
+        return list(self._sets[set_index])
+
+    def occupancy(self) -> int:
+        """Total valid lines."""
+        return sum(len(ways) for ways in self._sets)
+
+    def flush(self) -> None:
+        """Invalidate all lines (statistics kept; dirty data dropped)."""
+        for ways in self._sets:
+            ways.clear()
+        self._dirty.clear()

@@ -1,0 +1,44 @@
+"""Partition enforcement schemes for the shared L2 (paper §II-B, §III).
+
+Three hardware mechanisms restrict which ways a core may evict from:
+
+* :class:`OwnerCountersPartition` — per-set owner counters (paper's ``C``
+  configurations; Qureshi & Patt).  Each line is tagged with its owner core;
+  per-set per-core counters steer the victim search toward either foreign or
+  owned lines depending on whether the core is below its quota.
+* :class:`MasksPartition` — global replacement masks (paper's ``M``
+  configurations): one static way-bitmask per core; on a miss the victim
+  search is confined to the core's mask.
+* :class:`BTVectorPartition` — per-core global ``up``/``down`` force vectors
+  for the BT policy (paper Figure 5): at each forced tree level the victim
+  traversal ignores the stored bit.  Only *subcubes* of ways (power-of-two
+  sized, subtree aligned) are expressible.
+
+Hits are never restricted — a thread may hit in any way of the set
+(paper §II-B: "a thread is allowed to hit in any cache way").
+"""
+
+from repro.cache.partition.allocation import (
+    Subcube,
+    SubcubeAllocation,
+    WayAllocation,
+    even_allocation,
+    even_subcube_allocation,
+)
+from repro.cache.partition.base import PartitionScheme, make_partition
+from repro.cache.partition.masks import MasksPartition
+from repro.cache.partition.owner_counters import OwnerCountersPartition
+from repro.cache.partition.btvectors import BTVectorPartition
+
+__all__ = [
+    "WayAllocation",
+    "Subcube",
+    "SubcubeAllocation",
+    "even_allocation",
+    "even_subcube_allocation",
+    "PartitionScheme",
+    "make_partition",
+    "MasksPartition",
+    "OwnerCountersPartition",
+    "BTVectorPartition",
+]

@@ -1,0 +1,93 @@
+"""Abstract partition-enforcement interface.
+
+The cache consults the scheme on every miss (:meth:`candidate_mask`) and
+after every fill (:meth:`on_fill`); the NRU policy additionally consults the
+scheme for its used-bit *reset domain* on every access.  Hits are never
+restricted.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Union
+
+from repro.cache.partition.allocation import SubcubeAllocation, WayAllocation
+
+Allocation = Union[WayAllocation, SubcubeAllocation]
+
+
+class PartitionScheme(ABC):
+    """Per-cache partition enforcement state."""
+
+    #: Registry name ("counters", "masks", "btvectors").
+    name: str = "abstract"
+
+    def __init__(self, num_cores: int, num_sets: int, assoc: int) -> None:
+        if num_cores <= 0 or num_sets <= 0 or assoc <= 0:
+            raise ValueError("num_cores, num_sets and assoc must be positive")
+        if assoc < num_cores:
+            raise ValueError(
+                f"{num_cores} cores cannot each own a way of a {assoc}-way cache"
+            )
+        self.num_cores = num_cores
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.full_mask = (1 << assoc) - 1
+        self._allocation: Optional[Allocation] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def allocation(self) -> Optional[Allocation]:
+        """The currently enforced allocation (None before the first apply)."""
+        return self._allocation
+
+    @abstractmethod
+    def apply(self, allocation: Allocation) -> None:
+        """Install a new allocation (called at interval boundaries)."""
+
+    @abstractmethod
+    def candidate_mask(self, set_index: int, core: int) -> int:
+        """Ways ``core`` may search for a victim in ``set_index`` (nonzero)."""
+
+    def reset_domain(self, core: int) -> Optional[int]:
+        """Way mask bounding NRU used-bit resets for ``core``.
+
+        ``None`` means the whole set (the unpartitioned behaviour); the
+        global-masks scheme narrows it to the core's owned ways (§III-A).
+        """
+        return None
+
+    def on_fill(self, set_index: int, way: int, core: int) -> None:
+        """Ownership bookkeeping after ``core`` fills ``way``; default no-op."""
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        """Ownership bookkeeping after a line invalidation; default no-op."""
+
+    def storage_bits(self) -> int:
+        """Extra storage this scheme adds (complexity model cross-check)."""
+        raise NotImplementedError
+
+
+def make_partition(name: str, num_cores: int, num_sets: int, assoc: int,
+                   policy=None) -> Optional[PartitionScheme]:
+    """Instantiate an enforcement scheme by configuration name.
+
+    ``policy`` is required for ``btvectors`` (the scheme installs force
+    vectors directly into the BT policy, mirroring how the paper's up/down
+    vectors override the tree traversal).  ``name == 'none'`` returns None.
+    """
+    from repro.cache.partition.btvectors import BTVectorPartition
+    from repro.cache.partition.masks import MasksPartition
+    from repro.cache.partition.owner_counters import OwnerCountersPartition
+
+    if name == "none":
+        return None
+    if name == "counters":
+        return OwnerCountersPartition(num_cores, num_sets, assoc)
+    if name == "masks":
+        return MasksPartition(num_cores, num_sets, assoc)
+    if name == "btvectors":
+        if policy is None:
+            raise ValueError("btvectors enforcement needs the BT policy instance")
+        return BTVectorPartition(num_cores, num_sets, assoc, policy)
+    raise ValueError(f"unknown partition scheme {name!r}")

@@ -1,0 +1,50 @@
+"""Replacement policies: true LRU and the two pseudo-LRU schemes of the paper.
+
+* :class:`LRUPolicy` — true LRU, maintained with per-line timestamps.  Has
+  the Mattson *stack property*; exposes exact stack positions for profiling.
+* :class:`NRUPolicy` — Not Recently Used (Sun UltraSPARC T2, paper §III-A):
+  one *used bit* per line plus a single *replacement pointer* shared by every
+  set of the cache.
+* :class:`BTPolicy` — Binary Tree pseudo-LRU (IBM, paper §III-B): ``A−1``
+  tree bits per set; exposes the path bits and per-way identifier (ID) bits
+  used by the BT profiling logic.
+* :class:`RandomPolicy` — uniform random victim; reference baseline (the
+  paper notes NRU behaves "random-like").
+* :class:`FIFOPolicy` — oldest-fill-first; the classical no-promotion
+  baseline.
+* :class:`SRRIPPolicy` / :class:`BRRIPPolicy` — M-bit re-reference interval
+  prediction (Jaleel et al.); the modern generalisation of NRU.
+* :class:`LIPPolicy` / :class:`BIPPolicy` / :class:`DIPPolicy` —
+  insertion-controlled LRU with set-dueling DIP (Qureshi et al.; the
+  "dozens of bytes" monitor family the paper cites as reference [20]).
+
+All policies implement :class:`ReplacementPolicy`: ``touch`` after a hit,
+``touch_fill`` after a miss-path insertion, and ``victim`` restricted to an
+arbitrary subset of ways, which is how every partition-enforcement scheme
+plugs in.  Only LRU/NRU/BT additionally support the paper's profiling logic.
+"""
+
+from repro.cache.replacement.base import ReplacementPolicy, make_policy, POLICY_REGISTRY
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.replacement.nru import NRUPolicy
+from repro.cache.replacement.bt import BTPolicy
+from repro.cache.replacement.random_ import RandomPolicy
+from repro.cache.replacement.fifo import FIFOPolicy
+from repro.cache.replacement.rrip import BRRIPPolicy, SRRIPPolicy
+from repro.cache.replacement.dip import BIPPolicy, DIPPolicy, LIPPolicy
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "NRUPolicy",
+    "BTPolicy",
+    "RandomPolicy",
+    "FIFOPolicy",
+    "SRRIPPolicy",
+    "BRRIPPolicy",
+    "LIPPolicy",
+    "BIPPolicy",
+    "DIPPolicy",
+    "make_policy",
+    "POLICY_REGISTRY",
+]

@@ -1,0 +1,149 @@
+"""Binary Tree (BT) pseudo-LRU replacement — the IBM scheme.
+
+Paper §III-B.  Each set keeps ``A − 1`` bits arranged as a complete binary
+tree stored in heap order (root at index 1, children of ``i`` at ``2i`` and
+``2i + 1``).  Ways are the leaves; way 0 is the "most upper" position of the
+paper's figures.
+
+Bit semantics (matching the paper's Figure 4):
+
+* node bit = 1  -> the MRU side is the *upper* sub-tree (smaller way
+  indices), so the pseudo-LRU side is the *lower* sub-tree;
+* node bit = 0  -> the MRU side is the lower sub-tree; pseudo-LRU is upper.
+
+Hence during a victim search the traversal direction bit at each node equals
+the stored node bit (1 = go lower), and promoting way ``w`` to MRU writes
+the *complement* of ``w``'s identifier bits along its path.
+
+The *identifier bits* (ID) of way ``w`` — "what would be the BT bits values
+if this line held the LRU position" — are simply the bits of the way index,
+most significant first (the paper's Figure 4(c) decoder is this wiring).
+The profiling logic XORs the ID with the actual path bits and subtracts from
+``A`` to estimate the stack position; see
+:class:`repro.profiling.bt_profiler.BTProfiler`.
+
+Partition enforcement (paper Figure 5) overrides the traversal per level with
+per-core ``up``/``down`` force vectors of ``log2(A)`` bits each, installed by
+:class:`repro.cache.partition.btvectors.BTVectorPartition` through
+:meth:`set_force`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.replacement.base import ReplacementPolicy, register_policy
+from repro.util.bitops import ilog2
+
+
+@register_policy("bt")
+class BTPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU with optional per-core per-level forced directions."""
+
+    def __init__(self, num_sets: int, assoc: int, rng=None) -> None:
+        super().__init__(num_sets, assoc, rng=rng)
+        if assoc < 2 or assoc & (assoc - 1):
+            raise ValueError(f"BT requires a power-of-two associativity >= 2, got {assoc}")
+        self.levels = ilog2(assoc)
+        # Heap-ordered tree bits per set; index 0 unused, root at 1.
+        self._bits: List[List[int]] = [[0] * (assoc) for _ in range(num_sets)]
+        # Per-core forced traversal directions: core -> tuple of length
+        # `levels`, entries in {0: force upper, 1: force lower, None: free}.
+        # Paper: per-level `up`/`down` global vectors (up[l]=1 <=> entry 0,
+        # down[l]=1 <=> entry 1, both 0 <=> None).
+        self._force: Dict[int, Tuple[Optional[int], ...]] = {}
+
+    # ------------------------------------------------------------------
+    def touch(self, set_index: int, way: int, core: int,
+              reset_domain: Optional[int] = None) -> None:
+        # Promote `way` to MRU: at each node of its path store the bit that
+        # points the MRU side toward `way` (complement of the ID bit).
+        bits = self._bits[set_index]
+        node = 1
+        for level in range(self.levels - 1, -1, -1):
+            direction = (way >> level) & 1        # 0 = upper, 1 = lower
+            bits[node] = 1 - direction            # 1 <=> MRU in upper
+            node = (node << 1) | direction
+
+    def victim(self, set_index: int, core: int, mask: int) -> int:
+        if mask == 0:
+            raise ValueError("victim mask must be nonzero")
+        bits = self._bits[set_index]
+        force = self._force.get(core)
+        node = 1
+        way = 0
+        if force is None:
+            for _ in range(self.levels):
+                direction = bits[node]            # 1 -> pseudo-LRU in lower
+                node = (node << 1) | direction
+                way = (way << 1) | direction
+        else:
+            for level_index in range(self.levels):
+                forced = force[level_index]
+                direction = bits[node] if forced is None else forced
+                node = (node << 1) | direction
+                way = (way << 1) | direction
+        return way
+
+    def reset(self) -> None:
+        for s in range(self.num_sets):
+            bits = self._bits[s]
+            for i in range(len(bits)):
+                bits[i] = 0
+        self._force.clear()
+
+    # ------------------------------------------------------------------
+    # Partition enforcement support (paper Figure 5)
+    # ------------------------------------------------------------------
+    def set_force(self, core: int,
+                  force: Optional[Tuple[Optional[int], ...]]) -> None:
+        """Install the per-level forced directions for ``core``.
+
+        ``force`` is a tuple of ``levels`` entries: ``0`` forces the upper
+        sub-tree (the paper's ``up`` vector bit), ``1`` forces the lower
+        sub-tree (``down`` bit), ``None`` leaves the stored BT bit in charge.
+        ``None`` for the whole argument removes any forcing.
+        """
+        if force is None:
+            self._force.pop(core, None)
+            return
+        if len(force) != self.levels:
+            raise ValueError(
+                f"force vector must have {self.levels} entries, got {len(force)}"
+            )
+        self._force[core] = tuple(force)
+
+    def get_force(self, core: int) -> Optional[Tuple[Optional[int], ...]]:
+        """Current forced directions for ``core`` (None when unrestricted)."""
+        return self._force.get(core)
+
+    # ------------------------------------------------------------------
+    # Profiling support (paper §III-B)
+    # ------------------------------------------------------------------
+    def path_bits(self, set_index: int, way: int) -> int:
+        """Actual BT bits along the path to ``way``, MSB (root) first.
+
+        Read *before* :meth:`touch` promotes the line.
+        """
+        self._check_way(way)
+        bits = self._bits[set_index]
+        node = 1
+        value = 0
+        for level in range(self.levels - 1, -1, -1):
+            value = (value << 1) | bits[node]
+            node = (node << 1) | ((way >> level) & 1)
+        return value
+
+    def id_bits(self, way: int) -> int:
+        """Identifier bits of ``way`` — its index bits, MSB first.
+
+        These are "the BT bits values if a given line held the LRU position"
+        (paper Figure 4(b)); the decoder of Figure 4(c) is the identity
+        wiring on the way-number bits.
+        """
+        self._check_way(way)
+        return way
+
+    def state_bits_per_set(self) -> int:
+        """``A − 1`` tree bits per set (paper Table I(a))."""
+        return self.assoc - 1

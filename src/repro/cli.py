@@ -1,0 +1,197 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples::
+
+    python -m repro table1                  # complexity tables (instant)
+    python -m repro table2                  # processor config + mix list
+    python -m repro fig6                    # non-partitioned policy study
+    python -m repro fig7 --mixes all        # full Table II mix coverage
+    python -m repro fig8 --scale 4          # larger caches (slower)
+    python -m repro fig9                    # power/energy study
+    python -m repro all                     # everything, shared runner
+    python -m repro workloads               # list catalog + mixes
+    python -m repro policies                # list replacement policies
+
+The figure commands accept the same knobs as the ``REPRO_*`` environment
+variables used by the benches (``--scale``, ``--accesses``, ``--mixes``,
+``--seed``, ``--full``); command-line flags take precedence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.cache.replacement.base import POLICY_REGISTRY
+from repro.experiments import fig6, fig7, fig8, fig9, table1, table2
+from repro.experiments.common import ExperimentScale, WorkloadRunner
+from repro.workloads.mixes import ALL_WORKLOADS, get_workload
+from repro.workloads.spec2000 import benchmark_names
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=int, default=None,
+                        help="cache capacity divisor (default 8; 1 = paper)")
+    parser.add_argument("--accesses", type=int, default=None,
+                        help="trace length per thread in memory accesses")
+    parser.add_argument("--mixes", choices=("default", "all"),
+                        default="default",
+                        help="Table II mix coverage")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base random seed")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale run (slow; implies --scale 1)")
+
+
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    import os
+    # Reuse the environment plumbing so CLI flags and REPRO_* vars agree.
+    saved = dict(os.environ)
+    try:
+        if args.full:
+            os.environ["REPRO_FULL"] = "1"
+        if args.mixes == "all":
+            os.environ["REPRO_MIXES"] = "all"
+        if args.scale is not None:
+            os.environ["REPRO_SCALE"] = str(args.scale)
+        if args.accesses is not None:
+            os.environ["REPRO_ACCESSES"] = str(args.accesses)
+        if args.seed is not None:
+            os.environ["REPRO_SEED"] = str(args.seed)
+        return ExperimentScale.from_env()
+    finally:
+        os.environ.clear()
+        os.environ.update(saved)
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    data = table1.run()
+    print(data.table_storage())
+    print()
+    print(data.table_events())
+    checkpoints = table1.paper_checkpoints()
+    bad = [name for name, ok in checkpoints.items() if not ok]
+    print()
+    print(f"paper checkpoints: {len(checkpoints) - len(bad)}/"
+          f"{len(checkpoints)} reproduced exactly")
+    return 1 if bad else 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    table2.main()
+    return 0
+
+
+def _figure_command(module, args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    runner = WorkloadRunner(scale)
+    if module is fig6:
+        data = fig6.run(scale, runner=runner)
+        print(data.table("throughput"))
+        print()
+        print(data.table("hmean"))
+        print()
+        print(data.table("wspeedup"))
+    elif module is fig7:
+        data = fig7.run(scale, runner=runner)
+        for metric in ("throughput", "hmean", "wspeedup"):
+            print(data.table(metric))
+            print()
+    elif module is fig8:
+        data = fig8.run(scale, runner=runner)
+        for _, _, panel in fig8.PAIRS:
+            print(data.table(panel))
+            print()
+    elif module is fig9:
+        data = fig9.run(scale, runner=runner)
+        print(data.table_relative())
+        print()
+        print(data.table_breakdown())
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    status = _cmd_table1(args)
+    print()
+    _cmd_table2(args)
+    print()
+    scale = _scale_from_args(args)
+    runner = WorkloadRunner(scale)
+    for module in (fig6, fig7, fig8, fig9):
+        name = module.__name__.rsplit(".", 1)[-1]
+        print(f"=== {name} ===")
+        _figure_command(module, args)
+        print()
+    return status
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    print("benchmarks:", ", ".join(benchmark_names()))
+    print()
+    print("workload mixes (Table II):")
+    for name in sorted(ALL_WORKLOADS):
+        print(f"  {name}: {', '.join(get_workload(name))}")
+    return 0
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    print("registered replacement policies:")
+    for name in sorted(POLICY_REGISTRY):
+        cls = POLICY_REGISTRY[name]
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:8s} {doc}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduce 'Adapting Cache Partitioning Algorithms to "
+                     "Pseudo-LRU Replacement Policies' (IPDPS 2010)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="complexity tables (exact arithmetic)")
+    sub.add_parser("table2", help="processor configuration and mix list")
+    for name, help_text in (
+        ("fig6", "non-partitioned LRU/NRU/BT comparison"),
+        ("fig7", "partitioned configuration comparison (C-L baseline)"),
+        ("fig8", "partitioning gain vs L2 capacity"),
+        ("fig9", "power and energy study"),
+        ("all", "every table and figure"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        _add_scale_arguments(p)
+    sub.add_parser("workloads", help="list benchmarks and Table II mixes")
+    sub.add_parser("policies", help="list registered replacement policies")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+    if command == "table1":
+        return _cmd_table1(args)
+    if command == "table2":
+        return _cmd_table2(args)
+    if command == "fig6":
+        return _figure_command(fig6, args)
+    if command == "fig7":
+        return _figure_command(fig7, args)
+    if command == "fig8":
+        return _figure_command(fig8, args)
+    if command == "fig9":
+        return _figure_command(fig9, args)
+    if command == "all":
+        return _cmd_all(args)
+    if command == "workloads":
+        return _cmd_workloads(args)
+    if command == "policies":
+        return _cmd_policies(args)
+    raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""CMP simulation: analytic core timing over the shared cache hierarchy.
+
+:class:`CMPSimulator` runs N trace-driven threads against private L1s and a
+shared (optionally partitioned) L2, merging per-thread clocks in global-time
+order, firing the partition controller at every interval boundary, and
+freezing each thread's statistics after its instruction budget (the paper's
+"stop when each thread commits 100 M instructions" methodology — fast
+threads keep running to preserve contention).
+"""
+
+from repro.cmp.simulator import (
+    CMPSimulator,
+    EventCounts,
+    SimulationResult,
+    ThreadResult,
+    run_workload,
+)
+from repro.cmp.metrics import (
+    ipc_throughput,
+    weighted_speedup,
+    hmean_relative,
+    relative_metric,
+)
+from repro.cmp.isolation import IsolationRunner
+from repro.cmp.memory import BandwidthConfig, MemoryChannel
+
+__all__ = [
+    "CMPSimulator",
+    "SimulationResult",
+    "ThreadResult",
+    "EventCounts",
+    "run_workload",
+    "MemoryChannel",
+    "BandwidthConfig",
+    "ipc_throughput",
+    "weighted_speedup",
+    "hmean_relative",
+    "relative_metric",
+    "IsolationRunner",
+]

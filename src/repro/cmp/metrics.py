@@ -1,0 +1,48 @@
+"""Performance metrics of the paper (§IV).
+
+* IPC throughput: ``sum_i IPC_i``;
+* weighted speedup (Snavely & Tullsen): ``sum_i IPC_CMP_i / IPC_isolation_i``;
+* harmonic mean of relative IPCs (Luo, Gummaraju & Franklin):
+  ``N / sum_i (IPC_isolation_i / IPC_CMP_i)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _check(ipcs: Sequence[float], isolation: Sequence[float] = None) -> None:
+    if not ipcs:
+        raise ValueError("need at least one IPC")
+    if any(x <= 0 for x in ipcs):
+        raise ValueError(f"IPCs must be positive, got {list(ipcs)}")
+    if isolation is not None:
+        if len(isolation) != len(ipcs):
+            raise ValueError("isolation IPC count must match thread count")
+        if any(x <= 0 for x in isolation):
+            raise ValueError(f"isolation IPCs must be positive, got {list(isolation)}")
+
+
+def ipc_throughput(ipcs: Sequence[float]) -> float:
+    """Sum of thread IPCs."""
+    _check(ipcs)
+    return float(sum(ipcs))
+
+
+def weighted_speedup(ipcs: Sequence[float], isolation: Sequence[float]) -> float:
+    """Sum of per-thread relative IPCs."""
+    _check(ipcs, isolation)
+    return float(sum(c / i for c, i in zip(ipcs, isolation)))
+
+
+def hmean_relative(ipcs: Sequence[float], isolation: Sequence[float]) -> float:
+    """Harmonic mean of per-thread relative IPCs (fairness-aware)."""
+    _check(ipcs, isolation)
+    return len(ipcs) / float(sum(i / c for c, i in zip(ipcs, isolation)))
+
+
+def relative_metric(value: float, baseline: float) -> float:
+    """Value normalised to a baseline configuration (the paper's y-axes)."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return value / baseline

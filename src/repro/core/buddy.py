@@ -1,0 +1,152 @@
+"""MinMisses restricted to BT-enforceable partitions (subcube DP).
+
+The BT enforcement hardware (per-core global ``up``/``down`` vectors, one
+bit per tree level — paper Figure 5) can only confine a core to a
+*subtree-aligned, power-of-two sized* group of ways: a
+:class:`~repro.cache.partition.allocation.Subcube`.  Partition selection for
+``M-BT`` must therefore optimise over assignments of disjoint subcubes to
+threads.
+
+This module solves that exactly with a dynamic program over
+``(subtree size, thread subset)``: a subtree either belongs wholly to one
+thread, or is split between two complementary nonempty subsets of its
+thread set, one per child subtree.  With N ≤ 8 threads and A ≤ 32 ways the
+state space is tiny.
+
+This restriction is the structural reason the paper's M-BT loses more than
+M-NRU at high core counts: e.g. 2 threads on a 16-way cache can only ever
+get the static 8/8 split, while 8 threads are forced to 2-way subcubes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.cache.partition.allocation import Subcube, SubcubeAllocation
+from repro.core.minmisses import _validate_curves
+from repro.util.bitops import ilog2, is_power_of_two, iter_set_bits
+
+
+def best_subcube_allocation(curves: np.ndarray, assoc: int) -> SubcubeAllocation:
+    """Miss-minimising assignment of disjoint subcubes to threads.
+
+    Parameters
+    ----------
+    curves:
+        ``(threads, assoc + 1)`` miss curves, as for
+        :func:`~repro.core.minmisses.minmisses_partition`.
+    assoc:
+        Power-of-two associativity.
+
+    Returns
+    -------
+    SubcubeAllocation
+        One subcube per thread (ordered by thread id), disjoint, covering
+        every way.  Ties on the miss total are broken toward the most
+        balanced split.
+    """
+    if not is_power_of_two(assoc):
+        raise ValueError(f"assoc must be a power of two, got {assoc}")
+    curves = _validate_curves(curves, assoc, 1)
+    threads = curves.shape[0]
+    levels = ilog2(assoc)
+    even = assoc / threads
+    all_threads = (1 << threads) - 1
+
+    @lru_cache(maxsize=None)
+    def solve(size_log: int, subset: int) -> Tuple[float, float, int]:
+        """Best (misses, imbalance, split) for `subset` in a 2**size_log
+        subtree; split == 0 encodes "single thread takes the subtree"."""
+        members = subset.bit_count()
+        size = 1 << size_log
+        if members == 0:
+            raise AssertionError("empty subsets are never queried")
+        if members > size:
+            return (float("inf"), float("inf"), 0)
+        if members == 1:
+            t = subset.bit_length() - 1
+            return (float(curves[t][size]), (size - even) ** 2, 0)
+        best = (float("inf"), float("inf"), 0)
+        # Enumerate splits; fixing the lowest thread in the first half
+        # removes the mirror symmetry (which child gets which half does not
+        # change the cost).
+        lowest = subset & -subset
+        rest = subset ^ lowest
+        sub = rest
+        while True:
+            first = lowest | sub
+            second = subset ^ first
+            if second:
+                a = solve(size_log - 1, first)
+                b = solve(size_log - 1, second)
+                cand = (a[0] + b[0], a[1] + b[1], first)
+                if cand[:2] < best[:2]:
+                    best = cand
+            if sub == 0:
+                break
+            sub = (sub - 1) & rest
+        return best
+
+    if threads > assoc:
+        raise ValueError(f"{threads} threads cannot share {assoc} ways")
+
+    cubes: Dict[int, Subcube] = {}
+
+    def reconstruct(size_log: int, subset: int, prefix: int, depth: int) -> None:
+        members = subset.bit_count()
+        if members == 1:
+            t = subset.bit_length() - 1
+            cubes[t] = Subcube(prefix, depth, levels)
+            return
+        _, _, first = solve(size_log, subset)
+        second = subset ^ first
+        reconstruct(size_log - 1, first, prefix << 1, depth + 1)
+        reconstruct(size_log - 1, second, (prefix << 1) | 1, depth + 1)
+
+    total = solve(levels, all_threads)
+    if total[0] == float("inf"):
+        raise RuntimeError("subcube DP found no feasible allocation")
+    reconstruct(levels, all_threads, 0, 0)
+    solve.cache_clear()
+    return SubcubeAllocation(tuple(cubes[t] for t in range(threads)))
+
+
+def subcube_misses(curves: np.ndarray, allocation: SubcubeAllocation) -> float:
+    """Predicted total misses of a subcube allocation."""
+    curves = np.asarray(curves, dtype=np.float64)
+    return float(sum(curves[t][cube.size]
+                     for t, cube in enumerate(allocation.cubes)))
+
+
+def brute_force_subcube(curves: np.ndarray, assoc: int) -> float:
+    """Exhaustive best subcube-partition miss total (tests only).
+
+    Enumerates every assignment of threads to subtree leaves recursively —
+    usable for small thread counts; returns only the optimal cost.
+    """
+    if not is_power_of_two(assoc):
+        raise ValueError(f"assoc must be a power of two, got {assoc}")
+    curves = _validate_curves(curves, assoc, 1)
+    threads = curves.shape[0]
+    levels = ilog2(assoc)
+
+    def best(size_log: int, subset: Tuple[int, ...]) -> float:
+        if len(subset) == 1:
+            return float(curves[subset[0]][1 << size_log])
+        if len(subset) > (1 << size_log):
+            return float("inf")
+        lowest, rest = subset[0], subset[1:]
+        best_cost = float("inf")
+        for pick in range(1 << len(rest)):
+            first = [lowest] + [t for i, t in enumerate(rest) if pick >> i & 1]
+            second = [t for i, t in enumerate(rest) if not pick >> i & 1]
+            if not second:
+                continue
+            cost = best(size_log - 1, tuple(first)) + best(size_log - 1, tuple(second))
+            best_cost = min(best_cost, cost)
+        return best_cost
+
+    return best(levels, tuple(range(threads)))

@@ -1,0 +1,67 @@
+"""Fairness-oriented partition selection (extension).
+
+The paper notes (§II-B) that the MinMisses target "can be modified to favor
+fairness or QoS" (its reference [14], FlexDCP).  This module implements a
+standard fairness variant: minimise the *maximum normalised miss count*
+across threads, where each thread's misses are normalised by its misses
+with the full cache (so inherently miss-heavy threads do not dominate).
+Ties on the bottleneck are broken by total misses, then balance.
+
+The bench ``bench_ablation_selector`` contrasts it with MinMisses.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.minmisses import _validate_curves
+
+
+def fair_partition(curves: np.ndarray, assoc: int,
+                   min_ways: int = 1) -> Tuple[int, ...]:
+    """Min-max normalised-miss allocation (same contract as MinMisses)."""
+    curves = _validate_curves(curves, assoc, min_ways)
+    threads = curves.shape[0]
+    even = assoc / threads
+
+    # Normalise each thread by its full-cache misses (≥ 1 to avoid div by 0).
+    base = np.maximum(curves[:, assoc], 1.0)
+    norm = curves / base[:, None]
+
+    inf = float("inf")
+    # dp[u] = (bottleneck, total_misses, imbalance)
+    dp = [(inf, inf, inf)] * (assoc + 1)
+    dp[0] = (0.0, 0.0, 0.0)
+    choice = np.full((threads, assoc + 1), -1, dtype=np.int64)
+
+    for t in range(threads):
+        remaining = threads - t - 1
+        ndp = [(inf, inf, inf)] * (assoc + 1)
+        max_total = assoc - remaining * min_ways
+        for used in range(t * min_ways, max_total - min_ways + 1):
+            cost = dp[used]
+            if cost[0] == inf:
+                continue
+            for w in range(min_ways, max_total - used + 1):
+                cand = (max(cost[0], float(norm[t][w])),
+                        cost[1] + float(curves[t][w]),
+                        cost[2] + (w - even) ** 2)
+                target = used + w
+                if cand < ndp[target]:
+                    ndp[target] = cand
+                    choice[t][target] = w
+        dp = ndp
+
+    if dp[assoc][0] == inf:  # pragma: no cover - guarded by validation
+        raise RuntimeError("fairness DP found no feasible allocation")
+
+    counts = [0] * threads
+    used = assoc
+    for t in range(threads - 1, -1, -1):
+        w = int(choice[t][used])
+        counts[t] = w
+        used -= w
+    assert used == 0
+    return tuple(counts)

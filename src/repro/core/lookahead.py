@@ -1,0 +1,64 @@
+"""Qureshi & Patt's lookahead greedy way allocator (MICRO 2006).
+
+The partitioning literature the paper builds on (its reference [22]) uses
+this greedy instead of an exact optimiser: starting from ``min_ways`` per
+thread, repeatedly grant the block of ways with the highest *marginal
+utility per way*, where utility of giving thread ``t`` ``k`` more ways is
+``curve[t][w] − curve[t][w + k]``.  The lookahead over block sizes lets the
+greedy see past plateaus in the miss curve (utility 0 for one more way but
+large for three more).
+
+Included as an ablation comparator for the exact DP of
+:mod:`repro.core.minmisses`; both are valid "partition selection" blocks in
+the paper's system diagram.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.minmisses import _validate_curves
+
+
+def lookahead_partition(curves: np.ndarray, assoc: int,
+                        min_ways: int = 1) -> Tuple[int, ...]:
+    """Greedy lookahead allocation of ``assoc`` ways.
+
+    Same contract as :func:`repro.core.minmisses.minmisses_partition`.
+    """
+    curves = _validate_curves(curves, assoc, min_ways)
+    threads = curves.shape[0]
+    alloc = [min_ways] * threads
+    free = assoc - min_ways * threads
+
+    while free > 0:
+        best_rate = -1.0
+        best_thread = -1
+        best_block = 0
+        for t in range(threads):
+            base = curves[t][alloc[t]]
+            for k in range(1, free + 1):
+                gain = base - curves[t][alloc[t] + k]
+                rate = gain / k
+                # Ties: smaller block first (leave ways for others), then
+                # lower thread id — deterministic.
+                if rate > best_rate + 1e-12:
+                    best_rate = rate
+                    best_thread = t
+                    best_block = k
+        if best_rate <= 0.0:
+            # No thread benefits; hand the remainder out round-robin so the
+            # full cache stays in use.
+            t = 0
+            while free > 0:
+                alloc[t % threads] += 1
+                free -= 1
+                t += 1
+            break
+        alloc[best_thread] += best_block
+        free -= best_block
+
+    assert sum(alloc) == assoc
+    return tuple(alloc)

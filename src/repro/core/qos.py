@@ -1,0 +1,191 @@
+"""QoS-driven partition selection (extension; paper §II-B, §VI).
+
+The paper observes that MinMisses "can be modified to favor fairness or
+QoS" and cites FlexDCP (Moreto et al., its reference [14]), which converts
+per-thread IPC targets into resource assignments.  This module implements
+that conversion on top of the library's miss curves:
+
+1. **IPC model** — a thread's interval cycles split into an
+   allocation-independent base (core work, L1 hits, L2 hit penalties) and
+   the L2 miss penalty term, which the miss curve predicts per allocation::
+
+       cycles(w) = base_cycles + misses(w) × memory_penalty
+       ipc(w)    = instructions / cycles(w)
+
+   This is exactly the analytic timing model of the CMP simulator, so the
+   predictions are self-consistent with measured results.
+
+2. **Target → reservation** — a QoS target ``τ_t`` demands
+   ``ipc(w) ≥ τ_t × ipc(A)`` (a bounded slowdown relative to owning the
+   whole cache).  The smallest such ``w`` is the thread's *reservation*.
+
+3. **Leftover ways → throughput** — remaining ways are distributed by the
+   bounded MinMisses DP (:func:`minmisses_partition_bounded`), so
+   non-guaranteed threads still minimise total misses.
+
+When the reservations are infeasible (they demand more ways than exist),
+the partitioner degrades deterministically: reservations are trimmed one
+way at a time from the thread whose *predicted slowdown increase* is
+smallest, until the allocation fits.  The result reports which targets
+survived (``met``) so callers can escalate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.minmisses import minmisses_partition_bounded
+
+
+def ipc_curve(miss_curve: Sequence[float], instructions: float,
+              base_cycles: float, memory_penalty: float) -> np.ndarray:
+    """Predicted IPC at every allocation ``w = 0 .. A``.
+
+    ``base_cycles`` is the allocation-independent cycle count of the
+    interval (core work + L1 hit time + L2 hit penalties); the L2 miss
+    penalty is the only allocation-dependent term — the premise of the
+    simulator's timing model.
+    """
+    curve = np.asarray(miss_curve, dtype=np.float64)
+    if instructions <= 0:
+        raise ValueError("instructions must be positive")
+    if base_cycles <= 0:
+        raise ValueError("base_cycles must be positive")
+    if memory_penalty < 0:
+        raise ValueError("memory_penalty cannot be negative")
+    return instructions / (base_cycles + curve * memory_penalty)
+
+
+def min_ways_for_target(miss_curve: Sequence[float], target: float,
+                        base_cycles: float, memory_penalty: float,
+                        instructions: float = 1.0) -> int:
+    """Smallest allocation meeting ``ipc(w) >= target × ipc(A)``.
+
+    ``target`` is the QoS fraction (0.9 == at most 10 % slowdown versus
+    owning the whole cache).  Always satisfiable at ``w = A`` for
+    ``target <= 1``; larger targets raise.
+    """
+    if not 0.0 < target <= 1.0:
+        raise ValueError(f"target must be in (0, 1], got {target}")
+    ipcs = ipc_curve(miss_curve, instructions, base_cycles, memory_penalty)
+    needed = target * ipcs[-1]
+    for w in range(len(ipcs)):
+        if ipcs[w] >= needed - 1e-12:
+            return w
+    return len(ipcs) - 1  # pragma: no cover - w = A always qualifies
+
+
+@dataclass(frozen=True)
+class QoSResult:
+    """Outcome of one QoS partitioning decision."""
+
+    #: Ways per thread (sums to the associativity).
+    counts: Tuple[int, ...]
+    #: Reservations actually enforced (post-trimming).
+    reservations: Tuple[int, ...]
+    #: Per-thread: True when the original target survived trimming.
+    met: Tuple[bool, ...]
+    #: Predicted relative IPC (vs full cache) per thread at ``counts``.
+    predicted_relative_ipc: Tuple[float, ...]
+
+    @property
+    def feasible(self) -> bool:
+        """True when every QoS target is satisfied."""
+        return all(self.met)
+
+
+class QoSPartitioner:
+    """Converts per-thread IPC targets into way allocations.
+
+    Parameters
+    ----------
+    targets:
+        One entry per thread: the required fraction of full-cache IPC, or
+        ``None`` for best-effort threads (no reservation beyond one way).
+    memory_penalty:
+        Cycles per L2 miss (Table II: 250).
+    """
+
+    def __init__(self, targets: Sequence[Optional[float]],
+                 memory_penalty: float = 250.0) -> None:
+        for t in targets:
+            if t is not None and not 0.0 < t <= 1.0:
+                raise ValueError(f"targets must be in (0, 1] or None, got {t}")
+        if memory_penalty < 0:
+            raise ValueError("memory_penalty cannot be negative")
+        self.targets = tuple(targets)
+        self.memory_penalty = float(memory_penalty)
+
+    # ------------------------------------------------------------------
+    def select(self, curves: np.ndarray,
+               base_cycles: Sequence[float]) -> QoSResult:
+        """One partitioning decision.
+
+        ``curves`` is the ``(threads, A + 1)`` miss-curve matrix of the
+        interval; ``base_cycles[t]`` the thread's allocation-independent
+        interval cycles (measure it, or estimate from the trace metadata as
+        the examples do).
+        """
+        curves = np.asarray(curves, dtype=np.float64)
+        threads, width = curves.shape
+        assoc = width - 1
+        if len(self.targets) != threads:
+            raise ValueError(
+                f"{len(self.targets)} targets for {threads} threads"
+            )
+        if len(base_cycles) != threads:
+            raise ValueError(
+                f"{len(base_cycles)} base_cycles for {threads} threads"
+            )
+
+        reservations: List[int] = []
+        for t in range(threads):
+            target = self.targets[t]
+            if target is None:
+                reservations.append(1)
+            else:
+                reservations.append(max(1, min_ways_for_target(
+                    curves[t], target, float(base_cycles[t]),
+                    self.memory_penalty)))
+        met = [self.targets[t] is not None for t in range(threads)]
+
+        # Trim infeasible reservations: repeatedly take one way from the
+        # guaranteed thread whose predicted slowdown grows least.
+        while sum(reservations) > assoc:
+            best_t, best_loss = -1, float("inf")
+            for t in range(threads):
+                if reservations[t] <= 1:
+                    continue
+                w = reservations[t]
+                loss = ((curves[t][w - 1] - curves[t][w])
+                        * self.memory_penalty / float(base_cycles[t]))
+                if loss < best_loss:
+                    best_loss, best_t = loss, t
+            if best_t < 0:  # pragma: no cover - sum(1..1) <= assoc always
+                break
+            reservations[best_t] -= 1
+            if self.targets[best_t] is not None:
+                met[best_t] = False
+
+        counts = minmisses_partition_bounded(curves, assoc, reservations)
+
+        relative = []
+        for t in range(threads):
+            ipcs = ipc_curve(curves[t], 1.0, float(base_cycles[t]),
+                             self.memory_penalty)
+            relative.append(float(ipcs[counts[t]] / ipcs[-1]))
+        # A best-effort thread's target is vacuously met; a guaranteed
+        # thread's is met unless trimmed below its reservation.
+        final_met = tuple(
+            True if self.targets[t] is None else met[t]
+            for t in range(threads)
+        )
+        return QoSResult(
+            counts=tuple(counts),
+            reservations=tuple(reservations),
+            met=final_met,
+            predicted_relative_ipc=tuple(relative),
+        )

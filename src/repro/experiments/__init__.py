@@ -1,0 +1,13 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(scale) -> <Figure>Data`` returning structured
+results plus a ``main()`` that prints the paper-style rows.  The
+:class:`~repro.experiments.common.ExperimentScale` controls the laptop-scale
+defaults (1/8-size caches, shortened traces, a representative subset of the
+Table II mixes); set ``REPRO_FULL=1`` for paper-scale runs and
+``REPRO_MIXES=all`` to sweep all 49 mixes.
+"""
+
+from repro.experiments.common import ExperimentScale, RunOutcome, WorkloadRunner
+
+__all__ = ["ExperimentScale", "RunOutcome", "WorkloadRunner"]

@@ -1,0 +1,254 @@
+"""Shared experiment machinery: scaling, trace/isolation caching, runners.
+
+The paper's full configuration (2 MB L2, 100 M instructions per thread, 49
+mixes) is hours of pure-Python simulation; the default
+:class:`ExperimentScale` shrinks capacities by 8 (associativity — the
+quantity the algorithms operate on — is untouched), shortens traces, and
+uses a representative subset of the Table II mixes chosen to cover the
+contention spectrum.  Environment overrides:
+
+* ``REPRO_FULL=1`` — paper-scale caches, long traces, all mixes;
+* ``REPRO_MIXES=all`` — all Table II mixes at the current scale;
+* ``REPRO_ACCESSES=<n>`` — trace length per thread;
+* ``REPRO_SCALE=<n>`` — cache capacity divisor.
+
+**Cycle matching.** The paper freezes each thread's statistics at 100 M
+instructions and lets fast threads keep running (trace wrap) so contention
+persists.  With mixes like (mcf, crafty) the speed gap means a fast thread
+replays its trace dozens of times — pure simulation overhead.  The harness
+instead gives thread ``i`` a budget proportional to its isolation IPC
+(``budget_i = iso_ipc_i × target_cycles``), so all threads freeze near the
+same global time.  Budgets are computed once per (mix, geometry) from *LRU*
+isolation runs and reused identically for every configuration, so relative
+comparisons — everything the paper plots — are unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.geometry import CacheGeometry
+from repro.config import (
+    PartitioningConfig,
+    ProcessorConfig,
+    SimulationConfig,
+)
+from repro.cmp.isolation import IsolationRunner
+from repro.cmp.metrics import hmean_relative, ipc_throughput, weighted_speedup
+from repro.cmp.simulator import CMPSimulator, SimulationResult
+from repro.hwmodel.power import PowerModel, PowerReport
+from repro.workloads.generator import generate_trace
+from repro.workloads.mixes import get_workload, workload_names
+from repro.workloads.trace import Trace
+
+#: Baseline L2 capacity of the paper (scaled by ExperimentScale.scale).
+BASE_L2_BYTES = 2 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Laptop-scale knobs for the experiment harness."""
+
+    #: Cache capacity divisor (1 = paper scale).
+    scale: int = 8
+    #: Trace length per thread, in memory accesses.
+    accesses: int = 60_000
+    #: Cycle-matching horizon: threads freeze around this global time.
+    target_cycles: float = 5_000_000.0
+    #: ATD set-sampling ratio (paper: 32; scaled caches need denser sampling).
+    atd_sampling: int = 8
+    #: Repartitioning interval in cycles (paper: 1 M).
+    interval_cycles: int = 1_000_000
+    seed: int = 42
+    mixes_2t: Tuple[str, ...] = ("2T_02", "2T_05", "2T_08")
+    mixes_4t: Tuple[str, ...] = ("4T_01", "4T_04")
+    mixes_8t: Tuple[str, ...] = ("8T_02", "8T_05")
+    #: Figure 8 averages over many mixes in the paper; the default subset is
+    #: wider than ``mixes_2t`` so the AVG row is not dominated by a single
+    #: heavy-contention mix.
+    mixes_fig8: Tuple[str, ...] = ("2T_02", "2T_04", "2T_05", "2T_08",
+                                   "2T_21", "2T_22")
+    #: Single benchmarks for the 1-core points of Figure 6.
+    benchmarks_1t: Tuple[str, ...] = ("mcf", "parser", "crafty",
+                                      "apsi", "twolf", "gzip")
+
+    @classmethod
+    def from_env(cls) -> "ExperimentScale":
+        """Build a scale honouring the REPRO_* environment knobs."""
+        kwargs: Dict[str, object] = {}
+        if os.environ.get("REPRO_FULL"):
+            kwargs.update(scale=1, accesses=2_000_000,
+                          target_cycles=200_000_000.0, atd_sampling=32)
+            kwargs.update(
+                mixes_2t=tuple(workload_names(2)),
+                mixes_4t=tuple(workload_names(4)),
+                mixes_8t=tuple(workload_names(8)),
+                mixes_fig8=tuple(workload_names(2)),
+            )
+        if os.environ.get("REPRO_MIXES", "").lower() == "all":
+            kwargs.update(
+                mixes_2t=tuple(workload_names(2)),
+                mixes_4t=tuple(workload_names(4)),
+                mixes_8t=tuple(workload_names(8)),
+                mixes_fig8=tuple(workload_names(2)),
+            )
+        if "REPRO_SCALE" in os.environ:
+            kwargs["scale"] = int(os.environ["REPRO_SCALE"])
+        if "REPRO_ACCESSES" in os.environ:
+            kwargs["accesses"] = int(os.environ["REPRO_ACCESSES"])
+        if "REPRO_SEED" in os.environ:
+            kwargs["seed"] = int(os.environ["REPRO_SEED"])
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def mixes_for(self, num_threads: int) -> Tuple[str, ...]:
+        return {2: self.mixes_2t, 4: self.mixes_4t, 8: self.mixes_8t}[num_threads]
+
+    def processor(self, num_cores: int,
+                  l2_bytes: int = BASE_L2_BYTES) -> ProcessorConfig:
+        """Scaled processor with an optionally non-baseline L2 capacity."""
+        proc = ProcessorConfig(num_cores=num_cores).scaled(self.scale)
+        if l2_bytes != BASE_L2_BYTES:
+            proc = proc.with_l2(
+                CacheGeometry(l2_bytes // self.scale, proc.l2.assoc,
+                              proc.l2.line_bytes)
+            )
+        return proc
+
+    @property
+    def baseline_l2_lines(self) -> int:
+        """Line count footprints are calibrated against (always 2 MB/scale)."""
+        return (BASE_L2_BYTES // self.scale) // 128
+
+    def partitioning(self, config: PartitioningConfig) -> PartitioningConfig:
+        """Apply the scale's sampling/interval knobs to a paper config."""
+        return replace(config, atd_sampling=self.atd_sampling,
+                       interval_cycles=self.interval_cycles)
+
+
+@dataclass
+class RunOutcome:
+    """One (mix, configuration) simulation with its derived metrics."""
+
+    mix: str
+    acronym: str
+    result: SimulationResult
+    #: Isolation IPCs matching this configuration's replacement policy.
+    iso_ipcs: List[float]
+    power: PowerReport
+
+    @property
+    def throughput(self) -> float:
+        return ipc_throughput(self.result.ipcs)
+
+    @property
+    def wspeedup(self) -> float:
+        return weighted_speedup(self.result.ipcs, self.iso_ipcs)
+
+    @property
+    def hmean(self) -> float:
+        return hmean_relative(self.result.ipcs, self.iso_ipcs)
+
+    def metric(self, name: str) -> float:
+        return {"throughput": self.throughput, "wspeedup": self.wspeedup,
+                "hmean": self.hmean}[name]
+
+
+class WorkloadRunner:
+    """Caches traces, isolation runs and budgets across an experiment."""
+
+    def __init__(self, scale: ExperimentScale) -> None:
+        self.scale = scale
+        self.power_model = PowerModel()
+        self._traces: Dict[Tuple[str, ...], List[Trace]] = {}
+        self._isolation: Dict[int, IsolationRunner] = {}
+        self._budgets: Dict[Tuple, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def traces_for(self, benchmarks: Sequence[str]) -> List[Trace]:
+        """Traces of a mix (footprints tied to the baseline L2 capacity)."""
+        key = tuple(benchmarks)
+        cached = self._traces.get(key)
+        if cached is None:
+            cached = [
+                generate_trace(name, self.scale.accesses,
+                               self.scale.baseline_l2_lines,
+                               seed=self.scale.seed, core_id=i)
+                for i, name in enumerate(key)
+            ]
+            self._traces[key] = cached
+        return cached
+
+    def isolation(self, l2_bytes: int = BASE_L2_BYTES) -> IsolationRunner:
+        """Isolation runner for a given L2 capacity."""
+        runner = self._isolation.get(l2_bytes)
+        if runner is None:
+            runner = IsolationRunner(
+                self.scale.processor(1, l2_bytes),
+                SimulationConfig(seed=self.scale.seed),
+            )
+            self._isolation[l2_bytes] = runner
+        return runner
+
+    def budgets_for(self, mix_key: Tuple[str, ...],
+                    l2_bytes: int = BASE_L2_BYTES) -> Tuple[int, ...]:
+        """Cycle-matched per-thread instruction budgets (LRU isolation)."""
+        key = (mix_key, l2_bytes)
+        cached = self._budgets.get(key)
+        if cached is None:
+            traces = self.traces_for(mix_key)
+            iso = self.isolation(l2_bytes)
+            cached = tuple(
+                max(10_000, int(iso.ipc(t, "lru") * self.scale.target_cycles))
+                for t in traces
+            )
+            self._budgets[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def run(self, mix: str, config: PartitioningConfig,
+            l2_bytes: int = BASE_L2_BYTES,
+            benchmarks: Optional[Sequence[str]] = None,
+            memory_service_interval: float = 0.0) -> RunOutcome:
+        """Simulate one (mix, configuration) point.
+
+        ``mix`` is a Table II name unless ``benchmarks`` overrides the
+        benchmark tuple (used by the 1-core Figure 6 points);
+        ``memory_service_interval`` enables the bandwidth-limited memory
+        (0 = the paper's fixed-latency memory).
+        """
+        bench = tuple(benchmarks) if benchmarks is not None else get_workload(mix)
+        traces = self.traces_for(bench)
+        config = self.scale.partitioning(config)
+        processor = self.scale.processor(len(bench), l2_bytes)
+        sim_config = SimulationConfig(
+            seed=self.scale.seed,
+            per_thread_instructions=self.budgets_for(bench, l2_bytes),
+            memory_service_interval=memory_service_interval,
+        )
+        sim = CMPSimulator(processor, config, traces, sim_config)
+        result = sim.run()
+        profiling_bits = (sim.profiling.storage_bits()
+                          if sim.profiling is not None else 0)
+        power = self.power_model.evaluate(result, processor, config,
+                                          profiling_bits=profiling_bits)
+        iso = self.isolation(l2_bytes)
+        # Relative metrics normalise to same-policy isolation runs; random
+        # maps to LRU so the denominator stays configuration-independent.
+        iso_policy = "lru" if config.policy == "random" else config.policy
+        iso_ipcs = iso.ipcs(traces, iso_policy)
+        return RunOutcome(mix=mix, acronym=config.acronym, result=result,
+                          iso_ipcs=iso_ipcs, power=power)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used to average relative values across mixes)."""
+    if not values:
+        raise ValueError("need at least one value")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"values must be positive, got {v}")
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,101 @@
+"""Figure 7 — dynamic cache partitioning on LRU, NRU and BT.
+
+The paper's central result: the six configurations ``C-L``, ``M-L``,
+``M-1.0N``, ``M-0.75N``, ``M-0.5N`` and ``M-BT`` on 2-, 4- and 8-core CMPs,
+every metric relative to the ``C-L`` baseline.  Expected shape (§V-B):
+
+* ``M-L`` within ~0.5 % of ``C-L`` (masks ≈ counters);
+* ``M-0.75N`` the best NRU point: −0.3 / −3.6 / −7.3 % throughput for
+  2/4/8 cores;
+* ``M-BT``: −1.4 / −3.4 / −9.7 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.config import paper_figure7_configs
+from repro.experiments.common import (
+    ExperimentScale,
+    RunOutcome,
+    WorkloadRunner,
+    geometric_mean,
+)
+from repro.experiments.report import format_table, fmt_rel
+
+METRICS = ("throughput", "hmean", "wspeedup")
+CORE_COUNTS = (2, 4, 8)
+ACRONYMS = ("C-L", "M-L", "M-1.0N", "M-0.75N", "M-0.5N", "M-BT")
+
+#: Paper's quoted throughput degradations vs C-L (EXPERIMENTS.md record).
+PAPER_REL_THROUGHPUT = {
+    "M-0.75N": {2: 0.997, 4: 0.964, 8: 0.927},
+    "M-BT": {2: 0.986, 4: 0.966, 8: 0.903},
+}
+
+
+@dataclass
+class Fig7Data:
+    """Relative metric per (metric, cores, acronym), C-L == 1.0."""
+
+    relative: Dict[str, Dict[int, Dict[str, float]]]
+    outcomes: Dict[Tuple[int, str, str], RunOutcome] = field(default_factory=dict)
+
+    def table(self, metric: str) -> str:
+        rows = []
+        for cores in sorted(self.relative[metric]):
+            rows.append([cores] + [
+                fmt_rel(self.relative[metric][cores][a]) for a in ACRONYMS
+            ])
+        return format_table(
+            ["cores"] + list(ACRONYMS), rows,
+            title=f"Figure 7 ({metric}): partitioned configs relative to C-L",
+        )
+
+
+def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig7Data:
+    """Regenerate Figure 7 at the given scale."""
+    if scale is None:
+        scale = ExperimentScale.from_env()
+    if runner is None:
+        runner = WorkloadRunner(scale)
+
+    relative: Dict[str, Dict[int, Dict[str, float]]] = {m: {} for m in METRICS}
+    data = Fig7Data(relative=relative)
+    configs = paper_figure7_configs()
+
+    for cores in CORE_COUNTS:
+        per_metric: Dict[str, Dict[str, List[float]]] = {
+            m: {a: [] for a in ACRONYMS} for m in METRICS
+        }
+        for mix in scale.mixes_for(cores):
+            outcomes: Dict[str, RunOutcome] = {}
+            for config in configs:
+                outcome = runner.run(mix, config)
+                outcomes[outcome.acronym] = outcome
+                data.outcomes[(cores, mix, outcome.acronym)] = outcome
+            base = outcomes["C-L"]
+            for metric in METRICS:
+                base_value = base.metric(metric)
+                for acronym in ACRONYMS:
+                    per_metric[metric][acronym].append(
+                        outcomes[acronym].metric(metric) / base_value
+                    )
+        for metric in METRICS:
+            relative[metric][cores] = {
+                a: geometric_mean(per_metric[metric][a]) for a in ACRONYMS
+            }
+    return data
+
+
+def main() -> Fig7Data:  # pragma: no cover - exercised via bench
+    data = run()
+    for metric in METRICS:
+        print(data.table(metric))
+        print()
+    return data
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

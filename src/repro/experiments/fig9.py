@@ -1,0 +1,118 @@
+"""Figure 9 — power and energy of the partitioned configurations.
+
+(a) total power and the CPI×Power energy metric of every Figure 7
+configuration, relative to ``C-L``; (b) per-component power breakdown for
+the 2-core CMP.  Expected shape (§V-C): power/energy track performance —
+slower configurations burn more main-memory dynamic power — and the
+profiling logic stays below 0.3 % of total power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments import fig7
+from repro.experiments.common import ExperimentScale, WorkloadRunner, geometric_mean
+from repro.experiments.report import format_table, fmt_rel
+from repro.hwmodel.power import PowerModel
+
+ACRONYMS = fig7.ACRONYMS
+CORE_COUNTS = fig7.CORE_COUNTS
+COMPONENT_GROUPS = ("cores", "caches", "memory", "profiling")
+
+
+@dataclass
+class Fig9Data:
+    """Relative power/energy per (cores, acronym) plus 2-core breakdown."""
+
+    relative_power: Dict[int, Dict[str, float]]
+    relative_energy: Dict[int, Dict[str, float]]
+    breakdown_2core: Dict[str, Dict[str, float]]
+
+    def table_relative(self) -> str:
+        rows = []
+        for cores in sorted(self.relative_power):
+            rows.append([f"{cores} power"] + [
+                fmt_rel(self.relative_power[cores][a]) for a in ACRONYMS
+            ])
+            rows.append([f"{cores} energy"] + [
+                fmt_rel(self.relative_energy[cores][a]) for a in ACRONYMS
+            ])
+        return format_table(
+            ["cores/metric"] + list(ACRONYMS), rows,
+            title="Figure 9(a): power & energy (CPI x Power) relative to C-L",
+        )
+
+    def table_breakdown(self) -> str:
+        rows = []
+        for acronym in ACRONYMS:
+            shares = self.breakdown_2core[acronym]
+            rows.append([acronym] + [
+                f"{shares[g] * 100:.1f}%" for g in COMPONENT_GROUPS
+            ])
+        return format_table(
+            ["config"] + list(COMPONENT_GROUPS), rows,
+            title="Figure 9(b): component power shares, 2-core CMP",
+        )
+
+
+def run(scale: ExperimentScale = None,
+        fig7_data: fig7.Fig7Data = None,
+        runner: WorkloadRunner = None) -> Fig9Data:
+    """Regenerate Figure 9 (reuses Figure 7's simulations when provided)."""
+    if scale is None:
+        scale = ExperimentScale.from_env()
+    if fig7_data is None:
+        fig7_data = fig7.run(scale, runner=runner)
+
+    relative_power: Dict[int, Dict[str, float]] = {}
+    relative_energy: Dict[int, Dict[str, float]] = {}
+    breakdown: Dict[str, Dict[str, float]] = {}
+
+    for cores in CORE_COUNTS:
+        mixes = scale.mixes_for(cores)
+        power_ratios = {a: [] for a in ACRONYMS}
+        energy_ratios = {a: [] for a in ACRONYMS}
+        for mix in mixes:
+            base = fig7_data.outcomes[(cores, mix, "C-L")].power
+            for acronym in ACRONYMS:
+                report = fig7_data.outcomes[(cores, mix, acronym)].power
+                power_ratios[acronym].append(report.power / base.power)
+                energy_ratios[acronym].append(
+                    report.energy_metric / base.energy_metric
+                )
+        relative_power[cores] = {
+            a: geometric_mean(power_ratios[a]) for a in ACRONYMS
+        }
+        relative_energy[cores] = {
+            a: geometric_mean(energy_ratios[a]) for a in ACRONYMS
+        }
+
+    # Component shares for the 2-core CMP, averaged across mixes.
+    for acronym in ACRONYMS:
+        sums = {g: 0.0 for g in COMPONENT_GROUPS}
+        total = 0.0
+        for mix in scale.mixes_for(2):
+            report = fig7_data.outcomes[(2, mix, acronym)].power
+            grouped = PowerModel.grouped(report)
+            for g in COMPONENT_GROUPS:
+                sums[g] += grouped[g]
+            total += sum(grouped.values())
+        breakdown[acronym] = {g: sums[g] / total for g in COMPONENT_GROUPS}
+
+    return Fig9Data(relative_power=relative_power,
+                    relative_energy=relative_energy,
+                    breakdown_2core=breakdown)
+
+
+def main() -> Fig9Data:  # pragma: no cover - exercised via bench
+    data = run()
+    print(data.table_relative())
+    print()
+    print(data.table_breakdown())
+    return data
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

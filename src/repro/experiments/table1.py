@@ -1,0 +1,107 @@
+"""Table I — complexity of the LRU, NRU and BT replacement schemes.
+
+Pure arithmetic over the paper's bracketed configuration (16-way 2 MB L2
+with 128 B lines, 2 cores, 47 tag bits); the numbers reproduce the paper
+exactly (one flagged inconsistency — see
+:mod:`repro.hwmodel.complexity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cache.geometry import CacheGeometry
+from repro.experiments.report import format_table
+from repro.hwmodel.area import format_area
+from repro.hwmodel.complexity import (
+    ReplacementComplexity,
+    event_bits_table,
+    storage_bits_table,
+)
+
+PAPER_GEOMETRY = CacheGeometry(size_bytes=2 * 1024 * 1024, assoc=16,
+                               line_bytes=128)
+PAPER_CORES = 2
+
+#: The paper's quoted storage areas (Table I(a)).
+PAPER_STORAGE = {
+    ("lru", "none"): "8 KB",
+    ("nru", "none"): "2 KB",
+    ("bt", "none"): "1.875 KB",
+}
+
+
+@dataclass
+class Table1Data:
+    storage: Dict[str, Dict[str, int]]
+    events: Dict[str, Dict[str, int]]
+
+    def table_storage(self) -> str:
+        rows = []
+        for policy, modes in self.storage.items():
+            for mode, bits in modes.items():
+                rows.append([policy.upper(), mode, bits, format_area(bits)])
+        return format_table(
+            ["policy", "partitioning", "bits", "area"], rows,
+            title=("Table I(a): replacement + partitioning storage "
+                   f"({PAPER_GEOMETRY}, {PAPER_CORES} cores)"),
+        )
+
+    def table_events(self) -> str:
+        rows = []
+        for event, per_policy in self.events.items():
+            rows.append([event] + [per_policy[p] for p in ("lru", "nru", "bt")])
+        return format_table(
+            ["event (bits touched)", "LRU", "NRU", "BT"], rows,
+            title="Table I(b): bits read/updated per event",
+        )
+
+
+def run(geometry: CacheGeometry = PAPER_GEOMETRY,
+        num_cores: int = PAPER_CORES) -> Table1Data:
+    """Compute Table I for a geometry (defaults to the paper's)."""
+    return Table1Data(
+        storage=storage_bits_table(geometry, num_cores),
+        events=event_bits_table(geometry, num_cores),
+    )
+
+
+def paper_checkpoints() -> Dict[str, bool]:
+    """Assert the paper's quoted numbers (used by tests and benches)."""
+    comp_lru = ReplacementComplexity("lru", PAPER_GEOMETRY, PAPER_CORES)
+    comp_nru = ReplacementComplexity("nru", PAPER_GEOMETRY, PAPER_CORES)
+    comp_bt = ReplacementComplexity("bt", PAPER_GEOMETRY, PAPER_CORES)
+    kb = 8 * 1024
+    return {
+        "lru_storage_8KB": comp_lru.storage_bits_total("none") == 8 * kb,
+        "nru_storage_2KB_plus_pointer":
+            comp_nru.storage_bits_total("none") == 2 * kb + 4,
+        "bt_storage_1.875KB":
+            comp_bt.storage_bits_total("none") == int(1.875 * kb),
+        "tag_compare_752": comp_lru.tag_comparison_bits() == 752,
+        "lru_update_64": comp_lru.update_bits_unpartitioned() == 64,
+        "nru_update_19": comp_nru.update_bits_unpartitioned() == 15 + 4,
+        "bt_update_4": comp_bt.update_bits_unpartitioned() == 4,
+        "data_hit_1024": comp_lru.data_bits() == 1024,
+        "lru_profiling_read_4": comp_lru.profiling_read_bits() == 4,
+        "nru_profiling_read_16": comp_nru.profiling_read_bits() == 16,
+        "bt_profiling_read_16": comp_bt.profiling_read_bits() == 16,
+    }
+
+
+def main() -> Table1Data:  # pragma: no cover - exercised via bench
+    data = run()
+    print(data.table_storage())
+    print()
+    print(data.table_events())
+    checks = paper_checkpoints()
+    bad = [name for name, ok in checks.items() if not ok]
+    print()
+    print(f"paper checkpoints: {len(checks) - len(bad)}/{len(checks)} pass"
+          + (f" (failing: {bad})" if bad else ""))
+    return data
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,38 @@
+"""Table II — baseline processor configuration and workload list."""
+
+from __future__ import annotations
+
+from repro.config import ProcessorConfig
+from repro.experiments.report import format_table
+from repro.workloads.mixes import WORKLOADS_2T, WORKLOADS_4T, WORKLOADS_8T
+
+
+def processor_table(processor: ProcessorConfig = ProcessorConfig()) -> str:
+    rows = [
+        ["L1 I-cache", str(processor.l1i)],
+        ["L1 D-cache", str(processor.l1d)],
+        ["L2 (shared)", str(processor.l2)],
+        ["L2 hit penalty", f"{processor.l2_hit_penalty} cycles"],
+        ["Memory penalty", f"{processor.memory_penalty} cycles"],
+    ]
+    return format_table(["component", "configuration"], rows,
+                        title="Table II (left): baseline processor")
+
+
+def workload_table() -> str:
+    rows = []
+    for table in (WORKLOADS_2T, WORKLOADS_4T, WORKLOADS_8T):
+        for name in sorted(table):
+            rows.append([name, ", ".join(table[name])])
+    return format_table(["workload", "benchmarks"], rows,
+                        title="Table II (right): 49 multiprogrammed mixes")
+
+
+def main() -> None:  # pragma: no cover - exercised via bench
+    print(processor_table())
+    print()
+    print(workload_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,29 @@
+"""Hardware cost models: Table I complexity arithmetic and the Figure 9
+power/energy model.
+
+:mod:`repro.hwmodel.complexity` reproduces the paper's Table I exactly (it
+is closed-form arithmetic over associativity, core count and geometry);
+:mod:`repro.hwmodel.power` converts simulator event counts plus those bit
+counts into the relative power/energy numbers of Figure 9.
+"""
+
+from repro.hwmodel.complexity import (
+    ReplacementComplexity,
+    storage_bits_table,
+    event_bits_table,
+    PAPER_TABLE1_CONFIG,
+)
+from repro.hwmodel.area import bits_to_kb, bits_to_bytes
+from repro.hwmodel.power import PowerModel, PowerParams, PowerReport
+
+__all__ = [
+    "ReplacementComplexity",
+    "storage_bits_table",
+    "event_bits_table",
+    "PAPER_TABLE1_CONFIG",
+    "bits_to_kb",
+    "bits_to_bytes",
+    "PowerModel",
+    "PowerParams",
+    "PowerReport",
+]

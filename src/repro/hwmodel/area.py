@@ -1,0 +1,25 @@
+"""Bit-count to area conversions used when printing Table I."""
+
+from __future__ import annotations
+
+
+def bits_to_bytes(bits: int) -> float:
+    """Bits to bytes (may be fractional for sub-byte structures)."""
+    if bits < 0:
+        raise ValueError(f"bits must be non-negative, got {bits}")
+    return bits / 8.0
+
+
+def bits_to_kb(bits: int) -> float:
+    """Bits to kilobytes (1 KB = 1024 B), as quoted throughout the paper."""
+    return bits_to_bytes(bits) / 1024.0
+
+
+def format_area(bits: int) -> str:
+    """Human formatting matching the paper's style ("8 KB", "32 bits")."""
+    if bits < 1024:
+        return f"{bits} bits"
+    kb = bits_to_kb(bits)
+    if kb >= 1.0:
+        return f"{kb:g} KB"
+    return f"{bits_to_bytes(bits):g} B"

@@ -1,0 +1,160 @@
+"""Parametric power/energy model — the substrate behind Figure 9.
+
+The paper models leakage and dynamic power of every component and assumes a
+main-memory access costs **150×** the energy of an L2 access (§IV, citing
+Borkar).  Its Figure 9 message is that (a) power/energy track performance
+because slow configurations burn main-memory dynamic power, and (b) the
+added profiling logic stays below 0.3 % of total power.
+
+This model keeps exactly those mechanisms.  Energy is in arbitrary units
+normalised to one L2 access; leakage scales with the storage bit counts
+from :mod:`repro.hwmodel.complexity`, dynamic energy with simulator event
+counts.  Absolute watts are meaningless here — every Figure 9 output is
+relative to the ``C-L`` baseline, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cache.geometry import CacheGeometry
+from repro.config import PartitioningConfig, ProcessorConfig
+from repro.hwmodel.complexity import ReplacementComplexity
+from repro.cmp.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """Energy coefficients (units: one L2 access == 1)."""
+
+    #: Dynamic energy of one L2 access (definition of the unit).
+    e_l2_access: float = 1.0
+    #: Dynamic energy of one main-memory access (paper: 150 x L2).
+    e_mem_access: float = 150.0
+    #: Dynamic energy of one L1 access.
+    e_l1_access: float = 0.2
+    #: Core dynamic energy per committed instruction.
+    e_instruction: float = 2.0
+    #: Core leakage per cycle per core.
+    e_core_leak: float = 0.8
+    #: L2 leakage per cycle for a full-size (2 MB) array; scales with size.
+    e_l2_leak_2mb: float = 0.2
+    #: Leakage per storage bit per cycle (replacement + profiling logic).
+    e_bit_leak: float = 5e-8
+    #: Dynamic energy per bit read/updated in replacement/profiling logic.
+    e_bit_switch: float = 1e-5
+
+
+@dataclass
+class PowerReport:
+    """Energy/power breakdown of one simulation."""
+
+    components: Dict[str, float]
+    wall_cycles: float
+    instructions: float
+
+    @property
+    def total_energy(self) -> float:
+        return float(sum(self.components.values()))
+
+    @property
+    def power(self) -> float:
+        """Average power (energy per cycle)."""
+        return self.total_energy / self.wall_cycles if self.wall_cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Aggregate cycles per instruction."""
+        return self.wall_cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def energy_metric(self) -> float:
+        """The paper's relative-energy metric: CPI × Power."""
+        return self.cpi * self.power
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-component share of total energy."""
+        total = self.total_energy
+        if total <= 0:
+            return {k: 0.0 for k in self.components}
+        return {k: v / total for k, v in self.components.items()}
+
+
+class PowerModel:
+    """Evaluates a :class:`SimulationResult` into a :class:`PowerReport`."""
+
+    def __init__(self, params: PowerParams = PowerParams()) -> None:
+        self.params = params
+
+    def evaluate(self, result: SimulationResult,
+                 processor: ProcessorConfig,
+                 partitioning: PartitioningConfig,
+                 profiling_bits: int = 0) -> PowerReport:
+        """Energy breakdown of one run.
+
+        ``profiling_bits`` is the ATD+SDH storage (0 for unpartitioned
+        configurations); pass ``ProfilingSystem.storage_bits()``.
+        """
+        p = self.params
+        ev = result.events
+        wall = ev.wall_cycles
+        instructions = float(sum(t.instructions for t in result.threads))
+        l2: CacheGeometry = processor.l2
+        num_cores = processor.num_cores
+
+        # The complexity model covers the paper's three policies; extension
+        # policies map to the nearest family for the (tiny) replacement-
+        # logic terms: recency-stack policies cost like LRU, counter/bit
+        # policies like NRU.
+        policy = partitioning.policy
+        if policy in ("lip", "bip", "dip"):
+            policy = "lru"
+        elif policy not in ("lru", "nru", "bt"):
+            policy = "nru"
+        comp = ReplacementComplexity(policy, l2, num_cores)
+        mode = {
+            "none": "none", "masks": "masks",
+            "counters": "counters", "btvectors": "btvectors",
+        }[partitioning.enforcement]
+        repl_bits = comp.storage_bits_total(mode)
+        update_bits = (comp.update_bits_partitioned(mode) if mode != "none"
+                       else comp.update_bits_unpartitioned())
+
+        components = {
+            "cores_dynamic": p.e_instruction * instructions,
+            "cores_leakage": p.e_core_leak * wall * num_cores,
+            "l1_dynamic": p.e_l1_access * ev.l1_accesses,
+            "l2_dynamic": p.e_l2_access * ev.l2_accesses,
+            "l2_leakage": (p.e_l2_leak_2mb
+                           * (l2.size_bytes / (2 * 1024 * 1024)) * wall),
+            "replacement_leakage": p.e_bit_leak * repl_bits * wall,
+            "replacement_dynamic": p.e_bit_switch * update_bits * ev.l2_accesses,
+            "profiling_leakage": p.e_bit_leak * profiling_bits * wall,
+            "profiling_dynamic": (
+                p.e_bit_switch
+                * (comp.tag_comparison_bits() + comp.profiling_read_bits())
+                * ev.atd_accesses
+            ),
+            # Writeback traffic (zero for the paper's read-only traces):
+            # L1 victim drains cost an L2 write, dirty lines leaving the
+            # chip cost a memory write each.
+            "memory_dynamic": p.e_mem_access * (ev.l2_misses
+                                                + ev.memory_writebacks),
+        }
+        if ev.l1_writebacks:
+            components["l2_dynamic"] += p.e_l2_access * ev.l1_writebacks
+        return PowerReport(components=components, wall_cycles=wall,
+                           instructions=instructions)
+
+    @staticmethod
+    def grouped(report: PowerReport) -> Dict[str, float]:
+        """Figure 9(b) grouping: cores / L1+L2 / memory / profiling."""
+        c = report.components
+        return {
+            "cores": c["cores_dynamic"] + c["cores_leakage"],
+            "caches": (c["l1_dynamic"] + c["l2_dynamic"] + c["l2_leakage"]
+                       + c["replacement_leakage"] + c["replacement_dynamic"]),
+            "memory": c["memory_dynamic"],
+            "profiling": c["profiling_leakage"] + c["profiling_dynamic"],
+        }

@@ -1,0 +1,137 @@
+"""Auxiliary Tag Directory with set sampling (paper §II-A, §III).
+
+Each thread owns one ATD: a tag-only copy of the L2 directory, same
+associativity, accessed only by that thread — so it observes the thread "as
+if it runs alone with an A-associativity cache".  To keep the area cost down
+the paper samples 1 of every 32 L2 sets (§III: 3.25 KB per core at full
+scale); an L2 access to a non-sampled set does not touch the ATD.
+
+The ATD runs the *same replacement policy family as the L2* (the paper
+applies NRU/BT "to both the L2 cache and ATDs") and feeds the thread's SDH
+through a :class:`~repro.profiling.profilers.DistanceProfiler`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement.base import make_policy
+from repro.cache.replacement.nru import NRUPolicy
+from repro.profiling.profilers import DistanceProfiler
+from repro.profiling.sdh import SDH
+from repro.util.bitops import bit_length_exact
+
+
+class ATD:
+    """Sampled tag-only directory feeding an SDH for one thread."""
+
+    def __init__(self, l2_geometry: CacheGeometry, sampling: int,
+                 policy_name: str, profiler: DistanceProfiler,
+                 sdh: Optional[SDH] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if sampling <= 0 or sampling & (sampling - 1):
+            raise ValueError(
+                f"sampling must be a positive power of two (hardware decodes "
+                f"it from index bits), got {sampling}"
+            )
+        if l2_geometry.num_sets % sampling:
+            raise ValueError(
+                f"sampling {sampling} must divide the L2 set count "
+                f"{l2_geometry.num_sets}"
+            )
+        if profiler.policy_name != policy_name:
+            raise ValueError(
+                f"profiler for {profiler.policy_name!r} cannot interpret "
+                f"{policy_name!r} ATD state"
+            )
+        self.l2_geometry = l2_geometry
+        self.sampling = sampling
+        self.assoc = l2_geometry.assoc
+        self.num_sets = l2_geometry.num_sets // sampling
+        self.policy = make_policy(policy_name, self.num_sets, self.assoc, rng=rng)
+        self.profiler = profiler
+        self.sdh = sdh if sdh is not None else SDH(self.assoc)
+        self._nru = self.policy if isinstance(self.policy, NRUPolicy) else None
+
+        self._l2_set_mask = l2_geometry.num_sets - 1
+        # A set is sampled iff the low log2(sampling) index bits are zero.
+        self._skip_mask = sampling - 1
+        self._full_mask = (1 << self.assoc) - 1
+        self._maps: List[dict] = [dict() for _ in range(self.num_sets)]
+        self._lines: List[List[int]] = [
+            [-1] * self.assoc for _ in range(self.num_sets)
+        ]
+        self._invalid: List[int] = [self._full_mask] * self.num_sets
+        self.sampled_accesses = 0
+        self.skipped_accesses = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, line: int) -> bool:
+        """Feed one L2 access by the owning thread; True when sampled."""
+        if line & self._skip_mask:
+            self.skipped_accesses += 1
+            return False
+        self.sampled_accesses += 1
+        s = (line & self._l2_set_mask) >> (self.sampling.bit_length() - 1)
+        tag_map = self._maps[s]
+        way = tag_map.get(line)
+        if way is not None:
+            # Estimate first (pre-access state), then promote.
+            self.profiler.on_hit(self.policy, s, way, self.sdh)
+            self.policy.touch(s, way, 0, None)
+            return True
+        # ATD miss: the thread would miss even with the whole cache.
+        self.sdh.record_miss()
+        invalid = self._invalid[s]
+        if invalid:
+            way = (invalid & -invalid).bit_length() - 1
+            self._invalid[s] &= ~(1 << way)
+        else:
+            way = self.policy.victim(s, 0, self._full_mask)
+            old = self._lines[s][way]
+            if old >= 0:
+                del tag_map[old]
+        self._lines[s][way] = line
+        tag_map[line] = way
+        self.policy.touch(s, way, 0, None)
+        if self._nru is not None:
+            self._nru.fill_done()
+        return True
+
+    # ------------------------------------------------------------------
+    def contains_line(self, line: int) -> bool:
+        """True when the line is resident in the (sampled) ATD."""
+        l2_set = line & self._l2_set_mask
+        if l2_set % self.sampling:
+            return False
+        return line in self._maps[l2_set // self.sampling]
+
+    def storage_bits(self) -> int:
+        """ATD storage: tag + valid bit per entry plus replacement state.
+
+        For the paper's full-scale setup (1-in-32 sampling of a 2 MB 16-way
+        L2, 47 tag bits, LRU) this evaluates to exactly the quoted
+        3.25 KB/core: 32 sets × 16 × (47 tag + 1 valid) + 32 × 64 LRU bits.
+        """
+        tag_bits = self.l2_geometry.tag_bits
+        bits = self.num_sets * self.assoc * (tag_bits + 1)
+        bits += self.num_sets * self.policy.state_bits_per_set()
+        if self._nru is not None:
+            bits += bit_length_exact(self.assoc)
+        return bits
+
+    def reset(self) -> None:
+        """Cold-start the directory and the SDH."""
+        for s in range(self.num_sets):
+            self._maps[s].clear()
+            lines = self._lines[s]
+            for w in range(self.assoc):
+                lines[w] = -1
+            self._invalid[s] = self._full_mask
+        self.policy.reset()
+        self.sdh.reset()
+        self.sampled_accesses = 0
+        self.skipped_accesses = 0

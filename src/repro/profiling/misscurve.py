@@ -1,0 +1,172 @@
+"""Miss-curve container and analysis utilities.
+
+A *miss curve* maps a way allocation ``w ∈ {0 .. A}`` to the number of
+misses a thread suffers with ``w`` ways — the quantity every partitioning
+algorithm consumes (paper Figure 2(c)).  The raw curves live as plain
+``numpy`` arrays inside the controller hot path; :class:`MissCurve` wraps
+one with the derived quantities used by analysis code, the QoS extension
+and the examples:
+
+* *marginal utility* ``U(a→b) = (m(a) − m(b)) / (b − a)`` — the quantity
+  Qureshi–Patt's lookahead algorithm greedily maximises;
+* the *convex minorant* (lower convex hull), which convexifies plateaus so
+  greedy allocation cannot stall on a locally-flat curve;
+* *saturation* — the smallest allocation already achieving the A-way miss
+  count (adding ways past it is pure waste).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.profiling.sdh import SDH
+
+ArrayLike = Union[Sequence[int], Sequence[float], np.ndarray]
+
+
+class MissCurve:
+    """Misses as a function of allocated ways (``w = 0 .. A``).
+
+    The values must be non-increasing — a suffix-sum SDH curve always is;
+    arbitrary inputs are validated on construction.
+    """
+
+    __slots__ = ("_m",)
+
+    def __init__(self, misses: ArrayLike) -> None:
+        m = np.asarray(misses, dtype=np.float64)
+        if m.ndim != 1 or len(m) < 2:
+            raise ValueError("a miss curve needs values for w = 0 .. A (A >= 1)")
+        if np.any(m < 0):
+            raise ValueError("miss counts cannot be negative")
+        if np.any(np.diff(m) > 1e-9):
+            raise ValueError("a miss curve must be non-increasing in ways")
+        self._m = m
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sdh(cls, sdh: SDH) -> "MissCurve":
+        """Curve derived from SDH registers (Figure 2(c))."""
+        return cls(sdh.miss_curve())
+
+    @classmethod
+    def from_registers(cls, registers: ArrayLike) -> "MissCurve":
+        """Curve from raw register values ``r[1] .. r[A+1]``.
+
+        ``curve[w] = sum(registers[w:])`` — the suffix-sum identity of the
+        stack property.
+        """
+        r = np.asarray(registers, dtype=np.float64)
+        if r.ndim != 1 or len(r) < 2:
+            raise ValueError("need registers r[1] .. r[A+1] (A >= 1)")
+        if np.any(r < 0):
+            raise ValueError("register values cannot be negative")
+        suffix = np.concatenate((np.cumsum(r[::-1])[::-1], [0.0]))
+        return cls(suffix[:len(r)])
+
+    # ------------------------------------------------------------------
+    @property
+    def assoc(self) -> int:
+        """Largest allocation the curve covers (``A``)."""
+        return len(self._m) - 1
+
+    @property
+    def values(self) -> np.ndarray:
+        """Copy of the curve values (length ``A + 1``)."""
+        return self._m.copy()
+
+    def misses(self, ways: int) -> float:
+        """Misses with ``ways`` ways."""
+        if not 0 <= ways <= self.assoc:
+            raise ValueError(f"ways {ways} out of range 0..{self.assoc}")
+        return float(self._m[ways])
+
+    def hits(self, ways: int) -> float:
+        """Hits with ``ways`` ways (relative to the 0-way miss count)."""
+        return float(self._m[0] - self._m[ways]) if ways else 0.0
+
+    def __len__(self) -> int:
+        return len(self._m)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MissCurve) and np.array_equal(self._m, other._m)
+
+    def __add__(self, other: "MissCurve") -> "MissCurve":
+        """Pointwise sum — the aggregate curve of co-scheduled threads."""
+        if not isinstance(other, MissCurve):
+            return NotImplemented
+        if self.assoc != other.assoc:
+            raise ValueError("cannot add curves with different associativity")
+        return MissCurve(self._m + other._m)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MissCurve({self._m.tolist()})"
+
+    # ------------------------------------------------------------------
+    def marginal_utility(self, start: int, stop: int) -> float:
+        """Qureshi–Patt utility of growing an allocation ``start -> stop``.
+
+        ``(misses(start) − misses(stop)) / (stop − start)`` — expected miss
+        reduction per additional way.
+        """
+        if not 0 <= start < stop <= self.assoc:
+            raise ValueError(f"need 0 <= start < stop <= {self.assoc}")
+        return (float(self._m[start]) - float(self._m[stop])) / (stop - start)
+
+    def max_marginal_utility(self, start: int) -> tuple:
+        """``(utility, stop)`` maximising the utility of growing ``start``.
+
+        The maximisation step of the lookahead algorithm; ties resolve to
+        the smallest ``stop`` (cheapest expansion).
+        """
+        if not 0 <= start < self.assoc:
+            raise ValueError(f"start {start} leaves no room to grow")
+        best_u, best_stop = -1.0, start + 1
+        for stop in range(start + 1, self.assoc + 1):
+            u = self.marginal_utility(start, stop)
+            if u > best_u + 1e-12:
+                best_u, best_stop = u, stop
+        return best_u, best_stop
+
+    def convex_minorant(self) -> "MissCurve":
+        """Lower convex hull of the curve (monotone-chain over the points).
+
+        The minorant agrees with the curve at its hull allocations and
+        interpolates linearly across non-convex plateaus; greedy way-by-way
+        allocation on the minorant is optimal because marginal gains become
+        non-increasing.
+        """
+        m = self._m
+        n = len(m)
+        hull: List[int] = [0]
+        for x in range(1, n):
+            while len(hull) >= 2:
+                x1, x2 = hull[-2], hull[-1]
+                # Keep the chain convex: slope(x1->x2) <= slope(x2->x).
+                if (m[x2] - m[x1]) * (x - x2) > (m[x] - m[x2]) * (x2 - x1):
+                    hull.pop()
+                else:
+                    break
+            hull.append(x)
+        values = np.interp(np.arange(n), hull, m[hull])
+        return MissCurve(values)
+
+    def saturating_ways(self, tolerance: float = 0.0) -> int:
+        """Smallest allocation within ``tolerance`` of the A-way miss count."""
+        if tolerance < 0:
+            raise ValueError("tolerance cannot be negative")
+        floor = self._m[-1] + tolerance
+        for w in range(len(self._m)):
+            if self._m[w] <= floor:
+                return w
+        return self.assoc  # pragma: no cover - loop always returns
+
+    def normalized(self) -> np.ndarray:
+        """Curve scaled to ``[0, 1]`` by the 0-way miss count.
+
+        All-zero curves (a thread that never misses) normalise to zeros.
+        """
+        top = self._m[0]
+        return self._m / top if top > 0 else np.zeros_like(self._m)

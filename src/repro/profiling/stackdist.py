@@ -1,0 +1,185 @@
+"""Exact offline reuse/stack-distance analysis (Mattson et al., 1970).
+
+The paper's profiling hardware *estimates* stack distances from pseudo-LRU
+state; this module computes them *exactly* from a reference stream, in
+``O(log n)`` per access, with the classic Fenwick-tree formulation of
+Mattson's stack algorithm.  It serves three roles:
+
+* ground truth for tests — an unsampled LRU ATD plus
+  :class:`~repro.profiling.profilers.LRUDistanceProfiler` must agree with
+  this analyzer access-for-access;
+* workload characterisation — the examples use it to plot exact miss curves
+  of the synthetic SPEC-2000 generators;
+* a quantitative yardstick for the eSDH — the NRU/BT estimation error is
+  *defined* against these exact distances.
+
+Distance convention: :meth:`ReuseDistanceAnalyzer.access` returns the LRU
+**stack position** of the access — ``1`` for a repeat of the most recent
+distinct line, ``d`` when ``d − 1`` distinct other lines intervened — and
+``COLD`` (``0``) for the first access to a line.  An ``A``-way
+fully-associative LRU cache hits iff ``0 < position <= A``; the per-set
+variant models a set-associative cache exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+#: Stack position reported for the first (cold) access to a line.
+COLD = 0
+
+
+class _Fenwick:
+    """Binary indexed tree over time slots with +1/-1 point updates."""
+
+    __slots__ = ("_tree", "size")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._tree = np.zeros(size + 1, dtype=np.int64)
+
+    def add(self, index: int, delta: int) -> None:
+        tree = self._tree
+        i = index + 1
+        size = self.size
+        while i <= size:
+            tree[i] += delta
+            i += i & -i
+
+    def prefix(self, index: int) -> int:
+        """Sum of entries ``0 .. index`` inclusive."""
+        tree = self._tree
+        i = index + 1
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & -i
+        return int(total)
+
+    def grow(self, new_size: int) -> "_Fenwick":
+        """Return a copy with more time slots (amortised doubling)."""
+        bigger = _Fenwick(new_size)
+        # Rebuild from the point values: tree[i] stores a range sum, so
+        # recover point j as prefix(j) - prefix(j-1) ... O(n log n) rebuild
+        # is fine under doubling.
+        for j in range(self.size):
+            value = self.prefix(j) - (self.prefix(j - 1) if j else 0)
+            if value:
+                bigger.add(j, value)
+        return bigger
+
+
+class ReuseDistanceAnalyzer:
+    """Exact fully-associative LRU stack positions, one stream.
+
+    Parameters
+    ----------
+    capacity_hint:
+        Expected stream length; the time-slot tree grows automatically, the
+        hint merely avoids early regrowth.
+    """
+
+    def __init__(self, capacity_hint: int = 1024) -> None:
+        if capacity_hint < 1:
+            raise ValueError("capacity_hint must be positive")
+        self._tree = _Fenwick(capacity_hint)
+        self._last: Dict[int, int] = {}
+        self._time = 0
+
+    # ------------------------------------------------------------------
+    def access(self, line: int) -> int:
+        """Record an access; return its stack position (``COLD`` if first)."""
+        t = self._time
+        if t >= self._tree.size:
+            self._tree = self._tree.grow(self._tree.size * 2)
+        last = self._last.get(line)
+        if last is None:
+            position = COLD
+        else:
+            # Distinct lines whose most-recent access falls after `last`,
+            # plus one for the line itself.
+            position = self._tree.prefix(t - 1) - self._tree.prefix(last) + 1
+            self._tree.add(last, -1)
+        self._tree.add(t, +1)
+        self._last[line] = t
+        self._time = t + 1
+        return position
+
+    @property
+    def distinct_lines(self) -> int:
+        """Number of distinct lines seen so far."""
+        return len(self._last)
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses recorded."""
+        return self._time
+
+    def reset(self) -> None:
+        self._tree = _Fenwick(max(1024, self._tree.size))
+        self._last.clear()
+        self._time = 0
+
+
+class SetReuseDistanceAnalyzer:
+    """Per-set stack positions — the exact model of an LRU ATD.
+
+    Routes each line address to ``line % num_sets`` (the same power-of-two
+    set mapping the caches use) and keeps one
+    :class:`ReuseDistanceAnalyzer` per set.
+    """
+
+    def __init__(self, num_sets: int) -> None:
+        if num_sets < 1 or num_sets & (num_sets - 1):
+            raise ValueError(f"num_sets must be a positive power of two, got {num_sets}")
+        self.num_sets = num_sets
+        self._set_mask = num_sets - 1
+        self._analyzers: List[Optional[ReuseDistanceAnalyzer]] = [None] * num_sets
+
+    def access(self, line: int) -> int:
+        """Stack position of ``line`` within its set (``COLD`` if first)."""
+        s = line & self._set_mask
+        analyzer = self._analyzers[s]
+        if analyzer is None:
+            analyzer = ReuseDistanceAnalyzer(64)
+            self._analyzers[s] = analyzer
+        return analyzer.access(line)
+
+    def reset(self) -> None:
+        self._analyzers = [None] * self.num_sets
+
+
+def exact_sdh(lines: Iterable[int], num_sets: int, assoc: int) -> np.ndarray:
+    """Exact SDH register values for a reference stream.
+
+    Returns an array of length ``assoc + 1``: entries ``0 .. assoc - 1``
+    count accesses at stack positions ``1 .. assoc`` and the final entry
+    counts misses (position ``> assoc`` or cold) — the layout of
+    :attr:`repro.profiling.sdh.SDH.registers`.
+    """
+    if assoc < 1:
+        raise ValueError("assoc must be positive")
+    analyzer = SetReuseDistanceAnalyzer(num_sets)
+    registers = np.zeros(assoc + 1, dtype=np.int64)
+    for line in lines:
+        position = analyzer.access(int(line))
+        if position == COLD or position > assoc:
+            registers[assoc] += 1
+        else:
+            registers[position - 1] += 1
+    return registers
+
+
+def exact_miss_curve(lines: Sequence[int], num_sets: int,
+                     assoc: int) -> np.ndarray:
+    """Exact misses of an LRU cache for every allocation ``w = 0 .. assoc``.
+
+    ``curve[w]`` is the miss count of a ``num_sets × w`` LRU cache over the
+    stream; by the stack property it is the suffix sum of the exact SDH.
+    """
+    registers = exact_sdh(lines, num_sets, assoc)
+    suffix = np.concatenate((np.cumsum(registers[::-1])[::-1], [0]))
+    # curve[w] = misses with w ways = sum(registers[w:]) = suffix[w]
+    return suffix[:assoc + 1].copy()

@@ -1,0 +1,41 @@
+"""Small shared utilities: bit manipulation, RNG handling, validation.
+
+These helpers are deliberately dependency-free (stdlib + numpy only) and are
+used across the cache, profiling and partitioning subsystems.
+"""
+
+from repro.util.bitops import (
+    bit_count,
+    bit_length_exact,
+    is_power_of_two,
+    ilog2,
+    iter_set_bits,
+    lowest_set_bit,
+    mask_of,
+    contiguous_mask,
+)
+from repro.util.rng import make_rng, spawn_rngs, derive_seed
+from repro.util.validation import (
+    check_positive,
+    check_power_of_two,
+    check_range,
+    check_in,
+)
+
+__all__ = [
+    "bit_count",
+    "bit_length_exact",
+    "is_power_of_two",
+    "ilog2",
+    "iter_set_bits",
+    "lowest_set_bit",
+    "mask_of",
+    "contiguous_mask",
+    "make_rng",
+    "spawn_rngs",
+    "derive_seed",
+    "check_positive",
+    "check_power_of_two",
+    "check_range",
+    "check_in",
+]

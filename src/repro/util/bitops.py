@@ -1,0 +1,81 @@
+"""Bit-level helpers used by the replacement policies and partition schemes.
+
+Way sets are represented throughout the code base as Python integers used as
+bitmasks (bit ``w`` set means way ``w`` is a member).  Python integers are
+arbitrary precision, so these helpers work for any associativity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def bit_count(x: int) -> int:
+    """Number of set bits in ``x`` (population count)."""
+    return x.bit_count()
+
+
+def is_power_of_two(x: int) -> bool:
+    """True when ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def ilog2(x: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises
+    ------
+    ValueError
+        If ``x`` is not a positive power of two.
+    """
+    if not is_power_of_two(x):
+        raise ValueError(f"ilog2 requires a positive power of two, got {x}")
+    return x.bit_length() - 1
+
+
+def bit_length_exact(x: int) -> int:
+    """Number of bits needed to represent values ``0 .. x-1``.
+
+    This is the hardware meaning of ``log2`` in the paper's Table I:
+    ``bit_length_exact(16) == 4``.
+    """
+    if x <= 0:
+        raise ValueError(f"bit_length_exact requires x > 0, got {x}")
+    if x == 1:
+        return 0
+    return (x - 1).bit_length()
+
+
+def mask_of(nbits: int) -> int:
+    """Bitmask with the low ``nbits`` bits set."""
+    if nbits < 0:
+        raise ValueError(f"mask_of requires nbits >= 0, got {nbits}")
+    return (1 << nbits) - 1
+
+
+def contiguous_mask(start: int, count: int) -> int:
+    """Bitmask with ``count`` bits set starting at bit ``start``."""
+    if start < 0 or count < 0:
+        raise ValueError("contiguous_mask requires start >= 0 and count >= 0")
+    return mask_of(count) << start
+
+
+def lowest_set_bit(x: int) -> int:
+    """Index of the lowest set bit of ``x``.
+
+    Raises
+    ------
+    ValueError
+        If ``x`` has no set bits.
+    """
+    if x == 0:
+        raise ValueError("lowest_set_bit requires a nonzero value")
+    return (x & -x).bit_length() - 1
+
+
+def iter_set_bits(x: int) -> Iterator[int]:
+    """Iterate over the indices of set bits of ``x``, lowest first."""
+    while x:
+        low = x & -x
+        yield low.bit_length() - 1
+        x ^= low

@@ -1,0 +1,31 @@
+"""Argument validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Collection
+
+from repro.util.bitops import is_power_of_two
+
+
+def check_positive(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    if not isinstance(value, int) or not is_power_of_two(value):
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def check_range(name: str, value, low, high) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def check_in(name: str, value: Any, allowed: Collection) -> None:
+    """Raise ``ValueError`` unless ``value`` is a member of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}")

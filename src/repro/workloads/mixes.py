@@ -1,0 +1,104 @@
+"""The paper's 49 multiprogrammed workloads (Table II, right side).
+
+24 two-thread, 14 four-thread and 11 eight-thread mixes of SPEC CPU 2000
+benchmarks, transcribed verbatim.  ``perl`` is the paper's abbreviation of
+``perlbmk``; 8T_04 and 8T_10 list ``facerec`` twice (two instances on two
+cores), kept as printed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+WORKLOADS_2T: Dict[str, Tuple[str, ...]] = {
+    "2T_01": ("apsi", "bzip2"),
+    "2T_02": ("mcf", "parser"),
+    "2T_03": ("twolf", "vortex"),
+    "2T_04": ("vpr", "art"),
+    "2T_05": ("apsi", "crafty"),
+    "2T_06": ("bzip2", "eon"),
+    "2T_07": ("mcf", "gcc"),
+    "2T_08": ("parser", "gzip"),
+    "2T_09": ("applu", "gap"),
+    "2T_10": ("lucas", "sixtrack"),
+    "2T_11": ("facerec", "wupwise"),
+    "2T_12": ("galgel", "facerec"),
+    "2T_13": ("applu", "apsi"),
+    "2T_14": ("gap", "bzip2"),
+    "2T_15": ("lucas", "mcf"),
+    "2T_16": ("sixtrack", "parser"),
+    "2T_17": ("applu", "crafty"),
+    "2T_18": ("gap", "eon"),
+    "2T_19": ("lucas", "gcc"),
+    "2T_20": ("sixtrack", "gzip"),
+    "2T_21": ("crafty", "eon"),
+    "2T_22": ("gcc", "gzip"),
+    "2T_23": ("mesa", "perlbmk"),
+    "2T_24": ("equake", "mgrid"),
+}
+
+WORKLOADS_4T: Dict[str, Tuple[str, ...]] = {
+    "4T_01": ("apsi", "bzip2", "mcf", "parser"),
+    "4T_02": ("parser", "twolf", "vortex", "vpr"),
+    "4T_03": ("apsi", "crafty", "bzip2", "eon"),
+    "4T_04": ("mcf", "gcc", "parser", "gzip"),
+    "4T_05": ("applu", "gap", "lucas", "sixtrack"),
+    "4T_06": ("lucas", "galgel", "facerec", "wupwise"),
+    "4T_07": ("applu", "apsi", "gap", "bzip2"),
+    "4T_08": ("lucas", "mcf", "sixtrack", "parser"),
+    "4T_09": ("vpr", "wupwise", "gzip", "crafty"),
+    "4T_10": ("fma3d", "swim", "mcf", "applu"),
+    "4T_11": ("applu", "crafty", "gap", "eon"),
+    "4T_12": ("lucas", "gcc", "sixtrack", "gzip"),
+    "4T_13": ("crafty", "eon", "gcc", "gzip"),
+    "4T_14": ("mesa", "perl", "equake", "mgrid"),
+}
+
+WORKLOADS_8T: Dict[str, Tuple[str, ...]] = {
+    "8T_01": ("apsi", "bzip2", "mcf", "parser", "twolf", "swim", "vpr", "art"),
+    "8T_02": ("apsi", "crafty", "bzip2", "eon", "mcf", "gcc", "parser", "gzip"),
+    "8T_03": ("twolf", "mesa", "vortex", "perl", "vpr", "equake", "art", "mgrid"),
+    "8T_04": ("applu", "gap", "lucas", "sixtrack", "facerec", "wupwise",
+              "galgel", "facerec"),
+    "8T_05": ("applu", "apsi", "gap", "bzip2", "lucas", "mcf", "sixtrack",
+              "parser"),
+    "8T_06": ("lucas", "mcf", "sixtrack", "parser", "facerec", "twolf",
+              "wupwise", "art"),
+    "8T_07": ("galgel", "vpr", "twolf", "apsi", "art", "swim", "parser",
+              "wupwise"),
+    "8T_08": ("gzip", "crafty", "fma3d", "mcf", "applu", "gap", "mesa",
+              "perlbmk"),
+    "8T_09": ("applu", "crafty", "gap", "eon", "lucas", "gcc", "sixtrack",
+              "gzip"),
+    "8T_10": ("wupwise", "mesa", "facerec", "perl", "galgel", "equake",
+              "facerec", "mgrid"),
+    "8T_11": ("crafty", "eon", "gcc", "gzip", "mesa", "perl", "equake",
+              "mgrid"),
+}
+
+ALL_WORKLOADS: Dict[str, Tuple[str, ...]] = {
+    **WORKLOADS_2T, **WORKLOADS_4T, **WORKLOADS_8T,
+}
+
+
+def get_workload(name: str) -> Tuple[str, ...]:
+    """Benchmark tuple of one Table II mix."""
+    try:
+        return ALL_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(ALL_WORKLOADS)}"
+        ) from None
+
+
+def workload_names(num_threads: int = 0) -> List[str]:
+    """Mix names, optionally filtered by thread count (2, 4 or 8)."""
+    if num_threads == 0:
+        return sorted(ALL_WORKLOADS)
+    table = {2: WORKLOADS_2T, 4: WORKLOADS_4T, 8: WORKLOADS_8T}
+    try:
+        return sorted(table[num_threads])
+    except KeyError:
+        raise ValueError(
+            f"num_threads must be 0, 2, 4 or 8, got {num_threads}"
+        ) from None

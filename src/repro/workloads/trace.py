@@ -1,0 +1,87 @@
+"""Trace container: one thread's memory reference stream plus CPI metadata.
+
+Traces store *line addresses* (``int64``), the granularity at which the
+cache hierarchy operates.  The instruction stream between memory references
+is summarised by ``ipm`` (instructions per memory access) and ``cpi_base``
+(cycles per instruction when every access hits the L1) — the two parameters
+of the analytic core model.
+
+A trace may optionally mark a subset of its accesses as *writes* (a boolean
+array aligned with ``lines``).  Read-only traces — the paper's methodology —
+skip all dirty-bit bookkeeping in the hierarchy; write-marked traces enable
+the write-back/writeback-traffic extension (see DESIGN.md §extensions and
+:func:`repro.workloads.writes.overlay_writes`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class Trace:
+    """One thread's synthetic reference stream."""
+
+    name: str
+    lines: np.ndarray
+    #: Committed instructions per memory access.
+    ipm: float
+    #: Core CPI with a perfect memory hierarchy.
+    cpi_base: float
+    #: Optional per-access write flags (None == read-only trace).
+    writes: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.lines = np.ascontiguousarray(self.lines, dtype=np.int64)
+        if self.lines.ndim != 1 or len(self.lines) == 0:
+            raise ValueError("trace needs a non-empty 1-D line-address array")
+        if self.ipm <= 0 or self.cpi_base <= 0:
+            raise ValueError("ipm and cpi_base must be positive")
+        if self.writes is not None:
+            self.writes = np.ascontiguousarray(self.writes, dtype=bool)
+            if self.writes.shape != self.lines.shape:
+                raise ValueError(
+                    f"writes array has shape {self.writes.shape}, "
+                    f"lines {self.lines.shape}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    @property
+    def instructions(self) -> int:
+        """Instructions represented by one pass over the trace."""
+        return int(len(self.lines) * self.ipm)
+
+    @property
+    def footprint_lines(self) -> int:
+        """Number of distinct lines touched."""
+        return int(np.unique(self.lines).size)
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of accesses that are writes (0.0 for read-only traces)."""
+        if self.writes is None:
+            return 0.0
+        return float(self.writes.mean())
+
+    def save(self, path: str) -> None:
+        """Persist to an ``.npz`` file."""
+        payload = dict(lines=self.lines, ipm=self.ipm,
+                       cpi_base=self.cpi_base, name=self.name)
+        if self.writes is not None:
+            payload["writes"] = self.writes
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Load a trace saved by :meth:`save`."""
+        data = np.load(path, allow_pickle=False)
+        return cls(
+            name=str(data["name"]), lines=data["lines"],
+            ipm=float(data["ipm"]), cpi_base=float(data["cpi_base"]),
+            writes=data["writes"] if "writes" in data else None,
+        )

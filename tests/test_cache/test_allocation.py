@@ -1,0 +1,130 @@
+"""Unit tests for way/subcube allocation descriptions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.partition.allocation import (
+    Subcube,
+    SubcubeAllocation,
+    WayAllocation,
+    even_allocation,
+    even_subcube_allocation,
+)
+
+
+class TestWayAllocation:
+    def test_contiguous_masks(self):
+        alloc = WayAllocation.from_counts([2, 6], 8)
+        assert alloc.masks == (0b00000011, 0b11111100)
+
+    def test_counts_must_sum(self):
+        with pytest.raises(ValueError):
+            WayAllocation.from_counts([2, 4], 8)
+
+    def test_counts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WayAllocation.from_counts([0, 8], 8)
+
+    def test_masks_are_disjoint_and_cover(self):
+        alloc = WayAllocation.from_counts([1, 3, 4, 8], 16)
+        union = 0
+        for mask in alloc.masks:
+            assert union & mask == 0
+            union |= mask
+        assert union == 0xFFFF
+
+    def test_even_allocation(self):
+        assert even_allocation(3, 16).counts == (6, 5, 5)
+        assert even_allocation(2, 16).counts == (8, 8)
+
+    def test_even_rejects_too_many_cores(self):
+        with pytest.raises(ValueError):
+            even_allocation(5, 4)
+
+
+class TestSubcube:
+    def test_whole_cache(self):
+        cube = Subcube(prefix=0, depth=0, levels=4)
+        assert cube.size == 16
+        assert cube.mask == 0xFFFF
+
+    def test_half(self):
+        cube = Subcube(prefix=1, depth=1, levels=2)
+        assert cube.size == 2
+        assert cube.first_way == 2
+        assert cube.mask == 0b1100
+
+    def test_leaf(self):
+        cube = Subcube(prefix=5, depth=3, levels=3)
+        assert cube.size == 1
+        assert cube.mask == 1 << 5
+
+    def test_prefix_bounds(self):
+        with pytest.raises(ValueError):
+            Subcube(prefix=2, depth=1, levels=2)
+
+    def test_force_vector(self):
+        cube = Subcube(prefix=0b10, depth=2, levels=4)
+        assert cube.force_vector() == (1, 0, None, None)
+
+    def test_up_down_vectors_paper_semantics(self):
+        # up bit forces the upper sub-tree (direction 0), down the lower.
+        cube = Subcube(prefix=0b10, depth=2, levels=2)
+        up, down = cube.up_down_vectors()
+        assert up == 0b01   # level 1 forced up
+        assert down == 0b10  # level 0 forced down
+        assert up & down == 0  # paper: never both 1
+
+    @given(st.integers(1, 4), st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_mask_matches_force_vector(self, levels, raw_prefix):
+        depth = min(levels, raw_prefix % (levels + 1))
+        prefix = raw_prefix % (1 << depth) if depth else 0
+        cube = Subcube(prefix=prefix, depth=depth, levels=levels)
+        force = cube.force_vector()
+        expected_ways = []
+        for way in range(1 << levels):
+            ok = True
+            for level, direction in enumerate(force):
+                if direction is None:
+                    continue
+                if (way >> (levels - 1 - level)) & 1 != direction:
+                    ok = False
+                    break
+            if ok:
+                expected_ways.append(way)
+        assert cube.mask == sum(1 << w for w in expected_ways)
+
+
+class TestSubcubeAllocation:
+    def test_disjoint_cover_enforced(self):
+        with pytest.raises(ValueError):
+            SubcubeAllocation((
+                Subcube(0, 1, 2), Subcube(0, 1, 2),
+            ))
+
+    def test_must_cover(self):
+        with pytest.raises(ValueError):
+            SubcubeAllocation((Subcube(0, 1, 2),))
+
+    def test_counts(self):
+        alloc = SubcubeAllocation((
+            Subcube(0, 1, 2), Subcube(2, 2, 2), Subcube(3, 2, 2),
+        ))
+        assert alloc.counts == (2, 1, 1)
+
+    def test_even_power_of_two(self):
+        alloc = even_subcube_allocation(4, 16)
+        assert alloc.counts == (4, 4, 4, 4)
+
+    def test_even_two_cores(self):
+        alloc = even_subcube_allocation(2, 16)
+        assert alloc.counts == (8, 8)
+
+    def test_even_three_cores(self):
+        alloc = even_subcube_allocation(3, 16)
+        assert sorted(alloc.counts) == [4, 4, 8]
+
+    def test_even_six_cores_unsupported(self):
+        with pytest.raises(ValueError):
+            even_subcube_allocation(6, 16)

@@ -1,0 +1,186 @@
+"""Unit tests for the Binary-Tree pseudo-LRU policy (paper §III-B, Fig. 4/5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.replacement.bt import BTPolicy
+
+
+class TestPromotionAndVictim:
+    def test_fresh_state_victim_is_way0(self):
+        # All bits 0: pseudo-LRU side is "upper" at every node.
+        p = BTPolicy(num_sets=1, assoc=4)
+        assert p.victim(0, 0, 0b1111) == 0
+
+    def test_victim_never_most_recent(self):
+        p = BTPolicy(num_sets=1, assoc=4)
+        for way in range(4):
+            p.touch(0, way, 0)
+            assert p.victim(0, 0, 0b1111) != way
+
+    def test_paper_figure4a(self):
+        # Figure 4(a): line A (way 0) is the pseudo-LRU; replacing it with E
+        # and promoting sets both path bits to 1.
+        p = BTPolicy(num_sets=1, assoc=4)
+        # Build the figure's state: MSB=0 (LRU in upper), LSB(A,B)=0 -> A.
+        assert p.victim(0, 0, 0b1111) == 0
+        p.touch(0, 0, 0)  # fill E into way 0, promote to MRU
+        assert p.path_bits(0, 0) == 0b11
+
+    def test_alternating_behaviour(self):
+        # BT "tends to spread the lines across the entire set": consecutive
+        # promotions alternate victim sub-trees.
+        p = BTPolicy(num_sets=1, assoc=4)
+        p.touch(0, 0, 0)
+        v1 = p.victim(0, 0, 0b1111)
+        assert v1 >= 2  # other half
+        p.touch(0, v1, 0)
+        assert p.victim(0, 0, 0b1111) < 2
+
+    def test_assoc_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            BTPolicy(num_sets=1, assoc=6)
+
+    def test_rejects_empty_mask(self):
+        p = BTPolicy(num_sets=1, assoc=4)
+        with pytest.raises(ValueError):
+            p.victim(0, 0, 0)
+
+
+class TestIDBits:
+    def test_paper_figure4b_way_d(self):
+        # "if line D stays at the LRU position, it is determined with 11 BT
+        # bits" -> ID of way 3 is 0b11.
+        p = BTPolicy(num_sets=1, assoc=4)
+        assert p.id_bits(3) == 0b11
+
+    def test_paper_figure4c_decoder(self):
+        # "for the 2nd way (W0=1 and W1=0) the decoder finds ID0=0 and
+        # ID1=1" -> way index 1 has ID bits 01.
+        p = BTPolicy(num_sets=1, assoc=4)
+        assert p.id_bits(1) == 0b01
+
+    def test_id_bits_are_way_index(self):
+        p = BTPolicy(num_sets=1, assoc=8)
+        for way in range(8):
+            assert p.id_bits(way) == way
+
+
+class TestPathBits:
+    def test_victim_path_equals_id(self):
+        """The victim's path bits always equal its ID (it IS the LRU)."""
+        p = BTPolicy(num_sets=1, assoc=8)
+        for way in [3, 1, 4, 1, 5, 2, 6]:
+            p.touch(0, way, 0)
+        victim = p.victim(0, 0, 0xFF)
+        assert p.path_bits(0, victim) == p.id_bits(victim)
+
+    def test_promoted_path_is_complement(self):
+        """After promotion, a way's path bits complement its ID (MRU)."""
+        p = BTPolicy(num_sets=1, assoc=8)
+        for way in range(8):
+            p.touch(0, way, 0)
+            expected = p.id_bits(way) ^ 0b111
+            assert p.path_bits(0, way) == expected
+
+    def test_paper_figure4b_estimate_inputs(self):
+        # Figure 4(b): ID(D)=11, path bits 10 -> XOR=01 -> position 4-1=3.
+        p = BTPolicy(num_sets=1, assoc=4)
+        # Construct path bits 10 for way 3: root bit 1, low node bit 0.
+        # Promoting way 0 sets root=1 (MRU upper); promoting way 2 sets the
+        # C/D node bit to 1... we need that node bit 0: promote way 3 then
+        # way 0.
+        p.touch(0, 3, 0)  # node(C,D) bit = 0 would be 'MRU lower' ...
+        p.touch(0, 0, 0)  # root = 1
+        path = p.path_bits(0, 3)
+        assert path == 0b10
+        xor = path ^ p.id_bits(3)
+        assert 4 - xor == 3
+
+
+class TestForcedTraversal:
+    def test_force_upper_subtree(self):
+        p = BTPolicy(num_sets=1, assoc=4)
+        p.set_force(0, (0, None))  # paper's up bit at the root level
+        for way in range(4):
+            p.touch(0, way, 0)
+            assert p.victim(0, 0, 0b0011) in (0, 1)
+
+    def test_force_lower_subtree(self):
+        p = BTPolicy(num_sets=1, assoc=4)
+        p.set_force(0, (1, None))  # down bit at the root level
+        for way in range(4):
+            p.touch(0, way, 0)
+            assert p.victim(0, 0, 0b1100) in (2, 3)
+
+    def test_force_single_way(self):
+        p = BTPolicy(num_sets=1, assoc=4)
+        p.set_force(0, (1, 0))
+        assert p.victim(0, 0, 0b0100) == 2
+
+    def test_forcing_is_per_core(self):
+        p = BTPolicy(num_sets=1, assoc=4)
+        p.set_force(0, (0, None))
+        p.set_force(1, (1, None))
+        assert p.victim(0, 0, 0b0011) in (0, 1)
+        assert p.victim(0, 1, 0b1100) in (2, 3)
+
+    def test_remove_force(self):
+        p = BTPolicy(num_sets=1, assoc=4)
+        p.set_force(0, (1, None))
+        p.set_force(0, None)
+        assert p.get_force(0) is None
+        assert p.victim(0, 0, 0b1111) == 0
+
+    def test_force_length_validated(self):
+        p = BTPolicy(num_sets=1, assoc=4)
+        with pytest.raises(ValueError):
+            p.set_force(0, (1,))
+
+
+class TestInvariants:
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_victim_not_mru(self, touches):
+        p = BTPolicy(num_sets=1, assoc=8)
+        for way in touches:
+            p.touch(0, way, 0)
+        assert p.victim(0, 0, 0xFF) != touches[-1]
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=80),
+           st.integers(0, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_forced_victim_in_subcube(self, touches, half_depth):
+        p = BTPolicy(num_sets=1, assoc=8)
+        for way in touches:
+            p.touch(0, way, 0)
+        force = tuple([1] * half_depth + [None] * (3 - half_depth))
+        p.set_force(0, force)
+        victim = p.victim(0, 0, 0xFF)
+        # Forced-to-1 prefix => victim in the lowest subtree of that depth.
+        lo = (1 << half_depth) - 1 << (3 - half_depth)
+        assert victim >= lo
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_estimate_bounds(self, touches):
+        """A − XOR(ID, path) is always a valid stack position 1..A."""
+        p = BTPolicy(num_sets=1, assoc=8)
+        for way in touches:
+            p.touch(0, way, 0)
+        for way in range(8):
+            estimate = 8 - (p.path_bits(0, way) ^ p.id_bits(way))
+            assert 1 <= estimate <= 8
+
+
+class TestMisc:
+    def test_reset(self):
+        p = BTPolicy(num_sets=1, assoc=4)
+        p.touch(0, 3, 0)
+        p.set_force(0, (1, None))
+        p.reset()
+        assert p.victim(0, 0, 0b1111) == 0
+        assert p.get_force(0) is None
+
+    def test_state_bits_match_table1(self):
+        assert BTPolicy(1024, 16).state_bits_per_set() == 15

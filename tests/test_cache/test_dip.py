@@ -1,0 +1,158 @@
+"""Unit tests for LIP/BIP/DIP insertion-controlled LRU."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement.dip import BIPPolicy, DIPPolicy, LIPPolicy
+from repro.cache.replacement.lru import LRUPolicy
+
+
+def run_cyclic(policy, num_sets, assoc, working_set, passes=50):
+    """Hits of a cyclic working set of ``working_set`` consecutive lines."""
+    geometry = CacheGeometry(num_sets * assoc * 128, assoc, 128)
+    cache = SetAssociativeCache(geometry, policy)
+    for _ in range(passes):
+        for line in range(working_set):
+            cache.access_line(line)
+    return cache.stats.total_hits
+
+
+class TestLIP:
+    def test_fill_inserted_at_lru(self):
+        p = LIPPolicy(1, 4)
+        for way in range(4):
+            p.touch(0, way, 0)            # stamps 1..4 (way 3 MRU)
+        p.touch_fill(0, 0, 0)             # way 0 re-inserted at LRU
+        assert p.victim(0, 0, 0b1111) == 0
+
+    def test_hit_promotes_to_mru(self):
+        p = LIPPolicy(1, 4)
+        for way in range(4):
+            p.touch_fill(0, way, 0)
+        p.touch(0, 1, 0)                   # hit: classic promotion
+        assert p.victim(0, 0, 0b1111) == 3  # newest unpromoted insertion
+
+    def test_newest_insertion_evicted_first(self):
+        p = LIPPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            p.touch_fill(0, way, 0)
+        assert p.victim(0, 0, 0b1111) == 3
+
+    def test_stack_position_with_negative_stamps(self):
+        p = LIPPolicy(1, 4)
+        p.touch(0, 0, 0)
+        p.touch_fill(0, 1, 0)
+        # way 0 touched (MRU), way 1 at LRU among valid, ways 2/3 cold (0).
+        assert p.stack_position(0, 0) == 1
+
+    def test_lip_protects_against_thrash(self):
+        """Cyclic set of A + 4 lines: LRU gets zero hits, LIP keeps A − 1
+        lines resident."""
+        lru_hits = run_cyclic(LRUPolicy(1, 8), 1, 8, working_set=12)
+        lip_hits = run_cyclic(LIPPolicy(1, 8), 1, 8, working_set=12)
+        assert lru_hits == 0
+        assert lip_hits > 0
+
+    def test_reset_restores_floor(self):
+        p = LIPPolicy(1, 4)
+        p.touch_fill(0, 2, 0)
+        p.reset()
+        assert p._floor[0] == 0
+
+
+class TestBIP:
+    def test_occasional_mru_insertion(self):
+        p = BIPPolicy(1, 4, rng=np.random.default_rng(0), throttle=2)
+        mru = 0
+        for _ in range(200):
+            p.touch_fill(0, 1, 0)
+            if p.stack_position(0, 1) == 1:
+                mru += 1
+        assert 60 < mru < 140              # ~1/2 with throttle=2
+
+    def test_rejects_bad_throttle(self):
+        with pytest.raises(ValueError):
+            BIPPolicy(1, 4, throttle=0)
+
+    def test_bip_adapts_cyclic_set(self):
+        """BIP's trickle rotates the resident subset, beating LIP on a
+        cyclic set that LIP freezes."""
+        bip_hits = run_cyclic(
+            BIPPolicy(1, 8, rng=np.random.default_rng(3)), 1, 8,
+            working_set=12, passes=100)
+        assert bip_hits > 0
+
+
+class TestDIP:
+    def test_leader_roles_assigned(self):
+        p = DIPPolicy(64, 4, leader_stride=32)
+        roles = [p.set_role(s) for s in range(64)]
+        assert roles.count(1) == 2          # sets 0, 32
+        assert roles.count(-1) == 2         # sets 16, 48
+        assert roles.count(0) == 60
+
+    def test_small_cache_gets_both_leader_kinds(self):
+        p = DIPPolicy(4, 4, leader_stride=32)
+        roles = [p.set_role(s) for s in range(4)]
+        assert 1 in roles and -1 in roles
+
+    def test_rejects_single_set(self):
+        with pytest.raises(ValueError):
+            DIPPolicy(1, 4)
+
+    def test_psel_starts_midpoint(self):
+        p = DIPPolicy(64, 4)
+        assert p.psel == (p.psel_max + 1) // 2
+
+    def test_lru_leader_miss_raises_psel(self):
+        p = DIPPolicy(64, 4)
+        before = p.psel
+        p.touch_fill(0, 0, 0)               # set 0 is an LRU leader
+        assert p.psel == before + 1
+
+    def test_bip_leader_miss_lowers_psel(self):
+        p = DIPPolicy(64, 4, leader_stride=32)
+        before = p.psel
+        p.touch_fill(16, 0, 0)              # set 16 is a BIP leader
+        assert p.psel == before - 1
+
+    def test_psel_saturates(self):
+        p = DIPPolicy(64, 4)
+        for _ in range(p.psel_max + 100):
+            p.touch_fill(0, 0, 0)
+        assert p.psel == p.psel_max
+
+    def test_followers_adopt_bip_under_thrash(self):
+        """A thrashing stream drives PSEL up (LRU leaders miss constantly)
+        and follower sets switch to BIP insertion."""
+        num_sets, assoc = 32, 4
+        geometry = CacheGeometry(num_sets * assoc * 128, assoc, 128)
+        policy = DIPPolicy(num_sets, assoc, rng=np.random.default_rng(1),
+                           leader_stride=32)
+        cache = SetAssociativeCache(geometry, policy)
+        # Cyclic footprint of 2x capacity: LRU-managed sets never hit.
+        footprint = 2 * num_sets * assoc
+        for _ in range(40):
+            for line in range(footprint):
+                cache.access_line(line)
+        assert policy.bip_selected
+
+    def test_dip_beats_lru_on_thrash(self):
+        dip_hits = run_cyclic(
+            DIPPolicy(2, 8, rng=np.random.default_rng(4), leader_stride=2),
+            2, 8, working_set=24, passes=100)
+        lru_hits = run_cyclic(LRUPolicy(2, 8), 2, 8, working_set=24,
+                              passes=100)
+        assert lru_hits == 0
+        assert dip_hits > 0
+
+    def test_reset_restores_psel(self):
+        p = DIPPolicy(64, 4)
+        p.touch_fill(0, 0, 0)
+        p.reset()
+        assert p.psel == (p.psel_max + 1) // 2
+
+    def test_monitor_bits(self):
+        assert DIPPolicy(64, 4).monitor_bits() == 10

@@ -1,0 +1,76 @@
+"""Unit tests for the FIFO replacement baseline."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement.fifo import FIFOPolicy
+
+
+class TestFIFOPolicy:
+    def test_victim_is_oldest_fill(self):
+        p = FIFOPolicy(1, 4)
+        for way in (2, 0, 3, 1):
+            p.touch_fill(0, way, 0)
+        assert p.victim(0, 0, 0b1111) == 2
+
+    def test_hits_do_not_reorder(self):
+        p = FIFOPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            p.touch_fill(0, way, 0)
+        # Hitting the oldest line repeatedly must not save it.
+        for _ in range(5):
+            p.touch(0, 0, 0)
+        assert p.victim(0, 0, 0b1111) == 0
+
+    def test_victim_respects_mask(self):
+        p = FIFOPolicy(1, 8)
+        for way in range(8):
+            p.touch_fill(0, way, 0)
+        assert p.victim(0, 0, 0b11000000) == 6
+
+    def test_rejects_empty_mask(self):
+        p = FIFOPolicy(1, 4)
+        with pytest.raises(ValueError):
+            p.victim(0, 0, 0)
+
+    def test_invalidate_makes_way_oldest(self):
+        p = FIFOPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            p.touch_fill(0, way, 0)
+        p.invalidate(0, 3)
+        assert p.victim(0, 0, 0b1111) == 3
+
+    def test_reset_restores_cold_state(self):
+        p = FIFOPolicy(2, 4)
+        p.touch_fill(1, 2, 0)
+        p.reset()
+        assert p.fill_order(1) == [0, 1, 2, 3]
+
+    def test_fill_order(self):
+        p = FIFOPolicy(1, 4)
+        for way in (3, 1, 0, 2):
+            p.touch_fill(0, way, 0)
+        assert p.fill_order(0) == [2, 0, 1, 3]
+
+    def test_state_bits(self):
+        assert FIFOPolicy(4, 16).state_bits_per_set() == 4
+
+    def test_cyclic_working_set_thrashes(self):
+        """A cyclic set one line larger than the cache never hits — the
+        classical FIFO (and LRU) worst case."""
+        geometry = CacheGeometry(1 * 4 * 128, 4, 128)  # 1 set x 4 ways
+        cache = SetAssociativeCache(geometry, FIFOPolicy(1, 4))
+        for _ in range(20):
+            for line in range(5):
+                cache.access_line(line * geometry.num_sets)
+        assert cache.stats.total_hits == 0
+
+    def test_sequential_fill_hits_within_capacity(self):
+        geometry = CacheGeometry(1 * 4 * 128, 4, 128)
+        cache = SetAssociativeCache(geometry, FIFOPolicy(1, 4))
+        for _ in range(10):
+            for line in range(4):
+                cache.access_line(line * geometry.num_sets)
+        # 4 cold misses, everything else hits.
+        assert cache.stats.total_misses == 4

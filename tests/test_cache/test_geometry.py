@@ -1,0 +1,88 @@
+"""Unit tests for repro.cache.geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.geometry import (
+    BASELINE_L1D,
+    BASELINE_L1I,
+    BASELINE_L2,
+    CacheGeometry,
+)
+
+
+class TestBaselines:
+    def test_l2_matches_paper(self):
+        assert BASELINE_L2.num_sets == 1024
+        assert BASELINE_L2.assoc == 16
+        assert BASELINE_L2.line_bytes == 128
+        # 64-bit architecture with 47 tag bits (Table I caption).
+        assert BASELINE_L2.tag_bits == 47
+
+    def test_l1_geometries(self):
+        assert BASELINE_L1I.size_bytes == 64 * 1024
+        assert BASELINE_L1I.assoc == 2
+        assert BASELINE_L1D.size_bytes == 32 * 1024
+        assert BASELINE_L1D.assoc == 2
+
+
+class TestDecomposition:
+    def test_line_address(self):
+        g = CacheGeometry(4 * 4 * 128, 4, 128)
+        assert g.line_address(0) == 0
+        assert g.line_address(127) == 0
+        assert g.line_address(128) == 1
+
+    def test_set_wraps(self):
+        g = CacheGeometry(4 * 4 * 128, 4, 128)  # 4 sets
+        assert g.set_index(0) == 0
+        assert g.set_index(128 * 4) == 0
+        assert g.set_index(128 * 5) == 1
+
+    def test_tag(self):
+        g = CacheGeometry(4 * 4 * 128, 4, 128)
+        addr = (7 << (7 + 2)) | (3 << 7) | 5  # tag 7, set 3, offset 5
+        assert g.tag(addr) == 7
+        assert g.set_index(addr) == 3
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_rebuild_roundtrip(self, line):
+        g = CacheGeometry(64 * 16 * 128, 16, 128)
+        rebuilt = g.rebuild_line(g.tag_of_line(line), g.set_index_of_line(line))
+        assert rebuilt == line
+
+
+class TestValidation:
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1000, 4, 128)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(4096, 4, 96)
+
+    def test_rejects_fractional_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(3 * 128 * 2, 4, 128)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(3 * 4 * 128, 4, 128)
+
+
+class TestScaling:
+    def test_scaled_halves_sets(self):
+        g = BASELINE_L2.scaled(2)
+        assert g.num_sets == 512
+        assert g.assoc == 16
+        assert g.line_bytes == 128
+
+    def test_scaled_by_one_is_identity(self):
+        assert BASELINE_L2.scaled(1) == BASELINE_L2
+
+    def test_bit_budget(self):
+        g = BASELINE_L2
+        assert g.set_bits + g.offset_bits + g.tag_bits == 64
+
+    def test_num_lines(self):
+        assert BASELINE_L2.num_lines == 16384

@@ -1,0 +1,67 @@
+"""Unit tests for the L1/L2 cache hierarchy."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import CacheHierarchy, HierarchyAccess
+
+
+def make_hierarchy(num_cores=2, l2_policy="lru"):
+    l1 = CacheGeometry(2 * 2 * 128, 2, 128)     # 2 sets x 2 ways
+    l2 = CacheGeometry(8 * 4 * 128, 4, 128)     # 8 sets x 4 ways
+    return CacheHierarchy(num_cores, l1, l2, l2_policy=l2_policy)
+
+
+class TestRouting:
+    def test_cold_access_reaches_memory(self):
+        h = make_hierarchy()
+        assert h.access_line(0, 100) == HierarchyAccess.MEM
+
+    def test_second_access_hits_l1(self):
+        h = make_hierarchy()
+        h.access_line(0, 100)
+        assert h.access_line(0, 100) == HierarchyAccess.L1
+
+    def test_l1_victim_hits_l2(self):
+        h = make_hierarchy()
+        # Three lines mapping to the same L1 set (stride = L1 sets = 2),
+        # all fitting in the same L2 set region? They map to different L2
+        # sets, which is fine: each was filled into L2 on first touch.
+        for line in (0, 2, 4):
+            h.access_line(0, line)
+        # Line 0 was evicted from the 2-way L1 but still lives in L2.
+        assert h.access_line(0, 0) == HierarchyAccess.L2
+
+    def test_private_l1s(self):
+        h = make_hierarchy()
+        h.access_line(0, 100)
+        # Core 1 misses its own L1 but hits the shared L2.
+        assert h.access_line(1, 100) == HierarchyAccess.L2
+
+    def test_observer_sees_only_l2_traffic(self):
+        h = make_hierarchy()
+        seen = []
+        h.l2_observer = lambda core, line: seen.append((core, line))
+        h.access_line(0, 100)   # L1 miss -> observed
+        h.access_line(0, 100)   # L1 hit -> not observed
+        h.access_line(1, 100)   # core 1 L1 miss -> observed
+        assert seen == [(0, 100), (1, 100)]
+
+    def test_line_size_mismatch_rejected(self):
+        l1 = CacheGeometry(2 * 2 * 64, 2, 64)
+        l2 = CacheGeometry(8 * 4 * 128, 4, 128)
+        with pytest.raises(ValueError):
+            CacheHierarchy(1, l1, l2)
+
+    def test_flush(self):
+        h = make_hierarchy()
+        h.access_line(0, 100)
+        h.flush()
+        assert h.access_line(0, 100) == HierarchyAccess.MEM
+
+    def test_stats_accumulate(self):
+        h = make_hierarchy()
+        h.access_line(0, 100)
+        h.access_line(0, 100)
+        assert h.l1[0].stats.accesses[0] == 2
+        assert h.l2.stats.accesses[0] == 1

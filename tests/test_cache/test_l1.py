@@ -1,0 +1,60 @@
+"""SmallLRUCache: unit tests + equivalence with the generic LRU cache."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.l1 import SmallLRUCache
+
+
+def geometry(num_sets=4, assoc=2):
+    return CacheGeometry(num_sets * assoc * 128, assoc, 128)
+
+
+class TestSmallLRU:
+    def test_cold_miss_then_hit(self):
+        l1 = SmallLRUCache(geometry())
+        assert not l1.access_line_hit(5)
+        assert l1.access_line_hit(5)
+
+    def test_lru_eviction(self):
+        l1 = SmallLRUCache(geometry(num_sets=1, assoc=2))
+        l1.access_line_hit(0)
+        l1.access_line_hit(1)
+        l1.access_line_hit(0)       # 1 becomes LRU
+        l1.access_line_hit(2)       # evicts 1
+        assert l1.contains_line(0)
+        assert not l1.contains_line(1)
+
+    def test_mru_first_order(self):
+        l1 = SmallLRUCache(geometry(num_sets=1, assoc=2))
+        l1.access_line_hit(0)
+        l1.access_line_hit(1)
+        assert l1.stack_of(0) == [1, 0]
+
+    def test_stats(self):
+        l1 = SmallLRUCache(geometry())
+        l1.access_line_hit(0)
+        l1.access_line_hit(0)
+        assert l1.stats.accesses[0] == 2
+        assert l1.stats.hits[0] == 1
+        assert l1.stats.misses[0] == 1
+
+    def test_flush(self):
+        l1 = SmallLRUCache(geometry())
+        l1.access_line_hit(0)
+        l1.flush()
+        assert l1.occupancy() == 0
+
+    @pytest.mark.parametrize("assoc", [1, 2, 4])
+    def test_equivalent_to_generic_lru(self, assoc, rng):
+        """Same hits and same content as SetAssociativeCache('lru')."""
+        g = geometry(num_sets=4, assoc=assoc)
+        fast = SmallLRUCache(g)
+        ref = SetAssociativeCache(g, "lru", rng=np.random.default_rng(0))
+        for line in rng.integers(0, 10 * assoc, size=3000):
+            line = int(line)
+            assert fast.access_line_hit(line) == ref.access_line(line).hit
+        for s in range(4):
+            assert sorted(fast.stack_of(s)) == sorted(ref.resident_lines(s))

@@ -1,0 +1,161 @@
+"""Unit tests for the NRU policy: used bits, reset rule, rotating pointer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.replacement.nru import NRUPolicy
+
+
+class TestUsedBits:
+    def test_touch_sets_bit(self):
+        p = NRUPolicy(num_sets=1, assoc=4)
+        p.touch(0, 2, 0)
+        assert p.used_bit(0, 2)
+        assert not p.used_bit(0, 0)
+
+    def test_used_count(self):
+        p = NRUPolicy(num_sets=1, assoc=4)
+        p.touch(0, 0, 0)
+        p.touch(0, 3, 0)
+        assert p.used_count(0) == 2
+
+    def test_reset_rule_full_set(self):
+        # When the last used bit is set, all others reset (paper §III-A).
+        p = NRUPolicy(num_sets=1, assoc=4)
+        for w in (0, 1, 2):
+            p.touch(0, w, 0)
+        assert p.used_count(0) == 3
+        p.touch(0, 3, 0)
+        assert p.used_mask(0) == 0b1000  # only the accessed line survives
+
+    def test_reset_rule_respects_domain(self):
+        # With masks, the reset domain is the core's owned ways: bits of
+        # other cores' ways are untouched (our documented interpretation).
+        p = NRUPolicy(num_sets=1, assoc=4)
+        p.touch(0, 3, 0, reset_domain=None)  # other core's line
+        p.touch(0, 0, 0, reset_domain=0b0011)
+        p.touch(0, 1, 0, reset_domain=0b0011)  # fills the domain -> reset
+        assert p.used_bit(0, 3)               # untouched
+        assert p.used_mask(0) & 0b0011 == 0b0010  # only way 1 survives
+
+    def test_paper_figure3a_cdd(self):
+        # Figure 3(a): after C, D accesses both bits are 1, U = 2.
+        p = NRUPolicy(num_sets=1, assoc=4)
+        p.touch(0, 2, 0)  # C
+        p.touch(0, 3, 0)  # D
+        assert p.used_bit(0, 3)
+        assert p.used_count(0) == 2
+
+    def test_paper_figure3b_abc(self):
+        # Figure 3(b): after A, B accesses, C's used bit is still 0.
+        p = NRUPolicy(num_sets=1, assoc=4)
+        p.touch(0, 0, 0)  # A
+        p.touch(0, 1, 0)  # B
+        assert not p.used_bit(0, 2)
+        assert p.used_count(0) == 2
+
+
+class TestVictim:
+    def test_victim_has_clear_used_bit(self):
+        p = NRUPolicy(num_sets=1, assoc=4)
+        p.touch(0, 0, 0)
+        victim = p.victim(0, 0, 0b1111)
+        assert not p.used_bit(0, victim)
+
+    def test_starts_at_pointer(self):
+        p = NRUPolicy(num_sets=1, assoc=4)
+        p.pointer = 2
+        assert p.victim(0, 0, 0b1111) == 2
+
+    def test_skips_used_ways(self):
+        p = NRUPolicy(num_sets=1, assoc=4)
+        p.pointer = 0
+        p.touch(0, 0, 0)
+        p.touch(0, 1, 0)
+        assert p.victim(0, 0, 0b1111) == 2
+
+    def test_wraps_around(self):
+        p = NRUPolicy(num_sets=1, assoc=4)
+        p.pointer = 3
+        p.touch(0, 3, 0)
+        assert p.victim(0, 0, 0b1111) == 0
+
+    def test_respects_mask(self):
+        p = NRUPolicy(num_sets=1, assoc=4)
+        p.pointer = 0
+        victim = p.victim(0, 0, 0b1100)
+        assert victim in (2, 3)
+
+    def test_all_used_in_mask_resets(self):
+        p = NRUPolicy(num_sets=1, assoc=4)
+        p.touch(0, 2, 0)
+        p.touch(0, 3, 0)
+        victim = p.victim(0, 0, 0b1100)
+        assert victim in (2, 3)
+        # The candidates' used bits were cleared to make progress.
+        assert p.used_count(0, 0b1100) <= 1
+
+    def test_pointer_rotation(self):
+        p = NRUPolicy(num_sets=1, assoc=4)
+        assert p.pointer == 0
+        p.fill_done()
+        assert p.pointer == 1
+        for _ in range(3):
+            p.fill_done()
+        assert p.pointer == 0
+
+    def test_pointer_is_cache_global(self):
+        # One pointer for all sets (paper: random-like behaviour).
+        p = NRUPolicy(num_sets=4, assoc=4)
+        p.fill_done()
+        assert p.victim(2, 0, 0b1111) == 1
+
+    def test_rejects_empty_mask(self):
+        p = NRUPolicy(num_sets=1, assoc=4)
+        with pytest.raises(ValueError):
+            p.victim(0, 0, 0)
+
+
+class TestInvariants:
+    @given(st.lists(st.tuples(st.integers(0, 3), st.booleans()),
+                    min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_never_all_used(self, events):
+        """After any access sequence, a set is never fully used (A >= 2)."""
+        p = NRUPolicy(num_sets=1, assoc=4)
+        for way, is_fill in events:
+            p.touch(0, way, 0)
+            if is_fill:
+                p.fill_done()
+        assert p.used_count(0) < 4
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_victim_always_in_mask(self, touches):
+        p = NRUPolicy(num_sets=1, assoc=4)
+        for w in touches:
+            p.touch(0, w, 0)
+        for mask in (0b0001, 0b0110, 0b1010, 0b1111):
+            victim = p.victim(0, 0, mask)
+            assert (mask >> victim) & 1
+
+
+class TestMisc:
+    def test_invalidate_clears_bit(self):
+        p = NRUPolicy(num_sets=1, assoc=4)
+        p.touch(0, 1, 0)
+        p.invalidate(0, 1)
+        assert not p.used_bit(0, 1)
+
+    def test_reset(self):
+        p = NRUPolicy(num_sets=2, assoc=4)
+        p.touch(0, 1, 0)
+        p.fill_done()
+        p.reset()
+        assert p.used_count(0) == 0
+        assert p.pointer == 0
+
+    def test_state_bits_match_table1(self):
+        p = NRUPolicy(1024, 16)
+        assert p.state_bits_per_set() == 16
+        assert p.pointer_bits() == 4

@@ -1,0 +1,199 @@
+"""Unit tests for the three partition-enforcement schemes."""
+
+import pytest
+
+from repro.cache.partition.allocation import (
+    Subcube,
+    SubcubeAllocation,
+    WayAllocation,
+    even_subcube_allocation,
+)
+from repro.cache.partition.base import make_partition
+from repro.cache.partition.btvectors import BTVectorPartition
+from repro.cache.partition.masks import MasksPartition
+from repro.cache.partition.owner_counters import OwnerCountersPartition
+from repro.cache.replacement.bt import BTPolicy
+
+
+class TestMasks:
+    def test_default_allows_everything(self):
+        scheme = MasksPartition(2, 4, 8)
+        assert scheme.candidate_mask(0, 0) == 0xFF
+        assert scheme.candidate_mask(0, 1) == 0xFF
+
+    def test_apply_sets_masks(self):
+        scheme = MasksPartition(2, 4, 8)
+        scheme.apply(WayAllocation.from_counts([3, 5], 8))
+        assert scheme.candidate_mask(0, 0) == 0b00000111
+        assert scheme.candidate_mask(3, 1) == 0b11111000
+
+    def test_mask_uniform_across_sets(self):
+        scheme = MasksPartition(2, 4, 8)
+        scheme.apply(WayAllocation.from_counts([3, 5], 8))
+        assert all(scheme.candidate_mask(s, 0) == 0b111 for s in range(4))
+
+    def test_reset_domain_is_mask(self):
+        # NRU used-bit resets confined to owned ways (paper §III-A).
+        scheme = MasksPartition(2, 4, 8)
+        scheme.apply(WayAllocation.from_counts([3, 5], 8))
+        assert scheme.reset_domain(0) == 0b111
+
+    def test_rejects_wrong_allocation_type(self):
+        scheme = MasksPartition(2, 4, 4)
+        with pytest.raises(TypeError):
+            scheme.apply(even_subcube_allocation(2, 4))
+
+    def test_rejects_core_mismatch(self):
+        scheme = MasksPartition(2, 4, 8)
+        with pytest.raises(ValueError):
+            scheme.apply(WayAllocation.from_counts([2, 2, 4], 8))
+
+    def test_storage_bits_table1(self):
+        # A x N owner mask bits (Table I(a)).
+        assert MasksPartition(2, 1024, 16).storage_bits() == 32
+
+
+class TestOwnerCounters:
+    def make(self):
+        scheme = OwnerCountersPartition(2, 2, 4)
+        scheme.apply(WayAllocation.from_counts([2, 2], 4))
+        return scheme
+
+    def test_below_quota_targets_foreign(self):
+        scheme = self.make()
+        # Core 0 owns nothing yet -> all ways are candidates (foreign/invalid).
+        assert scheme.candidate_mask(0, 0) == 0b1111
+
+    def test_fill_tracks_ownership(self):
+        scheme = self.make()
+        scheme.on_fill(0, 1, 0)
+        assert scheme.owner_of(0, 1) == 0
+        assert scheme.owned_count(0, 0) == 1
+
+    def test_at_quota_recycles_own_lines(self):
+        scheme = self.make()
+        scheme.on_fill(0, 0, 0)
+        scheme.on_fill(0, 1, 0)
+        # Core 0 reached its quota of 2: it must evict its own lines.
+        assert scheme.candidate_mask(0, 0) == 0b0011
+
+    def test_ownership_transfer(self):
+        scheme = self.make()
+        scheme.on_fill(0, 2, 0)
+        scheme.on_fill(0, 2, 1)  # core 1 steals way 2
+        assert scheme.owner_of(0, 2) == 1
+        assert scheme.owned_count(0, 0) == 0
+        assert scheme.owned_count(0, 1) == 1
+
+    def test_below_quota_excludes_own(self):
+        scheme = self.make()
+        scheme.on_fill(0, 0, 0)
+        assert scheme.candidate_mask(0, 0) == 0b1110
+
+    def test_per_set_independence(self):
+        scheme = self.make()
+        scheme.on_fill(0, 0, 0)
+        assert scheme.owned_count(1, 0) == 0
+
+    def test_invalidate_releases(self):
+        scheme = self.make()
+        scheme.on_fill(0, 3, 1)
+        scheme.on_invalidate(0, 3)
+        assert scheme.owner_of(0, 3) == -1
+        assert scheme.owned_count(0, 1) == 0
+
+    def test_quota_accessor(self):
+        scheme = self.make()
+        assert scheme.quota(0) == 2
+
+    def test_storage_bits_table1(self):
+        # (A log2 N + N log2 A) per set (Table I footnote): 16*1+2*4 = 24.
+        scheme = OwnerCountersPartition(2, 1024, 16)
+        assert scheme.storage_bits() == 24 * 1024
+
+
+class TestBTVectors:
+    def make(self):
+        policy = BTPolicy(num_sets=2, assoc=8)
+        scheme = BTVectorPartition(2, 2, 8, policy)
+        return policy, scheme
+
+    def test_apply_installs_force_vectors(self):
+        policy, scheme = self.make()
+        scheme.apply(SubcubeAllocation((
+            Subcube(0, 1, 3), Subcube(1, 1, 3),
+        )))
+        assert policy.get_force(0) == (0, None, None)
+        assert policy.get_force(1) == (1, None, None)
+
+    def test_candidate_masks(self):
+        policy, scheme = self.make()
+        scheme.apply(SubcubeAllocation((
+            Subcube(0, 1, 3), Subcube(1, 1, 3),
+        )))
+        assert scheme.candidate_mask(0, 0) == 0x0F
+        assert scheme.candidate_mask(0, 1) == 0xF0
+
+    def test_victims_stay_inside_cubes(self):
+        policy, scheme = self.make()
+        scheme.apply(SubcubeAllocation((
+            Subcube(0, 1, 3), Subcube(1, 1, 3),
+        )))
+        for way in range(8):
+            policy.touch(0, way, 0)
+            assert policy.victim(0, 0, scheme.candidate_mask(0, 0)) < 4
+            assert policy.victim(0, 1, scheme.candidate_mask(0, 1)) >= 4
+
+    def test_up_down_vectors(self):
+        policy, scheme = self.make()
+        scheme.apply(SubcubeAllocation((
+            Subcube(0, 1, 3), Subcube(1, 1, 3),
+        )))
+        up0, down0 = scheme.up_down_vectors(0)
+        up1, down1 = scheme.up_down_vectors(1)
+        assert up0 == 0b100 and down0 == 0
+        assert up1 == 0 and down1 == 0b100
+
+    def test_requires_bt_policy(self):
+        with pytest.raises(TypeError):
+            BTVectorPartition(2, 2, 8, policy="lru")
+
+    def test_rejects_wrong_allocation_type(self):
+        _, scheme = self.make()
+        with pytest.raises(TypeError):
+            scheme.apply(WayAllocation.from_counts([4, 4], 8))
+
+    def test_storage_bits_table1(self):
+        policy = BTPolicy(num_sets=1024, assoc=16)
+        scheme = BTVectorPartition(2, 1024, 16, policy)
+        # 2 x log2(A) bits per core = 2*4*2 = 16.
+        assert scheme.storage_bits() == 16
+
+
+class TestFactory:
+    def test_none(self):
+        assert make_partition("none", 2, 4, 8) is None
+
+    def test_counters(self):
+        assert isinstance(make_partition("counters", 2, 4, 8),
+                          OwnerCountersPartition)
+
+    def test_masks(self):
+        assert isinstance(make_partition("masks", 2, 4, 8), MasksPartition)
+
+    def test_btvectors_needs_policy(self):
+        with pytest.raises(ValueError):
+            make_partition("btvectors", 2, 4, 8)
+
+    def test_btvectors(self):
+        policy = BTPolicy(4, 8)
+        scheme = make_partition("btvectors", 2, 4, 8, policy=policy)
+        assert isinstance(scheme, BTVectorPartition)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_partition("quotas", 2, 4, 8)
+
+    def test_too_many_cores(self):
+        with pytest.raises(ValueError):
+            make_partition("masks", 9, 4, 8)

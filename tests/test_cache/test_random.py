@@ -1,0 +1,39 @@
+"""Unit tests for the random replacement baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cache.replacement.random_ import RandomPolicy
+
+
+class TestRandomPolicy:
+    def test_victim_in_mask(self):
+        p = RandomPolicy(1, 8, rng=np.random.default_rng(0))
+        for _ in range(50):
+            assert (0b1010 >> p.victim(0, 0, 0b1010)) & 1
+
+    def test_single_candidate_deterministic(self):
+        p = RandomPolicy(1, 8, rng=np.random.default_rng(0))
+        assert p.victim(0, 0, 0b0100) == 2
+
+    def test_seeded_reproducible(self):
+        a = RandomPolicy(1, 8, rng=np.random.default_rng(7))
+        b = RandomPolicy(1, 8, rng=np.random.default_rng(7))
+        seq_a = [a.victim(0, 0, 0xFF) for _ in range(20)]
+        seq_b = [b.victim(0, 0, 0xFF) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_covers_all_ways(self):
+        p = RandomPolicy(1, 4, rng=np.random.default_rng(3))
+        seen = {p.victim(0, 0, 0b1111) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_rejects_empty_mask(self):
+        p = RandomPolicy(1, 4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            p.victim(0, 0, 0)
+
+    def test_default_rng(self):
+        # Constructing without an rng must still work deterministically.
+        p = RandomPolicy(1, 4)
+        assert p.victim(0, 0, 0b1111) in range(4)

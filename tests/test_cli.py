@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _scale_from_args, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_figure_flags(self):
+        args = build_parser().parse_args(
+            ["fig6", "--scale", "4", "--accesses", "1000",
+             "--mixes", "all", "--seed", "9"])
+        assert args.scale == 4
+        assert args.accesses == 1000
+        assert args.mixes == "all"
+        assert args.seed == 9
+
+    def test_info_commands_take_no_flags(self):
+        args = build_parser().parse_args(["workloads"])
+        assert args.command == "workloads"
+
+
+class TestScaleFromArgs:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig6"])
+        scale = _scale_from_args(args)
+        assert scale.scale == 8          # laptop default
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["fig6", "--scale", "4", "--accesses", "1234", "--seed", "5"])
+        scale = _scale_from_args(args)
+        assert scale.scale == 4
+        assert scale.accesses == 1234
+        assert scale.seed == 5
+
+    def test_mixes_all(self):
+        args = build_parser().parse_args(["fig6", "--mixes", "all"])
+        scale = _scale_from_args(args)
+        assert len(scale.mixes_2t) == 24
+        assert len(scale.mixes_fig8) == 24
+
+    def test_environment_restored(self, monkeypatch):
+        import os
+        args = build_parser().parse_args(["fig6", "--scale", "2"])
+        _scale_from_args(args)
+        assert "REPRO_SCALE" not in os.environ
+
+    def test_full_flag(self):
+        args = build_parser().parse_args(["fig6", "--full"])
+        scale = _scale_from_args(args)
+        assert scale.scale == 1
+
+
+class TestInfoCommands:
+    def test_table1_exit_code(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I(a)" in out
+        assert "11/11 reproduced exactly" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "2T_01" in out
+        assert "8T_11" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        assert "4T_14" in out
+
+    def test_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lru", "nru", "bt", "srrip", "dip"):
+            assert name in out

@@ -1,0 +1,63 @@
+"""Unit tests for the memoised isolation runner."""
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.config import ProcessorConfig, SimulationConfig
+from repro.cmp.isolation import IsolationRunner
+from repro.workloads.trace import Trace
+
+
+def processor():
+    return ProcessorConfig(
+        num_cores=4,  # the runner must force 1 core internally
+        l1i=CacheGeometry(2 * 2 * 128, 2, 128),
+        l1d=CacheGeometry(2 * 2 * 128, 2, 128),
+        l2=CacheGeometry(16 * 8 * 128, 8, 128),
+    )
+
+
+def trace(seed=0, offset=0, name="t"):
+    rng = np.random.default_rng(seed)
+    return Trace(name, rng.integers(0, 64, 4000) + offset, ipm=4.0,
+                 cpi_base=1.0)
+
+
+class TestIsolationRunner:
+    def test_single_core_forced(self):
+        runner = IsolationRunner(processor(), SimulationConfig(
+            instructions_per_thread=4000))
+        assert runner.processor.num_cores == 1
+
+    def test_memoisation(self):
+        runner = IsolationRunner(processor(), SimulationConfig(
+            instructions_per_thread=4000))
+        t = trace()
+        first = runner.ipc(t, "lru")
+        assert len(runner) == 1
+        second = runner.ipc(t, "lru")
+        assert len(runner) == 1
+        assert first == second
+
+    def test_policies_cached_separately(self):
+        runner = IsolationRunner(processor(), SimulationConfig(
+            instructions_per_thread=4000))
+        t = trace()
+        runner.ipc(t, "lru")
+        runner.ipc(t, "nru")
+        assert len(runner) == 2
+
+    def test_traces_distinguished_by_content(self):
+        runner = IsolationRunner(processor(), SimulationConfig(
+            instructions_per_thread=4000))
+        runner.ipc(trace(offset=0, name="same"), "lru")
+        runner.ipc(trace(offset=100_000, name="same"), "lru")
+        assert len(runner) == 2
+
+    def test_ipcs_order(self):
+        runner = IsolationRunner(processor(), SimulationConfig(
+            instructions_per_thread=4000))
+        traces = [trace(0, 0, "a"), trace(1, 100_000, "b")]
+        ipcs = runner.ipcs(traces, "lru")
+        assert ipcs[0] == runner.ipc(traces[0], "lru")
+        assert ipcs[1] == runner.ipc(traces[1], "lru")

@@ -1,0 +1,67 @@
+"""Unit tests for the paper's three performance metrics (§IV)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cmp.metrics import (
+    hmean_relative,
+    ipc_throughput,
+    relative_metric,
+    weighted_speedup,
+)
+
+positive_floats = st.floats(min_value=0.01, max_value=10.0,
+                            allow_nan=False, allow_infinity=False)
+
+
+class TestThroughput:
+    def test_sum(self):
+        assert ipc_throughput([1.0, 2.0, 0.5]) == 3.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ipc_throughput([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ipc_throughput([1.0, 0.0])
+
+
+class TestWeightedSpeedup:
+    def test_equal_runs_give_n(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == 2.0
+
+    def test_half_speed_gives_half(self):
+        assert weighted_speedup([0.5, 1.0], [1.0, 2.0]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+
+class TestHmean:
+    def test_equal_runs_give_one(self):
+        assert hmean_relative([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_penalises_imbalance(self):
+        balanced = hmean_relative([0.5, 1.0], [1.0, 2.0])
+        skewed = hmean_relative([0.9, 0.2], [1.0, 2.0])
+        assert balanced > skewed
+
+    @given(st.lists(positive_floats, min_size=1, max_size=8),
+           st.lists(positive_floats, min_size=8, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_hmean_below_amean(self, ipcs, isolation):
+        isolation = isolation[:len(ipcs)]
+        hmean = hmean_relative(ipcs, isolation)
+        amean = weighted_speedup(ipcs, isolation) / len(ipcs)
+        assert hmean <= amean + 1e-9
+
+
+class TestRelative:
+    def test_ratio(self):
+        assert relative_metric(0.97, 1.0) == pytest.approx(0.97)
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            relative_metric(1.0, 0.0)

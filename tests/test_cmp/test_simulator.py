@@ -1,0 +1,187 @@
+"""Unit and integration tests for the CMP simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.config import (
+    PartitioningConfig,
+    ProcessorConfig,
+    SimulationConfig,
+    config_C_L,
+    config_M_BT,
+    config_M_L,
+    config_M_N,
+    config_unpartitioned,
+)
+from repro.cmp.simulator import CMPSimulator, run_workload
+from repro.workloads.trace import Trace
+
+
+def tiny_processor(num_cores=2):
+    return ProcessorConfig(
+        num_cores=num_cores,
+        l1i=CacheGeometry(2 * 2 * 128, 2, 128),
+        l1d=CacheGeometry(2 * 2 * 128, 2, 128),
+        l2=CacheGeometry(16 * 8 * 128, 8, 128),
+    )
+
+
+def synthetic_trace(name, footprint, count, seed, offset=0, ipm=4.0, cpi=1.0):
+    rng = np.random.default_rng(seed)
+    lines = rng.integers(0, footprint, size=count) + offset
+    return Trace(name, lines, ipm=ipm, cpi_base=cpi)
+
+
+def sim_config(budget=20_000):
+    return SimulationConfig(instructions_per_thread=budget, seed=7)
+
+
+class TestSingleThread:
+    def test_ipc_bounded_by_base_cpi(self):
+        trace = synthetic_trace("t", 8, 5000, 0)  # tiny footprint: L1-resident
+        result = run_workload(tiny_processor(1), config_unpartitioned("lru"),
+                              [trace], sim_config())
+        ipc = result.threads[0].ipc
+        assert 0 < ipc <= 1.0 / trace.cpi_base + 1e-9
+
+    def test_tiny_footprint_reaches_base_ipc(self):
+        trace = synthetic_trace("t", 4, 50_000, 0)
+        result = run_workload(tiny_processor(1), config_unpartitioned("lru"),
+                              [trace], sim_config(budget=150_000))
+        # Warm-up misses aside, everything hits the L1.
+        assert result.threads[0].ipc == pytest.approx(1.0, rel=0.02)
+
+    def test_streaming_pays_memory_penalty(self):
+        # Footprint far beyond L2: essentially every access -> memory.
+        trace = Trace("stream", np.arange(100_000), ipm=4.0, cpi_base=1.0)
+        result = run_workload(tiny_processor(1), config_unpartitioned("lru"),
+                              [trace], sim_config())
+        # cycles/access ~ 4*1 + 11 + 250; IPC ~ 4/265.
+        assert result.threads[0].ipc == pytest.approx(4.0 / 265.0, rel=0.05)
+
+    def test_budget_freezes_stats(self):
+        trace = synthetic_trace("t", 8, 5000, 0)
+        result = run_workload(tiny_processor(1), config_unpartitioned("lru"),
+                              [trace], sim_config(budget=1000))
+        assert result.threads[0].instructions == pytest.approx(1000, abs=4)
+
+
+class TestMultiThread:
+    def test_contention_reduces_ipc(self):
+        shared = tiny_processor(2)
+        victim = synthetic_trace("victim", 96, 30000, 1)       # ~fits L2
+        bully = Trace("bully", np.arange(60000) + 10_000,
+                      ipm=4.0, cpi_base=1.0)                    # streamer
+        alone = run_workload(tiny_processor(1),
+                             config_unpartitioned("lru"),
+                             [victim], sim_config())
+        together = run_workload(shared, config_unpartitioned("lru"),
+                                [victim, bully], sim_config())
+        assert together.threads[0].ipc < alone.threads[0].ipc
+
+    def test_trace_count_validated(self):
+        with pytest.raises(ValueError):
+            CMPSimulator(tiny_processor(2), config_unpartitioned("lru"),
+                         [synthetic_trace("t", 8, 100, 0)], sim_config())
+
+    def test_per_thread_budgets(self):
+        traces = [synthetic_trace("a", 8, 5000, 0),
+                  synthetic_trace("b", 8, 5000, 1, offset=1000)]
+        cfg = SimulationConfig(per_thread_instructions=(2000, 6000), seed=7)
+        result = run_workload(tiny_processor(2), config_unpartitioned("lru"),
+                              traces, cfg)
+        assert result.threads[0].instructions == pytest.approx(2000, abs=4)
+        assert result.threads[1].instructions == pytest.approx(6000, abs=4)
+
+    def test_per_thread_budget_arity(self):
+        traces = [synthetic_trace("a", 8, 500, 0)]
+        cfg = SimulationConfig(per_thread_instructions=(100, 200))
+        with pytest.raises(ValueError):
+            CMPSimulator(tiny_processor(1), config_unpartitioned("lru"),
+                         traces, cfg).run()
+
+    def test_deterministic(self):
+        traces = [synthetic_trace("a", 64, 10000, 0),
+                  synthetic_trace("b", 512, 10000, 1, offset=4096)]
+        r1 = run_workload(tiny_processor(2), config_M_N(0.75, atd_sampling=4,
+                                                        interval_cycles=50_000),
+                          traces, sim_config())
+        r2 = run_workload(tiny_processor(2), config_M_N(0.75, atd_sampling=4,
+                                                        interval_cycles=50_000),
+                          traces, sim_config())
+        assert r1.ipcs == r2.ipcs
+        assert [h.counts for h in r1.partition_history] == \
+               [h.counts for h in r2.partition_history]
+
+
+class TestPartitionedRuns:
+    @pytest.mark.parametrize("config", [
+        config_C_L(atd_sampling=4, interval_cycles=50_000),
+        config_M_L(atd_sampling=4, interval_cycles=50_000),
+        config_M_N(0.75, atd_sampling=4, interval_cycles=50_000),
+        config_M_BT(atd_sampling=4, interval_cycles=50_000),
+    ])
+    def test_all_configurations_run(self, config):
+        traces = [synthetic_trace("a", 64, 8000, 0),
+                  synthetic_trace("b", 2048, 8000, 1, offset=65536)]
+        result = run_workload(tiny_processor(2), config, traces, sim_config())
+        assert len(result.threads) == 2
+        assert result.events.repartitions > 0
+        assert result.partition_history
+        for record in result.partition_history:
+            assert sum(record.counts) == 8
+
+    def test_partitioning_protects_victim(self):
+        """A cache-friendly thread paired with a streamer keeps more of its
+        performance under MinMisses partitioning than without."""
+        victim = synthetic_trace("victim", 100, 100_000, 1)
+        bully = Trace("bully", np.arange(200_000) + 10_000_000,
+                      ipm=4.0, cpi_base=1.0)
+        # Cycle-matched budgets: both threads freeze near the same time.
+        budgets = SimulationConfig(per_thread_instructions=(160_000, 25_000),
+                                   seed=7)
+        unpart = run_workload(tiny_processor(2), config_unpartitioned("lru"),
+                              [victim, bully], budgets)
+        part = run_workload(
+            tiny_processor(2),
+            config_C_L(atd_sampling=4, interval_cycles=25_000),
+            [victim, bully], budgets)
+        # MinMisses converges to giving the victim almost all ways.
+        assert part.partition_history[-1].counts[0] >= 6
+        assert part.threads[0].ipc > 1.05 * unpart.threads[0].ipc
+        assert part.threads[0].l2_misses < unpart.threads[0].l2_misses
+        # The streamer cannot lose much: it missed everywhere anyway.
+        assert part.threads[1].ipc > 0.5 * unpart.threads[1].ipc
+
+    def test_bt_partitions_are_subcubes(self):
+        traces = [synthetic_trace("a", 64, 8000, 0),
+                  synthetic_trace("b", 512, 8000, 1, offset=65536)]
+        result = run_workload(
+            tiny_processor(2),
+            config_M_BT(atd_sampling=4, interval_cycles=50_000),
+            traces, sim_config())
+        for record in result.partition_history:
+            for count in record.counts:
+                assert count & (count - 1) == 0
+
+    def test_atd_sampling_divides(self):
+        traces = [synthetic_trace("a", 64, 100, 0),
+                  synthetic_trace("b", 64, 100, 1, offset=4096)]
+        with pytest.raises(ValueError):
+            CMPSimulator(tiny_processor(2),
+                         config_C_L(atd_sampling=64),
+                         traces, sim_config())
+
+    def test_events_counted(self):
+        traces = [synthetic_trace("a", 512, 8000, 0),
+                  synthetic_trace("b", 512, 8000, 1, offset=65536)]
+        result = run_workload(
+            tiny_processor(2),
+            config_M_N(0.75, atd_sampling=4, interval_cycles=50_000),
+            traces, sim_config())
+        events = result.events
+        assert events.l1_accesses >= events.l2_accesses
+        assert events.l2_hits + events.l2_misses == events.l2_accesses
+        assert events.atd_accesses > 0
+        assert events.wall_cycles > 0

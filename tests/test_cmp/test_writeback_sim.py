@@ -1,0 +1,73 @@
+"""End-to-end tests of the write-back extension through the simulator."""
+
+import pytest
+
+from repro.config import (
+    ProcessorConfig,
+    SimulationConfig,
+    config_M_N,
+    config_unpartitioned,
+)
+from repro.cmp.simulator import run_workload
+from repro.hwmodel.power import PowerModel
+from repro.workloads.generator import generate_workload_traces
+from repro.workloads.writes import overlay_workload_writes
+
+
+@pytest.fixture(scope="module")
+def setup():
+    processor = ProcessorConfig(num_cores=2).scaled(16)
+    # mcf's streaming footprint guarantees L2 evictions, so dirty lines
+    # actually leave the chip in the write-overlay tests.
+    traces = generate_workload_traces(
+        ("parser", "mcf"), 20_000, processor.l2.num_lines, seed=3)
+    sim = SimulationConfig(instructions_per_thread=60_000, seed=3)
+    return processor, traces, sim
+
+
+def test_read_only_run_has_zero_writebacks(setup):
+    processor, traces, sim = setup
+    result = run_workload(processor, config_unpartitioned("lru"), traces, sim)
+    assert result.events.l1_writebacks == 0
+    assert result.events.memory_writebacks == 0
+
+
+def test_write_overlay_produces_writeback_traffic(setup):
+    processor, traces, sim = setup
+    wtraces = overlay_workload_writes(traces, 0.4, seed=1)
+    result = run_workload(processor, config_unpartitioned("lru"), wtraces, sim)
+    assert result.events.l1_writebacks > 0
+    assert result.events.memory_writebacks > 0
+    # Dirty lines cannot leave the chip more often than they are created.
+    assert result.events.memory_writebacks <= result.events.l1_writebacks
+
+
+def test_writes_do_not_change_timing(setup):
+    """Writebacks are buffered: same IPCs, same miss counts, more traffic."""
+    processor, traces, sim = setup
+    base = run_workload(processor, config_unpartitioned("lru"), traces, sim)
+    wtraces = overlay_workload_writes(traces, 0.4, seed=1)
+    wb = run_workload(processor, config_unpartitioned("lru"), wtraces, sim)
+    assert wb.ipcs == base.ipcs
+    assert wb.total_l2_misses == base.total_l2_misses
+
+
+def test_writes_increase_energy(setup):
+    processor, traces, sim = setup
+    config = config_unpartitioned("lru")
+    model = PowerModel()
+    base = run_workload(processor, config, traces, sim)
+    wtraces = overlay_workload_writes(traces, 0.4, seed=1)
+    wb = run_workload(processor, config, wtraces, sim)
+    e_base = model.evaluate(base, processor, config).total_energy
+    e_wb = model.evaluate(wb, processor, config).total_energy
+    assert e_wb > e_base
+
+
+def test_writeback_works_with_partitioning(setup):
+    processor, traces, sim = setup
+    wtraces = overlay_workload_writes(traces, 0.3, seed=2)
+    config = config_M_N(0.75, atd_sampling=4, interval_cycles=100_000)
+    result = run_workload(processor, config, wtraces, sim)
+    assert result.events.l1_writebacks > 0
+    assert result.events.repartitions > 0

@@ -1,0 +1,92 @@
+"""Unit and property tests for the BT subcube DP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.partition.allocation import SubcubeAllocation
+from repro.core.buddy import (
+    best_subcube_allocation,
+    brute_force_subcube,
+    subcube_misses,
+)
+
+
+def curve_from_knee(knee: int, assoc: int, height: float = 100.0):
+    return np.array([height if w < knee else 1.0 for w in range(assoc + 1)])
+
+
+class TestStructure:
+    def test_returns_valid_allocation(self):
+        curves = np.zeros((3, 9))
+        alloc = best_subcube_allocation(curves, 8)
+        assert isinstance(alloc, SubcubeAllocation)
+        assert sum(alloc.counts) == 8
+
+    def test_two_threads_always_even(self):
+        """With 2 threads, subcubes force the static half/half split —
+        the structural root of BT's 2-core inflexibility (DESIGN.md)."""
+        curves = np.stack([curve_from_knee(12, 16), curve_from_knee(1, 16)])
+        alloc = best_subcube_allocation(curves, 16)
+        assert alloc.counts == (8, 8)
+
+    def test_counts_are_powers_of_two(self):
+        rng = np.random.default_rng(0)
+        curves = np.sort(rng.integers(0, 100, (5, 17)), axis=1)[:, ::-1]
+        alloc = best_subcube_allocation(curves.astype(float), 16)
+        for count in alloc.counts:
+            assert count & (count - 1) == 0
+
+    def test_respects_knees_where_possible(self):
+        # Thread 0 needs 4 ways, threads 1-2 need little: give 0 a half.
+        curves = np.stack([
+            curve_from_knee(4, 8),
+            curve_from_knee(1, 8),
+            curve_from_knee(1, 8),
+        ])
+        alloc = best_subcube_allocation(curves, 8)
+        assert alloc.counts[0] == 4
+
+    def test_eight_threads_sixteen_ways(self):
+        curves = np.zeros((8, 17))
+        alloc = best_subcube_allocation(curves, 16)
+        assert sorted(alloc.counts) == [2] * 8
+
+    def test_six_threads_expressible(self):
+        # 6 threads (the case with no single-cube even split) still solves.
+        curves = np.zeros((6, 17))
+        alloc = best_subcube_allocation(curves, 16)
+        assert sum(alloc.counts) == 16
+
+    def test_rejects_non_power_assoc(self):
+        with pytest.raises(ValueError):
+            best_subcube_allocation(np.zeros((2, 13)), 12)
+
+    def test_rejects_too_many_threads(self):
+        with pytest.raises(ValueError):
+            best_subcube_allocation(np.zeros((5, 5)), 4)
+
+
+class TestOptimality:
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 4), st.sampled_from([4, 8]))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_brute_force_cost(self, seed, threads, assoc):
+        if threads > assoc:
+            return
+        rng = np.random.default_rng(seed)
+        curves = np.sort(rng.integers(0, 1000, (threads, assoc + 1)),
+                         axis=1)[:, ::-1].astype(float)
+        alloc = best_subcube_allocation(curves, assoc)
+        cost = subcube_misses(curves, alloc)
+        assert cost == pytest.approx(brute_force_subcube(curves, assoc))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_paper_scale(self, seed):
+        rng = np.random.default_rng(seed)
+        threads = int(rng.integers(2, 9))
+        curves = np.sort(rng.integers(0, 10**6, (threads, 17)),
+                         axis=1)[:, ::-1].astype(float)
+        alloc = best_subcube_allocation(curves, 16)
+        assert sum(alloc.counts) == 16
+        assert len(alloc.counts) == threads

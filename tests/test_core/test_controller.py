@@ -1,0 +1,113 @@
+"""Unit tests for the interval partition controller."""
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.partition.btvectors import BTVectorPartition
+from repro.cache.partition.masks import MasksPartition
+from repro.cache.replacement.bt import BTPolicy
+from repro.core.controller import PartitionController, select_allocation
+from repro.profiling.monitor import ProfilingSystem
+
+
+def geometry(num_sets=32, assoc=8):
+    return CacheGeometry(num_sets * assoc * 128, assoc, 128)
+
+
+def make_controller(policy="lru", assoc=8):
+    g = geometry(assoc=assoc)
+    profiling = ProfilingSystem(2, g, policy, sampling=4)
+    if policy == "bt":
+        bt = BTPolicy(g.num_sets, g.assoc)
+        scheme = BTVectorPartition(2, g.num_sets, g.assoc, bt)
+    else:
+        scheme = MasksPartition(2, g.num_sets, g.assoc)
+    controller = PartitionController(profiling, scheme, g.assoc)
+    return controller, profiling, scheme
+
+
+class TestController:
+    def test_initial_allocation_is_even(self):
+        controller, _, scheme = make_controller()
+        assert controller.current_counts == (4, 4)
+
+    def test_bt_initial_allocation(self):
+        controller, _, scheme = make_controller(policy="bt")
+        assert controller.current_counts == (4, 4)
+
+    def test_boundary_repartitions_toward_profile(self):
+        controller, profiling, scheme = make_controller()
+        # Thread 0 shows reuse at depth 6; thread 1 misses everything.
+        for _ in range(100):
+            profiling[0].sdh.record(6)
+            profiling[1].sdh.record_miss()
+        controller.interval_boundary(cycle=1_000_000)
+        counts = controller.current_counts
+        assert counts[0] >= 6
+        assert sum(counts) == 8
+
+    def test_boundary_halves_sdh(self):
+        controller, profiling, _ = make_controller()
+        for _ in range(10):
+            profiling[0].sdh.record(1)
+        controller.interval_boundary()
+        assert profiling[0].sdh.total == 5
+
+    def test_history_recorded(self):
+        controller, profiling, _ = make_controller()
+        profiling[0].sdh.record(2)
+        controller.interval_boundary(cycle=123)
+        assert len(controller.history) == 1
+        assert controller.history[0].cycle == 123
+        assert sum(controller.history[0].counts) == 8
+
+    def test_repartition_counter(self):
+        controller, _, _ = make_controller()
+        controller.interval_boundary()
+        controller.interval_boundary()
+        assert controller.repartitions == 2
+
+    def test_bt_controller_uses_subcubes(self):
+        controller, profiling, scheme = make_controller(policy="bt")
+        for _ in range(50):
+            profiling[0].sdh.record(3)
+            profiling[1].sdh.record_miss()
+        controller.interval_boundary()
+        counts = controller.current_counts
+        for c in counts:
+            assert c & (c - 1) == 0  # powers of two only
+
+
+class TestSelectAllocation:
+    def test_even(self):
+        alloc = select_allocation(np.zeros((3, 9)), 8, "even")
+        assert alloc.counts == (3, 3, 2)
+
+    def test_minmisses(self):
+        curves = np.stack([
+            np.array([9, 9, 9, 9, 9, 9, 0, 0, 0.0]),
+            np.array([9, 0, 0, 0, 0, 0, 0, 0, 0.0]),
+        ])
+        alloc = select_allocation(curves, 8, "minmisses")
+        assert alloc.counts == (6, 2) or alloc.counts[0] >= 6
+
+    def test_lookahead(self):
+        alloc = select_allocation(np.zeros((2, 9)), 8, "lookahead")
+        assert sum(alloc.counts) == 8
+
+    def test_fair(self):
+        alloc = select_allocation(np.zeros((2, 9)), 8, "fair")
+        assert sum(alloc.counts) == 8
+
+    def test_subcube_even(self):
+        alloc = select_allocation(np.zeros((2, 9)), 8, "even", subcube=True)
+        assert alloc.counts == (4, 4)
+
+    def test_subcube_rejects_other_selectors(self):
+        with pytest.raises(ValueError):
+            select_allocation(np.zeros((2, 9)), 8, "fair", subcube=True)
+
+    def test_unknown_selector(self):
+        with pytest.raises(ValueError):
+            select_allocation(np.zeros((2, 9)), 8, "magic")

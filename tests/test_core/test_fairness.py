@@ -1,0 +1,47 @@
+"""Unit tests for the fairness-oriented selector (extension)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fairness import fair_partition
+from repro.core.minmisses import minmisses_partition
+
+
+def curve_from_knee(knee, assoc, height=100.0):
+    return np.array([height if w < knee else 1.0 for w in range(assoc + 1)])
+
+
+class TestFairness:
+    def test_sums_to_assoc(self):
+        curves = np.zeros((3, 17))
+        assert sum(fair_partition(curves, 16)) == 16
+
+    def test_balances_normalised_misses(self):
+        # MinMisses starves the small-but-steep thread when another thread
+        # has higher absolute utility; the fair selector should not.
+        big = np.array([10_000.0, 9_000, 8_000, 7_000, 6_000,
+                        5_000, 4_000, 3_000, 2_000])
+        small = np.array([100.0, 100, 100, 100, 100, 100, 100, 1, 1])
+        curves = np.stack([big, small])
+        fair = fair_partition(curves, 8)
+        # Thread 1 reaches its knee (7 ways) under the fair policy.
+        assert fair[1] >= 7
+
+    def test_flat_curves_even(self):
+        curves = np.zeros((4, 17))
+        assert fair_partition(curves, 16) == (4, 4, 4, 4)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_bottleneck_no_worse_than_minmisses(self, seed):
+        rng = np.random.default_rng(seed)
+        curves = np.sort(rng.integers(1, 1000, (3, 9)), axis=1)[:, ::-1]
+        curves = curves.astype(float)
+        base = np.maximum(curves[:, 8], 1.0)
+
+        def bottleneck(counts):
+            return max(curves[t][w] / base[t] for t, w in enumerate(counts))
+
+        fair = fair_partition(curves, 8)
+        mm = minmisses_partition(curves, 8)
+        assert bottleneck(fair) <= bottleneck(mm) + 1e-9

@@ -1,0 +1,47 @@
+"""Unit tests for the Qureshi-Patt lookahead allocator."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lookahead import lookahead_partition
+from repro.core.minmisses import minmisses_partition, total_misses
+
+
+class TestLookahead:
+    def test_sums_to_assoc(self):
+        curves = np.zeros((3, 17))
+        assert sum(lookahead_partition(curves, 16)) == 16
+
+    def test_zero_utility_distributes_remainder(self):
+        curves = np.zeros((2, 9))
+        counts = lookahead_partition(curves, 8)
+        assert sum(counts) == 8
+        assert all(c >= 1 for c in counts)
+
+    def test_sees_past_plateau(self):
+        # No gain for 1 extra way but a huge gain for 3: the lookahead must
+        # grant the block of 3 (a pure greedy-by-one would not).
+        plateau = np.array([100.0, 100.0, 100.0, 100.0, 0.0,
+                            0.0, 0.0, 0.0, 0.0])
+        gentle = np.array([100.0, 90.0, 80.0, 70.0, 60.0,
+                           50.0, 40.0, 30.0, 20.0])
+        curves = np.stack([plateau, gentle])
+        counts = lookahead_partition(curves, 8)
+        assert counts[0] >= 4
+
+    def test_prefers_high_utility(self):
+        steep = np.array([1000.0] + [0.0] * 8)
+        flat = np.full(9, 10.0)
+        counts = lookahead_partition(np.stack([steep, flat]), 8)
+        assert counts[0] >= 1
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_never_better_than_exact_dp(self, seed):
+        rng = np.random.default_rng(seed)
+        curves = np.sort(rng.integers(0, 1000, (3, 9)), axis=1)[:, ::-1]
+        curves = curves.astype(float)
+        greedy = lookahead_partition(curves, 8)
+        exact = minmisses_partition(curves, 8)
+        assert total_misses(curves, greedy) >= total_misses(curves, exact) - 1e-9
+        assert sum(greedy) == 8

@@ -1,0 +1,85 @@
+"""Unit and property tests for the MinMisses DP (paper §II-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.minmisses import (
+    brute_force_partition,
+    minmisses_partition,
+    total_misses,
+)
+
+
+def curve_from_knee(knee: int, assoc: int, height: float = 100.0):
+    """A miss curve that drops to ~0 once `knee` ways are owned."""
+    return np.array([height if w < knee else 1.0 for w in range(assoc + 1)])
+
+
+class TestBasics:
+    def test_sums_to_assoc(self):
+        curves = np.stack([curve_from_knee(2, 8), curve_from_knee(5, 8)])
+        counts = minmisses_partition(curves, 8)
+        assert sum(counts) == 8
+
+    def test_min_ways_respected(self):
+        curves = np.zeros((4, 17))
+        counts = minmisses_partition(curves, 16, min_ways=2)
+        assert all(c >= 2 for c in counts)
+
+    def test_knees_get_their_ways(self):
+        curves = np.stack([curve_from_knee(2, 8), curve_from_knee(6, 8)])
+        counts = minmisses_partition(curves, 8)
+        assert counts[0] >= 2
+        assert counts[1] >= 6
+
+    def test_streaming_thread_gets_minimum(self):
+        # A flat curve (always misses) earns nothing from extra ways.
+        flat = np.full(9, 500.0)
+        curves = np.stack([flat, curve_from_knee(7, 8)])
+        counts = minmisses_partition(curves, 8)
+        assert counts == (1, 7)
+
+    def test_flat_curves_give_even_split(self):
+        # Tie-break prefers balance.
+        curves = np.zeros((2, 17))
+        assert minmisses_partition(curves, 16) == (8, 8)
+        curves = np.zeros((4, 17))
+        assert minmisses_partition(curves, 16) == (4, 4, 4, 4)
+
+    def test_single_thread_takes_all(self):
+        curves = np.zeros((1, 9))
+        assert minmisses_partition(curves, 8) == (8,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minmisses_partition(np.zeros((2, 8)), 8)     # wrong width
+        with pytest.raises(ValueError):
+            minmisses_partition(np.zeros((9, 9)), 8)     # too many threads
+        with pytest.raises(ValueError):
+            minmisses_partition(np.zeros((2, 9)), 8, min_ways=0)
+
+
+class TestOptimality:
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 4), st.integers(4, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, seed, threads, assoc):
+        if threads > assoc:
+            return
+        rng = np.random.default_rng(seed)
+        raw = rng.integers(0, 1000, size=(threads, assoc + 1))
+        # Make curves non-increasing (true of any SDH-derived curve).
+        curves = np.sort(raw, axis=1)[:, ::-1].astype(float)
+        counts = minmisses_partition(curves, assoc)
+        reference = brute_force_partition(curves, assoc)
+        assert total_misses(curves, counts) == pytest.approx(
+            total_misses(curves, reference))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_paper_scale_feasibility(self, seed):
+        rng = np.random.default_rng(seed)
+        curves = np.sort(rng.integers(0, 10**6, (8, 17)), axis=1)[:, ::-1]
+        counts = minmisses_partition(curves.astype(float), 16)
+        assert sum(counts) == 16
+        assert all(c >= 1 for c in counts)

@@ -1,0 +1,174 @@
+"""Tests for the QoS partitioning extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.minmisses import (
+    minmisses_partition,
+    minmisses_partition_bounded,
+    total_misses,
+)
+from repro.core.qos import (
+    QoSPartitioner,
+    ipc_curve,
+    min_ways_for_target,
+)
+
+
+def linear_curve(assoc, misses_at_zero):
+    """Miss curve decaying linearly to zero at full allocation."""
+    return np.linspace(misses_at_zero, 0.0, assoc + 1)
+
+
+class TestIPCCurve:
+    def test_monotone_in_ways(self):
+        ipcs = ipc_curve(linear_curve(8, 1000), 10_000, 5_000, 250)
+        assert np.all(np.diff(ipcs) >= 0)
+
+    def test_no_misses_gives_base_ipc(self):
+        ipcs = ipc_curve([0, 0, 0], 10_000, 5_000, 250)
+        assert ipcs[0] == pytest.approx(2.0)
+
+    def test_miss_penalty_slows(self):
+        fast = ipc_curve([100, 0], 1000, 1000, 100)
+        assert fast[0] == pytest.approx(1000 / (1000 + 100 * 100))
+        assert fast[1] == pytest.approx(1.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ipc_curve([1, 0], 0, 100, 10)
+        with pytest.raises(ValueError):
+            ipc_curve([1, 0], 100, 0, 10)
+        with pytest.raises(ValueError):
+            ipc_curve([1, 0], 100, 100, -1)
+
+
+class TestMinWaysForTarget:
+    def test_full_target_needs_saturating_allocation(self):
+        curve = [100, 50, 0, 0]
+        assert min_ways_for_target(curve, 1.0, 1000, 250) == 2
+
+    def test_loose_target_needs_fewer_ways(self):
+        curve = linear_curve(8, 1000)
+        tight = min_ways_for_target(curve, 0.99, 500_000, 250)
+        loose = min_ways_for_target(curve, 0.5, 500_000, 250)
+        assert loose < tight
+
+    def test_zero_penalty_any_allocation_works(self):
+        assert min_ways_for_target([100, 0], 1.0, 1000, 0) == 0
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            min_ways_for_target([1, 0], 0.0, 100, 10)
+        with pytest.raises(ValueError):
+            min_ways_for_target([1, 0], 1.0001, 100, 10)
+
+
+class TestBoundedMinMisses:
+    def test_reduces_to_plain_with_unit_mins(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            regs = rng.integers(0, 50, size=(3, 9))
+            curves = np.cumsum(regs[:, ::-1], axis=1)[:, ::-1]
+            plain = minmisses_partition(curves, 8)
+            bounded = minmisses_partition_bounded(curves, 8, [1, 1, 1])
+            assert plain == bounded
+
+    def test_respects_reservations(self):
+        # Thread 0 has a flat curve (wants nothing); reservation forces 5.
+        curves = np.array([[10.0] * 9, linear_curve(8, 1000)])
+        counts = minmisses_partition_bounded(curves, 8, [5, 1])
+        assert counts[0] >= 5
+        assert sum(counts) == 8
+
+    def test_rejects_overcommitted(self):
+        curves = np.zeros((2, 9))
+        with pytest.raises(ValueError):
+            minmisses_partition_bounded(curves, 8, [5, 5])
+
+    def test_rejects_zero_min(self):
+        with pytest.raises(ValueError):
+            minmisses_partition_bounded(np.zeros((2, 9)), 8, [0, 1])
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            minmisses_partition_bounded(np.zeros((2, 9)), 8, [1])
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_among_feasible(self, seed):
+        """The bounded DP's solution is optimal over all feasible splits."""
+        rng = np.random.default_rng(seed)
+        regs = rng.integers(0, 30, size=(2, 5))
+        curves = np.cumsum(regs[:, ::-1], axis=1)[:, ::-1].astype(float)
+        mins = [int(rng.integers(1, 3)), int(rng.integers(1, 3))]
+        counts = minmisses_partition_bounded(curves, 4, mins)
+        assert counts[0] >= mins[0] and counts[1] >= mins[1]
+        best = min(
+            total_misses(curves, (w, 4 - w))
+            for w in range(mins[0], 4 - mins[1] + 1)
+        )
+        assert total_misses(curves, counts) == pytest.approx(best)
+
+
+class TestQoSPartitioner:
+    def test_feasible_targets_met(self):
+        # Thread 0's curve saturates at 3 ways, so a 0.8 target reserves a
+        # small, feasible allocation.
+        kneed = np.array([1000.0, 100, 10, 0, 0, 0, 0, 0, 0])
+        curves = np.stack([kneed, linear_curve(8, 1000)])
+        qos = QoSPartitioner([0.8, None], memory_penalty=250)
+        result = qos.select(curves, base_cycles=[1000, 1000])
+        assert result.feasible
+        assert result.counts[0] >= result.reservations[0]
+        assert sum(result.counts) == 8
+        assert result.predicted_relative_ipc[0] >= 0.8 - 1e-9
+
+    def test_best_effort_thread_gets_leftovers(self):
+        # Guaranteed thread saturates early; best-effort thread is hungry.
+        sat = np.array([100.0, 0, 0, 0, 0, 0, 0, 0, 0])
+        hungry = linear_curve(8, 10_000)
+        qos = QoSPartitioner([0.95, None])
+        result = qos.select(np.stack([sat, hungry]), [1000, 1000])
+        assert result.counts[1] > result.counts[0]
+
+    def test_infeasible_targets_trimmed(self):
+        # Two threads each demanding near-full cache: cannot both win.
+        steep = linear_curve(8, 100_000)
+        qos = QoSPartitioner([1.0, 1.0], memory_penalty=250)
+        result = qos.select(np.stack([steep, steep]), [1000, 1000])
+        assert not result.feasible
+        assert sum(result.counts) == 8
+        assert sum(result.reservations) <= 8
+
+    def test_trimming_prefers_cheapest_loss(self):
+        """The thread whose curve is flat near its reservation loses ways
+        first."""
+        flat_top = np.array([1000.0, 500, 10, 9, 8, 7, 6, 5, 4])
+        steep = linear_curve(8, 100_000)
+        qos = QoSPartitioner([1.0, 1.0])
+        result = qos.select(np.stack([flat_top, steep]), [1000, 1000])
+        # flat_top barely loses IPC when trimmed; steep keeps its ways.
+        assert result.counts[1] >= result.counts[0]
+
+    def test_rejects_bad_targets(self):
+        with pytest.raises(ValueError):
+            QoSPartitioner([1.5])
+        with pytest.raises(ValueError):
+            QoSPartitioner([0.9], memory_penalty=-1)
+
+    def test_rejects_mismatched_lengths(self):
+        qos = QoSPartitioner([0.9, 0.9])
+        with pytest.raises(ValueError):
+            qos.select(np.zeros((3, 9)), [1, 1, 1])
+        with pytest.raises(ValueError):
+            qos.select(np.zeros((2, 9)), [1])
+
+    def test_all_best_effort_is_minmisses(self):
+        rng = np.random.default_rng(7)
+        regs = rng.integers(0, 50, size=(2, 9))
+        curves = np.cumsum(regs[:, ::-1], axis=1)[:, ::-1].astype(float)
+        qos = QoSPartitioner([None, None])
+        result = qos.select(curves, [1000, 1000])
+        assert result.counts == minmisses_partition(curves, 8)

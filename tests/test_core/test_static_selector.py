@@ -1,0 +1,86 @@
+"""Tests for the static-allocation selector (QoS epoch enforcement)."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    PartitioningConfig,
+    ProcessorConfig,
+    SimulationConfig,
+)
+from repro.core.controller import select_allocation
+from repro.cmp.simulator import run_workload
+from repro.workloads.generator import generate_workload_traces
+
+
+class TestSelectAllocationStatic:
+    def test_fixed_counts_returned(self):
+        allocation = select_allocation(
+            np.zeros((2, 9)), 8, "static", static_counts=(6, 2))
+        assert tuple(allocation.counts) == (6, 2)
+
+    def test_requires_counts(self):
+        with pytest.raises(ValueError):
+            select_allocation(np.zeros((2, 9)), 8, "static")
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            select_allocation(np.zeros((3, 9)), 8, "static",
+                              static_counts=(4, 4))
+
+
+class TestConfigValidation:
+    def test_static_requires_counts(self):
+        with pytest.raises(ValueError):
+            PartitioningConfig(selector="static")
+
+    def test_counts_require_static(self):
+        with pytest.raises(ValueError):
+            PartitioningConfig(selector="minmisses", static_counts=(8, 8))
+
+    def test_static_rejects_btvectors(self):
+        with pytest.raises(ValueError):
+            PartitioningConfig(policy="bt", enforcement="btvectors",
+                               selector="static", static_counts=(8, 8))
+
+    def test_valid_static_config(self):
+        config = PartitioningConfig(
+            policy="lru", enforcement="masks",
+            selector="static", static_counts=(12, 4))
+        assert config.static_counts == (12, 4)
+
+
+class TestStaticSimulation:
+    def test_static_allocation_enforced_every_interval(self):
+        processor = ProcessorConfig(num_cores=2).scaled(16)
+        traces = generate_workload_traces(
+            ("parser", "crafty"), 15_000, processor.l2.num_lines, seed=5)
+        config = PartitioningConfig(
+            policy="lru", enforcement="masks",
+            selector="static", static_counts=(12, 4),
+            atd_sampling=4, interval_cycles=200_000)
+        result = run_workload(
+            processor, config, traces,
+            SimulationConfig(instructions_per_thread=50_000, seed=5))
+        assert result.events.repartitions > 0
+        for record in result.partition_history:
+            assert record.counts == (12, 4)
+
+    def test_skewed_static_beats_starved_thread(self):
+        """Giving the cache-sensitive thread more ways must raise its IPC
+        versus the inverse allocation — the lever the QoS loop uses."""
+        processor = ProcessorConfig(num_cores=2).scaled(16)
+        traces = generate_workload_traces(
+            ("parser", "mcf"), 15_000, processor.l2.num_lines, seed=6)
+        sim = SimulationConfig(instructions_per_thread=40_000, seed=6)
+
+        def run(counts):
+            config = PartitioningConfig(
+                policy="lru", enforcement="masks",
+                selector="static", static_counts=counts,
+                atd_sampling=4, interval_cycles=200_000)
+            return run_workload(processor, config, traces, sim)
+
+        generous = run((14, 2)).ipcs[0]
+        starved = run((2, 14)).ipcs[0]
+        assert generous > starved

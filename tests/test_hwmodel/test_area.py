@@ -1,0 +1,29 @@
+"""Unit tests for area formatting helpers."""
+
+import pytest
+
+from repro.hwmodel.area import bits_to_bytes, bits_to_kb, format_area
+
+
+class TestConversions:
+    def test_bits_to_bytes(self):
+        assert bits_to_bytes(16) == 2.0
+        assert bits_to_bytes(4) == 0.5
+
+    def test_bits_to_kb(self):
+        assert bits_to_kb(8 * 1024 * 8) == 8.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(-1)
+
+
+class TestFormat:
+    def test_small_in_bits(self):
+        assert format_area(32) == "32 bits"
+
+    def test_kb(self):
+        assert format_area(8 * 1024 * 8) == "8 KB"
+
+    def test_paper_bt_quote(self):
+        assert format_area(15360) == "1.875 KB"

@@ -1,0 +1,97 @@
+"""Unit tests for the Table I complexity model — paper numbers are exact."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.hwmodel.complexity import (
+    ReplacementComplexity,
+    event_bits_table,
+    storage_bits_table,
+)
+
+PAPER = CacheGeometry(2 * 1024 * 1024, 16, 128)
+
+
+def comp(policy, cores=2):
+    return ReplacementComplexity(policy, PAPER, cores)
+
+
+class TestTable1aStorage:
+    def test_lru_8kb(self):
+        assert comp("lru").storage_bits_total("none") == 8 * 1024 * 8
+
+    def test_nru_2kb_plus_pointer(self):
+        assert comp("nru").storage_bits_total("none") == 2 * 1024 * 8 + 4
+
+    def test_bt_1_875kb(self):
+        assert comp("bt").storage_bits_total("none") == 15360
+
+    def test_masks_add_a_times_n(self):
+        delta = (comp("lru").storage_bits_total("masks")
+                 - comp("lru").storage_bits_total("none"))
+        assert delta == 16 * 2
+
+    def test_bt_vectors_add_8_bits_for_2_cores(self):
+        # Paper: "replacement bits area slightly increases (by 8 bits)".
+        delta = (comp("bt").storage_bits_total("btvectors")
+                 - comp("bt").storage_bits_total("none"))
+        assert delta == 2 * 4 * 2  # up + down, log2(16) bits, 2 cores
+
+    def test_counters_per_set_formula(self):
+        # A log2 N + N log2 A per set.
+        assert comp("lru").partition_bits_per_set("counters") == 16 * 1 + 2 * 4
+
+    def test_storage_table_shape(self):
+        table = storage_bits_table(PAPER, 2)
+        assert set(table) == {"lru", "nru", "bt"}
+        assert table["lru"]["none"] == 65536
+        assert "btvectors" in table["bt"]
+
+
+class TestTable1bEvents:
+    def test_tag_comparison_752(self):
+        for policy in ("lru", "nru", "bt"):
+            assert comp(policy).tag_comparison_bits() == 752
+
+    def test_update_unpartitioned(self):
+        assert comp("lru").update_bits_unpartitioned() == 64
+        assert comp("nru").update_bits_unpartitioned() == 15 + 4
+        assert comp("bt").update_bits_unpartitioned() == 4
+
+    def test_update_partitioned(self):
+        # LRU: N*A find-owned + (A-1)*log2A find-LRU-in-owned.
+        assert comp("lru").update_bits_partitioned("masks") == 32 + 60
+        # NRU: N*A + (A-1) used bits + log2A pointer.
+        assert comp("nru").update_bits_partitioned("masks") == 32 + 15 + 4
+        # BT: BT path bits + up + down.
+        assert comp("bt").update_bits_partitioned("btvectors") == 12
+
+    def test_data_hit_is_line_bits(self):
+        assert comp("lru").data_bits() == 1024
+
+    def test_profiling_read(self):
+        assert comp("lru").profiling_read_bits() == 4
+        assert comp("nru").profiling_read_bits() == 16
+        assert comp("bt").profiling_read_bits() == 16
+
+    def test_event_table_shape(self):
+        table = event_bits_table(PAPER, 2)
+        assert set(table) == {
+            "tag_comparison", "update_unpartitioned", "update_partitioned",
+            "data_hit", "profiling_read",
+        }
+
+
+class TestScaling:
+    def test_eight_cores(self):
+        c = comp("lru", cores=8)
+        assert c.partition_global_bits("masks") == 16 * 8
+        assert c.partition_bits_per_set("counters") == 16 * 3 + 8 * 4
+
+    def test_policy_validated(self):
+        with pytest.raises(ValueError):
+            ReplacementComplexity("random", PAPER, 2)
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            comp("lru").storage_bits_total("quotas")

@@ -1,0 +1,95 @@
+"""Unit tests for the power/energy model (Figure 9 substrate)."""
+
+import pytest
+
+from repro.config import ProcessorConfig, config_C_L, config_unpartitioned
+from repro.cmp.simulator import EventCounts, SimulationResult, ThreadResult
+from repro.hwmodel.power import PowerModel, PowerParams
+
+
+def fake_result(l2_misses=1000, l2_accesses=10_000, wall=1_000_000,
+                instructions=500_000, atd=300):
+    threads = [ThreadResult(
+        name="t", instructions=instructions, cycles=wall,
+        l1_accesses=50_000, l1_misses=l2_accesses,
+        l2_accesses=l2_accesses, l2_misses=l2_misses,
+    )]
+    events = EventCounts(
+        l1_accesses=50_000, l2_accesses=l2_accesses,
+        l2_hits=l2_accesses - l2_misses, l2_misses=l2_misses,
+        atd_accesses=atd, repartitions=10, wall_cycles=float(wall),
+    )
+    return SimulationResult(acronym="C-L", threads=threads, events=events)
+
+
+class TestPowerModel:
+    def test_components_positive(self):
+        report = PowerModel().evaluate(fake_result(), ProcessorConfig(1),
+                                       config_C_L(), profiling_bits=10_000)
+        assert all(v >= 0 for v in report.components.values())
+        assert report.total_energy > 0
+
+    def test_memory_energy_is_150x_per_access(self):
+        params = PowerParams()
+        assert params.e_mem_access == pytest.approx(150 * params.e_l2_access)
+
+    def test_more_misses_more_power(self):
+        model = PowerModel()
+        low = model.evaluate(fake_result(l2_misses=100), ProcessorConfig(1),
+                             config_C_L())
+        high = model.evaluate(fake_result(l2_misses=5000), ProcessorConfig(1),
+                              config_C_L())
+        assert high.power > low.power
+
+    def test_profiling_below_paper_bound(self):
+        """Paper §V-C: profiling logic stays below 0.3 % of total power."""
+        # ATD bits for a 2-core full-scale system: ~2 x 3.25 KB.
+        profiling_bits = 2 * int(3.25 * 1024 * 8)
+        report = PowerModel().evaluate(
+            fake_result(atd=10_000), ProcessorConfig(2), config_C_L(),
+            profiling_bits=profiling_bits)
+        fractions = report.fractions()
+        profiling = (fractions["profiling_leakage"]
+                     + fractions["profiling_dynamic"])
+        assert profiling < 0.003
+
+    def test_energy_metric_is_cpi_times_power(self):
+        report = PowerModel().evaluate(fake_result(), ProcessorConfig(1),
+                                       config_C_L())
+        assert report.energy_metric == pytest.approx(report.cpi * report.power)
+
+    def test_fractions_sum_to_one(self):
+        report = PowerModel().evaluate(fake_result(), ProcessorConfig(1),
+                                       config_C_L())
+        assert sum(report.fractions().values()) == pytest.approx(1.0)
+
+    def test_grouped_covers_everything(self):
+        report = PowerModel().evaluate(fake_result(), ProcessorConfig(1),
+                                       config_C_L())
+        grouped = PowerModel.grouped(report)
+        assert sum(grouped.values()) == pytest.approx(report.total_energy)
+
+    def test_unpartitioned_config_accepted(self):
+        report = PowerModel().evaluate(fake_result(atd=0), ProcessorConfig(1),
+                                       config_unpartitioned("bt"))
+        assert report.components["profiling_dynamic"] == 0.0
+
+    def test_cores_dominate(self):
+        """Figure 9(b): the cores are the largest power component."""
+        report = PowerModel().evaluate(fake_result(), ProcessorConfig(2),
+                                       config_C_L())
+        grouped = PowerModel.grouped(report)
+        assert grouped["cores"] == max(grouped.values())
+
+    def test_extension_policies_map_to_nearest_family(self):
+        """The complexity terms only cover the paper's policies; extension
+        policies must evaluate without error and land near the family they
+        map to (lip/bip/dip -> lru, everything else -> nru)."""
+        result = fake_result(atd=0)
+        for policy, proxy in (("dip", "lru"), ("srrip", "nru"),
+                              ("fifo", "nru"), ("random", "nru")):
+            report = PowerModel().evaluate(
+                result, ProcessorConfig(1), config_unpartitioned(policy))
+            reference = PowerModel().evaluate(
+                result, ProcessorConfig(1), config_unpartitioned(proxy))
+            assert report.total_energy == pytest.approx(reference.total_energy)

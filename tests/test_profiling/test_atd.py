@@ -1,0 +1,86 @@
+"""Unit tests for the sampled Auxiliary Tag Directory."""
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.profiling.atd import ATD
+from repro.profiling.profilers import make_profiler
+
+
+def make_atd(num_sets=32, assoc=4, sampling=4, policy="lru"):
+    geometry = CacheGeometry(num_sets * assoc * 128, assoc, 128)
+    return ATD(geometry, sampling, policy, make_profiler(policy),
+               rng=np.random.default_rng(0))
+
+
+class TestSampling:
+    def test_only_sampled_sets_observed(self):
+        atd = make_atd(sampling=4)
+        assert atd.observe(0)        # set 0: sampled
+        assert not atd.observe(1)    # set 1: skipped
+        assert atd.observe(4)        # set 4: sampled
+        assert atd.sampled_accesses == 2
+        assert atd.skipped_accesses == 1
+
+    def test_sampling_one_observes_all(self):
+        atd = make_atd(sampling=1)
+        assert atd.observe(3)
+
+    def test_sampling_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            make_atd(sampling=3)
+
+    def test_sampling_must_divide_sets(self):
+        with pytest.raises(ValueError):
+            make_atd(num_sets=4, sampling=8)
+
+    def test_directory_is_smaller(self):
+        atd = make_atd(num_sets=32, sampling=4)
+        assert atd.num_sets == 8
+
+
+class TestProfilingFlow:
+    def test_miss_records_a_plus_one(self):
+        atd = make_atd()
+        atd.observe(0)
+        assert atd.sdh.register(atd.assoc + 1) == 1
+
+    def test_hit_records_distance(self):
+        atd = make_atd()
+        atd.observe(0)
+        atd.observe(0)     # immediate re-access: distance 1
+        assert atd.sdh.register(1) == 1
+
+    def test_capacity_behaviour(self):
+        # 4-way ATD set: 5 distinct lines in one sampled set -> the 5th
+        # access evicts the LRU; re-access of the evicted line misses.
+        atd = make_atd(num_sets=32, assoc=4, sampling=4)
+        lines = [i * 32 for i in range(5)]  # all map to (sampled) L2 set 0
+        for line in lines:
+            atd.observe(line)
+        assert not atd.contains_line(lines[0])
+        atd.observe(lines[0])
+        assert atd.sdh.register(atd.assoc + 1) == 6
+
+    def test_profiler_policy_mismatch(self):
+        geometry = CacheGeometry(32 * 4 * 128, 4, 128)
+        with pytest.raises(ValueError):
+            ATD(geometry, 4, "nru", make_profiler("lru"))
+
+    def test_reset(self):
+        atd = make_atd()
+        atd.observe(0)
+        atd.reset()
+        assert atd.sdh.total == 0
+        assert atd.sampled_accesses == 0
+        assert not atd.contains_line(0)
+
+
+class TestStorage:
+    def test_paper_size_quote(self):
+        """§III: 1-in-32 sampling of a 2MB/16-way L2 -> 3.25 KB per core
+        (47 tag bits + 1 valid bit per entry + per-set LRU state)."""
+        geometry = CacheGeometry(2 * 1024 * 1024, 16, 128)
+        atd = ATD(geometry, 32, "lru", make_profiler("lru"))
+        assert atd.storage_bits() == int(3.25 * 1024 * 8)

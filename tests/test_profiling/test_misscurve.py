@@ -1,0 +1,157 @@
+"""Tests for the MissCurve container and its analysis utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.profiling.misscurve import MissCurve
+from repro.profiling.sdh import SDH
+
+registers = st.lists(st.integers(0, 50), min_size=2, max_size=17)
+
+
+def curve_from_registers(regs):
+    return MissCurve.from_registers(regs)
+
+
+class TestConstruction:
+    def test_basic(self):
+        mc = MissCurve([10, 5, 0])
+        assert mc.assoc == 2
+        assert mc.misses(0) == 10
+        assert mc.misses(2) == 0
+
+    def test_rejects_increasing(self):
+        with pytest.raises(ValueError):
+            MissCurve([5, 10])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MissCurve([-1, -2])
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            MissCurve([3])
+
+    def test_from_sdh(self):
+        sdh = SDH(4)
+        sdh.record(1)
+        sdh.record(3)
+        sdh.record_miss()
+        mc = MissCurve.from_sdh(sdh)
+        assert mc.misses(0) == 3
+        assert mc.misses(1) == 2      # r1 hit excluded
+        assert mc.misses(4) == 1      # only the ATD miss remains
+
+    @given(regs=registers)
+    @settings(max_examples=60, deadline=None)
+    def test_from_registers_suffix_sum(self, regs):
+        mc = curve_from_registers(regs)
+        total = sum(regs)
+        assert mc.misses(0) == total
+        for w in range(1, mc.assoc + 1):
+            assert mc.misses(w) == total - sum(regs[:w])
+
+    def test_out_of_range(self):
+        mc = MissCurve([4, 2])
+        with pytest.raises(ValueError):
+            mc.misses(2)
+
+
+class TestArithmetic:
+    def test_hits_complement(self):
+        mc = MissCurve([10, 6, 1])
+        assert mc.hits(0) == 0
+        assert mc.hits(1) == 4
+        assert mc.hits(2) == 9
+
+    def test_add(self):
+        total = MissCurve([4, 2, 0]) + MissCurve([6, 5, 4])
+        assert total.values.tolist() == [10, 7, 4]
+
+    def test_add_mismatched(self):
+        with pytest.raises(ValueError):
+            MissCurve([4, 2]) + MissCurve([4, 2, 0])
+
+    def test_equality(self):
+        assert MissCurve([3, 1]) == MissCurve([3, 1])
+        assert MissCurve([3, 1]) != MissCurve([3, 0])
+
+    def test_normalized(self):
+        mc = MissCurve([10, 5, 0])
+        assert mc.normalized().tolist() == [1.0, 0.5, 0.0]
+
+    def test_normalized_zero_curve(self):
+        assert MissCurve([0, 0]).normalized().tolist() == [0.0, 0.0]
+
+
+class TestMarginalUtility:
+    def test_single_step(self):
+        mc = MissCurve([10, 6, 6, 2, 2])
+        assert mc.marginal_utility(0, 1) == 4
+        assert mc.marginal_utility(1, 2) == 0
+        assert mc.marginal_utility(1, 3) == 2
+
+    def test_invalid_range(self):
+        mc = MissCurve([10, 5, 0])
+        with pytest.raises(ValueError):
+            mc.marginal_utility(1, 1)
+
+    def test_max_marginal_utility_sees_past_plateau(self):
+        """The lookahead property: a plateau followed by a cliff still gets
+        a positive utility, so greedy allocation does not stall."""
+        mc = MissCurve([10, 10, 10, 0, 0])
+        utility, stop = mc.max_marginal_utility(0)
+        assert stop == 3
+        assert utility == pytest.approx(10 / 3)
+
+    def test_max_marginal_utility_prefers_cheapest(self):
+        mc = MissCurve([10, 5, 0])
+        _, stop = mc.max_marginal_utility(0)
+        assert stop == 1              # 5/way either way; ties -> smallest
+
+    def test_max_at_assoc_rejects(self):
+        mc = MissCurve([10, 5, 0])
+        with pytest.raises(ValueError):
+            mc.max_marginal_utility(2)
+
+
+class TestConvexMinorant:
+    def test_already_convex_unchanged(self):
+        mc = MissCurve([10, 6, 3, 1, 0])
+        assert mc.convex_minorant() == MissCurve([10, 6, 3, 1, 0])
+
+    def test_plateau_interpolated(self):
+        mc = MissCurve([10, 6, 6, 2, 2])
+        assert mc.convex_minorant().values.tolist() == [10, 6, 4, 2, 2]
+
+    @given(regs=registers)
+    @settings(max_examples=60, deadline=None)
+    def test_minorant_properties(self, regs):
+        mc = curve_from_registers(regs)
+        hull = mc.convex_minorant()
+        values, original = hull.values, mc.values
+        # Below the curve, equal at the endpoints, convex.
+        assert np.all(values <= original + 1e-9)
+        assert values[0] == original[0]
+        assert values[-1] == original[-1]
+        diffs = np.diff(values)
+        assert np.all(np.diff(diffs) >= -1e-9)
+
+
+class TestSaturation:
+    def test_saturating_ways(self):
+        mc = MissCurve([10, 4, 2, 2, 2])
+        assert mc.saturating_ways() == 2
+
+    def test_tolerance_loosens(self):
+        mc = MissCurve([10, 4, 3, 2, 2])
+        assert mc.saturating_ways() == 3
+        assert mc.saturating_ways(tolerance=1.0) == 2
+
+    def test_flat_curve_saturates_at_zero(self):
+        assert MissCurve([5, 5, 5]).saturating_ways() == 0
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            MissCurve([5, 5]).saturating_ways(tolerance=-1)

@@ -1,0 +1,138 @@
+"""Unit tests for the SDH register file (paper §II-A, Figure 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.profiling.sdh import SDH
+
+
+class TestRecord:
+    def test_paper_figure2_example(self):
+        # Figure 2: 4-way; r3 + r4 + r5 are the misses with 2 ways.
+        sdh = SDH(4)
+        sdh.record(1)          # the CDD example: D hits at distance 1
+        for d, n in [(2, 3), (3, 5), (4, 2)]:
+            for _ in range(n):
+                sdh.record(d)
+        for _ in range(7):
+            sdh.record_miss()
+        assert sdh.misses_with_ways(2) == 5 + 2 + 7
+        assert sdh.hits_with_ways(2) == 1 + 3
+
+    def test_record_bounds(self):
+        sdh = SDH(4)
+        with pytest.raises(ValueError):
+            sdh.record(0)
+        with pytest.raises(ValueError):
+            sdh.record(5)
+
+    def test_register_readout(self):
+        sdh = SDH(4)
+        sdh.record(2)
+        sdh.record(2)
+        sdh.record_miss()
+        assert sdh.register(2) == 2
+        assert sdh.register(5) == 1
+        assert sdh.total == 3
+
+    def test_record_range_literal_reading(self):
+        sdh = SDH(4)
+        sdh.record_range(3)
+        assert list(sdh.registers) == [1, 1, 1, 0, 0]
+
+
+class TestMissCurve:
+    def test_curve_matches_pointwise(self):
+        sdh = SDH(8)
+        rng = np.random.default_rng(0)
+        for d in rng.integers(1, 10, 200):
+            if d == 9:
+                sdh.record_miss()
+            else:
+                sdh.record(int(d))
+        curve = sdh.miss_curve()
+        assert len(curve) == 9
+        for w in range(9):
+            assert curve[w] == sdh.misses_with_ways(w)
+
+    def test_curve_non_increasing(self):
+        sdh = SDH(8)
+        rng = np.random.default_rng(1)
+        for d in rng.integers(1, 9, 300):
+            sdh.record(int(d))
+        curve = sdh.miss_curve()
+        assert (np.diff(curve) <= 0).all()
+
+    def test_zero_ways_misses_everything(self):
+        sdh = SDH(4)
+        sdh.record(1)
+        sdh.record(4)
+        sdh.record_miss()
+        assert sdh.misses_with_ways(0) == 3
+
+    def test_full_ways_only_cold_misses(self):
+        sdh = SDH(4)
+        sdh.record(1)
+        sdh.record(4)
+        sdh.record_miss()
+        assert sdh.misses_with_ways(4) == 1
+
+    @given(st.lists(st.integers(1, 9), min_size=0, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_hits_plus_misses_is_total(self, distances):
+        sdh = SDH(8)
+        for d in distances:
+            if d == 9:
+                sdh.record_miss()
+            else:
+                sdh.record(d)
+        for w in range(9):
+            assert sdh.hits_with_ways(w) + sdh.misses_with_ways(w) == sdh.total
+
+
+class TestHalving:
+    def test_halve_shifts_right(self):
+        sdh = SDH(4)
+        for _ in range(5):
+            sdh.record(1)
+        for _ in range(3):
+            sdh.record_miss()
+        sdh.halve()
+        assert sdh.register(1) == 2
+        assert sdh.register(5) == 1
+
+    def test_halving_preserves_ratios_roughly(self):
+        sdh = SDH(4)
+        for _ in range(100):
+            sdh.record(1)
+        for _ in range(50):
+            sdh.record(3)
+        sdh.halve()
+        assert sdh.register(1) == 50
+        assert sdh.register(3) == 25
+
+    def test_reset(self):
+        sdh = SDH(4)
+        sdh.record(2)
+        sdh.reset()
+        assert sdh.total == 0
+
+
+class TestPaperConstantOffsetClaim:
+    """§III-A: skipping used-bit-0 hits == recording distance A, up to a
+    constant offset in the miss curve for every w < A."""
+
+    def test_offset_is_constant_below_a(self):
+        base = SDH(8)
+        with_a = SDH(8)
+        rng = np.random.default_rng(2)
+        for d in rng.integers(1, 8, 100):
+            base.record(int(d))
+            with_a.record(int(d))
+        skipped = 17
+        for _ in range(skipped):
+            with_a.record(8)   # the "record distance A" variant
+        diff = with_a.miss_curve() - base.miss_curve()
+        assert (diff[:8] == skipped).all()  # constant for w = 0..7
+        assert diff[8] == 0                 # only w = A differs

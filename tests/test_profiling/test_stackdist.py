@@ -1,0 +1,154 @@
+"""Tests for the exact offline reuse-distance analyzer.
+
+The analyzer is ground truth for the profiling stack: an unsampled LRU ATD
+must agree with it access-for-access, and its miss curves must equal real
+LRU cache simulations at every associativity (the Mattson stack property).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.profiling.atd import ATD
+from repro.profiling.profilers import LRUDistanceProfiler
+from repro.profiling.stackdist import (
+    COLD,
+    ReuseDistanceAnalyzer,
+    SetReuseDistanceAnalyzer,
+    exact_miss_curve,
+    exact_sdh,
+)
+
+line_streams = st.lists(st.integers(0, 40), min_size=1, max_size=400)
+
+
+def naive_stack_position(history, line):
+    """Reference implementation: scan the history backwards."""
+    seen = set()
+    for prev in reversed(history):
+        if prev == line:
+            return len(seen) + 1
+        seen.add(prev)
+    return COLD
+
+
+class TestReuseDistanceAnalyzer:
+    def test_cold_accesses(self):
+        a = ReuseDistanceAnalyzer()
+        assert a.access(10) == COLD
+        assert a.access(20) == COLD
+        assert a.distinct_lines == 2
+
+    def test_immediate_repeat(self):
+        a = ReuseDistanceAnalyzer()
+        a.access(5)
+        assert a.access(5) == 1
+
+    def test_classic_sequence(self):
+        # a b c b a: positions COLD COLD COLD 2 3
+        a = ReuseDistanceAnalyzer()
+        got = [a.access(x) for x in [1, 2, 3, 2, 1]]
+        assert got == [COLD, COLD, COLD, 2, 3]
+
+    def test_grows_past_capacity_hint(self):
+        a = ReuseDistanceAnalyzer(capacity_hint=4)
+        for i in range(64):
+            a.access(i % 8)
+        assert a.access(0) == 8
+
+    def test_rejects_bad_hint(self):
+        with pytest.raises(ValueError):
+            ReuseDistanceAnalyzer(capacity_hint=0)
+
+    def test_reset(self):
+        a = ReuseDistanceAnalyzer()
+        a.access(1)
+        a.reset()
+        assert a.access(1) == COLD
+        assert a.accesses == 1
+
+    @given(stream=line_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_reference(self, stream):
+        a = ReuseDistanceAnalyzer(capacity_hint=8)
+        history = []
+        for line in stream:
+            assert a.access(line) == naive_stack_position(history, line)
+            history.append(line)
+
+
+class TestSetReuseDistanceAnalyzer:
+    def test_routes_by_set(self):
+        a = SetReuseDistanceAnalyzer(num_sets=2)
+        a.access(0)          # set 0
+        a.access(1)          # set 1
+        # Line 2 (set 0) did not disturb set 1's stack.
+        a.access(2)
+        assert a.access(1) == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            SetReuseDistanceAnalyzer(num_sets=3)
+
+    @given(stream=line_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_equivalent_to_per_set_analyzers(self, stream):
+        num_sets = 4
+        combined = SetReuseDistanceAnalyzer(num_sets)
+        separate = [ReuseDistanceAnalyzer(8) for _ in range(num_sets)]
+        for line in stream:
+            assert combined.access(line) == separate[line % num_sets].access(line)
+
+
+class TestExactSDH:
+    @given(stream=line_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_total_equals_accesses(self, stream):
+        registers = exact_sdh(stream, num_sets=2, assoc=4)
+        assert registers.sum() == len(stream)
+
+    @given(stream=line_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_curve_matches_real_lru_caches(self, stream):
+        """Stack property: curve[w] == misses of a real w-way LRU cache."""
+        num_sets, assoc = 2, 4
+        curve = exact_miss_curve(stream, num_sets, assoc)
+        for ways in range(1, assoc + 1):
+            geometry = CacheGeometry(num_sets * ways * 128, ways, 128)
+            cache = SetAssociativeCache(geometry, "lru")
+            for line in stream:
+                cache.access_line(line)
+            assert curve[ways] == cache.stats.total_misses, ways
+
+    def test_zero_way_misses_everything(self):
+        stream = [0, 0, 0, 8, 8]
+        curve = exact_miss_curve(stream, num_sets=8, assoc=2)
+        assert curve[0] == len(stream)
+
+    def test_curve_non_increasing(self):
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 64, size=500).tolist()
+        curve = exact_miss_curve(stream, num_sets=4, assoc=8)
+        assert np.all(np.diff(curve) <= 0)
+
+    def test_rejects_bad_assoc(self):
+        with pytest.raises(ValueError):
+            exact_sdh([1, 2], num_sets=2, assoc=0)
+
+
+class TestAgainstATD:
+    @given(stream=line_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_unsampled_lru_atd_agrees(self, stream):
+        """An unsampled LRU ATD + LRU profiler must produce exactly the
+        analyzer's SDH — the paper's profiling logic is Mattson's algorithm
+        in hardware."""
+        geometry = CacheGeometry(4 * 4 * 128, 4, 128)  # 4 sets x 4 ways
+        atd = ATD(geometry, sampling=1, policy_name="lru",
+                  profiler=LRUDistanceProfiler())
+        for line in stream:
+            atd.observe(line)
+        expected = exact_sdh(stream, num_sets=4, assoc=4)
+        assert np.array_equal(atd.sdh.registers, expected)

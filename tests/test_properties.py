@@ -1,0 +1,198 @@
+"""Cross-component property tests (hypothesis).
+
+These pin the *theorems* the paper's system rests on:
+
+1. the Mattson stack property of true LRU — the SDH built from stack
+   distances predicts the miss count of every smaller associativity
+   exactly (the foundation of CPA profiling, §II-A);
+2. the inclusion property (a w-way LRU set's content is a subset of the
+   (w+1)-way set's content under the same stream);
+3. pseudo-LRU schemes do *not* have the stack property (the paper's
+   motivation for the eSDH), while their estimates stay within bounds;
+4. partition enforcement never fills outside a thread's candidate ways.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.partition.allocation import WayAllocation
+from repro.cache.partition.masks import MasksPartition
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.replacement.nru import NRUPolicy
+from repro.profiling.sdh import SDH
+
+line_streams = st.lists(st.integers(0, 23), min_size=1, max_size=300)
+
+
+def geometry(num_sets, assoc):
+    return CacheGeometry(num_sets * assoc * 128, assoc, 128)
+
+
+def run_lru_set(stream, assoc):
+    """Simulate one LRU set; returns (misses, SDH over the stream)."""
+    policy = LRUPolicy(1, assoc)
+    resident = {}
+    sdh = SDH(assoc)
+    misses = 0
+    for line in stream:
+        way = resident.get(line)
+        if way is not None:
+            sdh.record(policy.stack_position(0, way))
+            policy.touch(0, way, 0)
+            continue
+        misses += 1
+        sdh.record_miss()
+        if len(resident) < assoc:
+            way = len(resident)
+        else:
+            way = policy.victim(0, 0, (1 << assoc) - 1)
+            for old, w in list(resident.items()):
+                if w == way:
+                    del resident[old]
+        resident[line] = way
+        policy.touch(0, way, 0)
+    return misses, sdh
+
+
+class TestStackProperty:
+    @given(line_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_sdh_predicts_every_associativity(self, stream):
+        """THE theorem: misses(w) from the A-way SDH equals the actual miss
+        count of a w-way LRU cache on the same stream, for every w."""
+        full_assoc = 16
+        _, sdh = run_lru_set(stream, full_assoc)
+        for ways in range(1, full_assoc + 1):
+            actual, _ = run_lru_set(stream, ways)
+            assert sdh.misses_with_ways(ways) == actual
+
+    @given(line_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_inclusion_property(self, stream):
+        """Content of a w-way LRU set is contained in the (w+1)-way one."""
+        def content(assoc):
+            policy = LRUPolicy(1, assoc)
+            resident = {}
+            for line in stream:
+                if line in resident:
+                    policy.touch(0, resident[line], 0)
+                    continue
+                if len(resident) < assoc:
+                    way = len(resident)
+                else:
+                    way = policy.victim(0, 0, (1 << assoc) - 1)
+                    for old, w in list(resident.items()):
+                        if w == way:
+                            del resident[old]
+                resident[line] = way
+                policy.touch(0, way, 0)
+            return set(resident)
+
+        previous = content(1)
+        for ways in range(2, 9):
+            current = content(ways)
+            assert previous <= current
+            previous = current
+
+
+class TestPseudoLRULacksStackProperty:
+    """The operational content of "NRU and BT do not have the stack
+    property" (paper §III): a full-associativity ATD running those
+    policies cannot predict the miss counts of smaller allocations — its
+    eSDH carries *estimation error*, unlike the exact LRU SDH.  LRU's ATD
+    prediction is exact for every stream; for NRU and BT, streams with
+    nonzero prediction error are easy to find."""
+
+    @staticmethod
+    def _prediction_errors(policy_name, stream, ways_list):
+        from repro.profiling.atd import ATD
+        from repro.profiling.profilers import make_profiler
+
+        atd = ATD(geometry(1, 8), 1, policy_name, make_profiler(policy_name))
+        for line in stream:
+            atd.observe(line)
+        curve = atd.sdh.miss_curve()
+        errors = []
+        for ways in ways_list:
+            cache = SetAssociativeCache(geometry(1, ways), policy_name)
+            for line in stream:
+                cache.access_line(line)
+            errors.append(int(curve[ways]) - cache.stats.total_misses)
+        return errors
+
+    def _streams(self, count=30, length=200):
+        rng = np.random.default_rng(0)
+        for _ in range(count):
+            yield [int(x) for x in rng.integers(0, 12, size=length)]
+
+    def test_lru_atd_prediction_is_exact(self):
+        for stream in self._streams():
+            assert self._prediction_errors("lru", stream, (1, 2, 4)) == [0, 0, 0]
+
+    def test_nru_esdh_has_estimation_error(self):
+        assert any(any(e != 0 for e in self._prediction_errors("nru", s, (1, 2, 4)))
+                   for s in self._streams())
+
+    def test_bt_esdh_has_estimation_error(self):
+        assert any(any(e != 0 for e in self._prediction_errors("bt", s, (2, 4)))
+                   for s in self._streams())
+
+
+class TestEnforcementProperties:
+    @given(st.lists(st.tuples(st.integers(0, 127), st.integers(0, 1)),
+                    min_size=1, max_size=500),
+           st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_fills_always_inside_mask(self, stream, split):
+        scheme = MasksPartition(2, 4, 8)
+        scheme.apply(WayAllocation.from_counts([split, 8 - split], 8))
+        cache = SetAssociativeCache(geometry(4, 8), "lru", partition=scheme,
+                                    num_cores=2)
+        for line, core in stream:
+            result = cache.access_line(line, core)
+            if not result.hit:
+                assert (scheme.mask_of(core) >> result.way) & 1
+
+    @given(st.lists(st.tuples(st.integers(0, 127), st.integers(0, 1)),
+                    min_size=1, max_size=500))
+    @settings(max_examples=40, deadline=None)
+    def test_nru_partitioned_fills_inside_mask(self, stream):
+        scheme = MasksPartition(2, 4, 8)
+        scheme.apply(WayAllocation.from_counts([3, 5], 8))
+        cache = SetAssociativeCache(geometry(4, 8), "nru", partition=scheme,
+                                    num_cores=2)
+        for line, core in stream:
+            result = cache.access_line(line, core)
+            if not result.hit:
+                assert (scheme.mask_of(core) >> result.way) & 1
+
+    @given(st.lists(st.integers(0, 255), min_size=50, max_size=400))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        cache = SetAssociativeCache(geometry(4, 4), "bt")
+        for line in lines:
+            cache.access_line(line)
+        assert cache.occupancy() <= 16
+        for s in range(4):
+            resident = cache.resident_lines(s)
+            assert len(resident) == len(set(resident))  # no duplicates
+
+
+class TestSDHDecayProperties:
+    @given(st.lists(st.integers(1, 17), min_size=0, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_halving_keeps_curve_monotone(self, distances):
+        sdh = SDH(16)
+        for d in distances:
+            if d == 17:
+                sdh.record_miss()
+            else:
+                sdh.record(d)
+        sdh.halve()
+        curve = sdh.miss_curve()
+        assert (np.diff(curve) <= 0).all()
+        assert (curve >= 0).all()

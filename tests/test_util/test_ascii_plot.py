@@ -1,0 +1,104 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.util.ascii_plot import bar_chart, line_plot, sparkline
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart([("LRU", 1.0), ("NRU", 0.5)], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("LRU")
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title(self):
+        out = bar_chart([("a", 1.0)], title="My chart")
+        assert out.splitlines()[0] == "My chart"
+
+    def test_values_printed(self):
+        out = bar_chart([("a", 0.973)])
+        assert "0.973" in out
+
+    def test_baseline_marker(self):
+        out = bar_chart([("a", 0.5)], width=10, baseline=1.0)
+        assert "|" in out
+
+    def test_labels_aligned(self):
+        out = bar_chart([("short", 1.0), ("much longer label", 0.5)])
+        lines = out.splitlines()
+        assert lines[0].index(" #") >= len("much longer label") - 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", -1.0)])
+
+    def test_rejects_narrow(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", 1.0)], width=2)
+
+    def test_all_zero_values(self):
+        out = bar_chart([("a", 0.0), ("b", 0.0)], width=10)
+        assert "#" not in out
+
+
+class TestLinePlot:
+    def series(self):
+        return {
+            "LRU": [(512, 1.08), (1024, 1.02), (2048, 1.00)],
+            "BT": [(512, 1.08), (1024, 1.05), (2048, 1.01)],
+        }
+
+    def test_markers_and_legend(self):
+        out = line_plot(self.series(), width=30, height=8)
+        assert "A = LRU" in out
+        assert "B = BT" in out
+        assert "A" in out.splitlines()[0] or any(
+            "A" in line for line in out.splitlines())
+
+    def test_axis_labels(self):
+        out = line_plot(self.series(), x_label="KB", y_label="rel")
+        assert "x: KB" in out
+        assert "y: rel" in out
+
+    def test_bounds_printed(self):
+        out = line_plot({"s": [(0, 0), (10, 5)]}, width=20, height=6)
+        assert "10" in out
+        assert "5" in out
+
+    def test_flat_series_no_crash(self):
+        out = line_plot({"s": [(1, 2), (2, 2)]})
+        assert "A = s" in out
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"s": []})
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            line_plot(self.series(), width=5)
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_shape(self):
+        s = sparkline([0, 1, 2, 3, 4, 5])
+        assert s[0] == " " and s[-1] == "@"
+
+    def test_constant_input(self):
+        s = sparkline([3, 3, 3])
+        assert len(set(s)) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sparkline([])

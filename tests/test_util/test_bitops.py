@@ -1,0 +1,110 @@
+"""Unit tests for repro.util.bitops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bitops import (
+    bit_count,
+    bit_length_exact,
+    contiguous_mask,
+    ilog2,
+    is_power_of_two,
+    iter_set_bits,
+    lowest_set_bit,
+    mask_of,
+)
+
+
+class TestBitCount:
+    def test_zero(self):
+        assert bit_count(0) == 0
+
+    def test_full_byte(self):
+        assert bit_count(0xFF) == 8
+
+    def test_sparse(self):
+        assert bit_count(0b1010101) == 4
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("x", [1, 2, 4, 8, 1024, 2**40])
+    def test_powers(self, x):
+        assert is_power_of_two(x)
+
+    @pytest.mark.parametrize("x", [0, -1, -4, 3, 6, 12, 2**40 + 1])
+    def test_non_powers(self, x):
+        assert not is_power_of_two(x)
+
+
+class TestIlog2:
+    @pytest.mark.parametrize("x,expected", [(1, 0), (2, 1), (16, 4), (1024, 10)])
+    def test_exact(self, x, expected):
+        assert ilog2(x) == expected
+
+    @pytest.mark.parametrize("x", [0, 3, -8])
+    def test_rejects_non_powers(self, x):
+        with pytest.raises(ValueError):
+            ilog2(x)
+
+
+class TestBitLengthExact:
+    def test_hardware_log2_convention(self):
+        # Table I uses log2(A) bits to index A ways.
+        assert bit_length_exact(16) == 4
+        assert bit_length_exact(2) == 1
+
+    def test_one_needs_zero_bits(self):
+        assert bit_length_exact(1) == 0
+
+    def test_non_power_rounds_up(self):
+        assert bit_length_exact(5) == 3
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            bit_length_exact(0)
+
+
+class TestMasks:
+    def test_mask_of(self):
+        assert mask_of(0) == 0
+        assert mask_of(4) == 0b1111
+
+    def test_mask_of_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask_of(-1)
+
+    def test_contiguous(self):
+        assert contiguous_mask(2, 3) == 0b11100
+
+    def test_contiguous_empty(self):
+        assert contiguous_mask(5, 0) == 0
+
+    def test_contiguous_rejects_negative(self):
+        with pytest.raises(ValueError):
+            contiguous_mask(-1, 2)
+
+
+class TestLowestSetBit:
+    def test_values(self):
+        assert lowest_set_bit(0b1000) == 3
+        assert lowest_set_bit(0b1001) == 0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            lowest_set_bit(0)
+
+
+class TestIterSetBits:
+    def test_order_lowest_first(self):
+        assert list(iter_set_bits(0b101001)) == [0, 3, 5]
+
+    def test_empty(self):
+        assert list(iter_set_bits(0)) == []
+
+    @given(st.integers(min_value=0, max_value=2**64))
+    def test_roundtrip(self, x):
+        assert sum(1 << b for b in iter_set_bits(x)) == x
+
+    @given(st.integers(min_value=0, max_value=2**64))
+    def test_count_matches_popcount(self, x):
+        assert len(list(iter_set_bits(x))) == bit_count(x)

@@ -1,0 +1,50 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_in,
+    check_positive,
+    check_power_of_two,
+    check_range,
+)
+
+
+class TestCheckPositive:
+    def test_accepts(self):
+        check_positive("x", 1)
+        check_positive("x", 0.5)
+
+    @pytest.mark.parametrize("v", [0, -1, -0.5])
+    def test_rejects(self, v):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", v)
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts(self):
+        check_power_of_two("ways", 16)
+
+    @pytest.mark.parametrize("v", [0, 3, -2, 2.0])
+    def test_rejects(self, v):
+        with pytest.raises(ValueError):
+            check_power_of_two("ways", v)
+
+
+class TestCheckRange:
+    def test_accepts_bounds(self):
+        check_range("s", 0.5, 0.5, 1.0)
+        check_range("s", 1.0, 0.5, 1.0)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match=r"\[0.5, 1.0\]"):
+            check_range("s", 0.4, 0.5, 1.0)
+
+
+class TestCheckIn:
+    def test_accepts(self):
+        check_in("policy", "lru", ("lru", "nru"))
+
+    def test_rejects(self):
+        with pytest.raises(ValueError, match="policy must be one of"):
+            check_in("policy", "plru", ("lru", "nru"))

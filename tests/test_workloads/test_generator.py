@@ -1,0 +1,145 @@
+"""Unit tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import generate_trace, generate_workload_traces
+from repro.workloads.spec2000 import (
+    BenchmarkSpec,
+    Phase,
+    RegionSpec,
+    get_benchmark,
+)
+
+
+def single_region_spec(pattern, fraction=0.5, name="synthetic"):
+    return BenchmarkSpec(
+        name=name, ipm=4.0, cpi_base=1.0,
+        regions=(RegionSpec("only", fraction, pattern),),
+        phases=(Phase((1.0,)),),
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace("mcf", 5000, 2048, seed=9)
+        b = generate_trace("mcf", 5000, 2048, seed=9)
+        assert (a.lines == b.lines).all()
+
+    def test_different_seed_differs(self):
+        a = generate_trace("mcf", 5000, 2048, seed=9)
+        b = generate_trace("mcf", 5000, 2048, seed=10)
+        assert not (a.lines == b.lines).all()
+
+    def test_core_id_gives_disjoint_streams(self):
+        a = generate_trace("facerec", 5000, 2048, seed=9, core_id=0)
+        b = generate_trace("facerec", 5000, 2048, seed=9, core_id=1)
+        assert not set(a.lines.tolist()) & set(b.lines.tolist())
+
+
+class TestShape:
+    def test_length_and_dtype(self):
+        trace = generate_trace("gzip", 3000, 2048, seed=1)
+        assert len(trace) == 3000
+        assert trace.lines.dtype == np.int64
+
+    def test_metadata_from_catalog(self):
+        spec = get_benchmark("parser")
+        trace = generate_trace("parser", 1000, 2048, seed=1)
+        assert trace.ipm == spec.ipm
+        assert trace.cpi_base == spec.cpi_base
+        assert trace.name == "parser"
+
+    def test_footprint_bounded_by_regions(self):
+        # crafty has no stream region, so its footprint is bounded by the
+        # region sizes (stream walks are unbounded by design).
+        trace = generate_trace("crafty", 20000, 2048, seed=1)
+        spec = get_benchmark("crafty")
+        limit = sum(r.size_lines(2048) for r in spec.regions)
+        assert trace.footprint_lines <= limit
+
+    def test_stream_region_is_sequential(self):
+        spec = single_region_spec("stream", fraction=10.0)
+        trace = generate_trace(spec, 1000, 1000, seed=1)
+        offsets = trace.lines - trace.lines[0]
+        assert (offsets == np.arange(1000)).all()
+
+    def test_stream_never_reuses(self):
+        """A scan is one-touch by construction: the walk never wraps, so a
+        stream region can never masquerade as a distant-reuse working set
+        (wrap-around reuse was an artifact removed in calibration)."""
+        spec = single_region_spec("stream", fraction=0.01)
+        trace = generate_trace(spec, 2500, 1000, seed=1)
+        assert trace.footprint_lines == 2500
+
+    def test_zipf_region_is_skewed(self):
+        """Zipf regions concentrate accesses on hot ranks but still touch
+        a broad tail — the graded-locality model."""
+        spec = single_region_spec("zipf", fraction=1.0)  # 1000 lines
+        trace = generate_trace(spec, 20000, 1000, seed=1)
+        lines, counts = np.unique(trace.lines, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        top_decile = counts[: max(1, len(counts) // 10)].sum()
+        assert top_decile / counts.sum() > 0.5      # hot ranks dominate
+        assert len(lines) > 400                     # tail is broad
+
+    def test_zipf_deterministic(self):
+        spec = single_region_spec("zipf", fraction=1.0)
+        a = generate_trace(spec, 5000, 1000, seed=3)
+        b = generate_trace(spec, 5000, 1000, seed=3)
+        assert (a.lines == b.lines).all()
+
+    def test_zipf_spreads_across_sets(self):
+        """The rank permutation must spread hot lines over all cache sets."""
+        spec = single_region_spec("zipf", fraction=1.0)
+        trace = generate_trace(spec, 20000, 1024, seed=4)
+        sets = np.unique(trace.lines % 64)
+        assert len(sets) == 64
+
+    def test_uniform_region_covers(self):
+        spec = single_region_spec("uniform", fraction=0.016)  # 16 lines
+        trace = generate_trace(spec, 2000, 1000, seed=1)
+        assert trace.footprint_lines == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_trace("mcf", 0, 2048)
+        with pytest.raises(ValueError):
+            generate_trace("mcf", 100, 0)
+
+
+class TestPhases:
+    def test_phases_change_mixture(self):
+        spec = BenchmarkSpec(
+            name="twophase", ipm=4.0, cpi_base=1.0,
+            regions=(RegionSpec("a", 0.05), RegionSpec("b", 0.05)),
+            phases=(Phase((1.0, 0.0)), Phase((0.0, 1.0))),
+            phase_accesses=100,
+        )
+        trace = generate_trace(spec, 200, 1000, seed=1)
+        first, second = trace.lines[:100], trace.lines[100:]
+        # Regions live in disjoint windows: phase 1 only touches region a.
+        assert len(set(first) & set(second)) == 0
+
+    def test_phase_cycling(self):
+        spec = BenchmarkSpec(
+            name="cycle", ipm=4.0, cpi_base=1.0,
+            regions=(RegionSpec("a", 0.05), RegionSpec("b", 0.05)),
+            phases=(Phase((1.0, 0.0)), Phase((0.0, 1.0))),
+            phase_accesses=50,
+        )
+        trace = generate_trace(spec, 200, 1000, seed=1)
+        assert set(trace.lines[:50]) == set(trace.lines[100:150]) or (
+            set(trace.lines[:50]) & set(trace.lines[100:150])
+        )
+
+
+class TestWorkloadTraces:
+    def test_one_trace_per_benchmark(self):
+        traces = generate_workload_traces(("mcf", "crafty"), 1000, 2048, seed=3)
+        assert [t.name for t in traces] == ["mcf", "crafty"]
+
+    def test_duplicate_benchmarks_disjoint(self):
+        traces = generate_workload_traces(("facerec", "facerec"), 1000, 2048,
+                                          seed=3)
+        assert not set(traces[0].lines.tolist()) & set(traces[1].lines.tolist())

@@ -1,0 +1,53 @@
+"""Unit tests for the Table II workload mixes."""
+
+import pytest
+
+from repro.workloads.mixes import (
+    ALL_WORKLOADS,
+    WORKLOADS_2T,
+    WORKLOADS_4T,
+    WORKLOADS_8T,
+    get_workload,
+    workload_names,
+)
+
+
+class TestTableII:
+    def test_paper_counts(self):
+        """24 two-thread, 14 four-thread, 11 eight-thread = 49 mixes."""
+        assert len(WORKLOADS_2T) == 24
+        assert len(WORKLOADS_4T) == 14
+        assert len(WORKLOADS_8T) == 11
+        assert len(ALL_WORKLOADS) == 49
+
+    def test_thread_counts(self):
+        for name, benchmarks in WORKLOADS_2T.items():
+            assert len(benchmarks) == 2, name
+        for name, benchmarks in WORKLOADS_4T.items():
+            assert len(benchmarks) == 4, name
+        for name, benchmarks in WORKLOADS_8T.items():
+            assert len(benchmarks) == 8, name
+
+    def test_spot_checks_against_paper(self):
+        assert get_workload("2T_01") == ("apsi", "bzip2")
+        assert get_workload("2T_15") == ("lucas", "mcf")
+        assert get_workload("4T_10") == ("fma3d", "swim", "mcf", "applu")
+        assert get_workload("8T_11") == ("crafty", "eon", "gcc", "gzip",
+                                         "mesa", "perl", "equake", "mgrid")
+
+    def test_facerec_twice_in_8t04(self):
+        # Kept exactly as printed in the paper.
+        assert get_workload("8T_04").count("facerec") == 2
+
+    def test_workload_names_filter(self):
+        assert len(workload_names(2)) == 24
+        assert len(workload_names(0)) == 49
+        assert workload_names(4)[0] == "4T_01"
+
+    def test_workload_names_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            workload_names(3)
+
+    def test_get_workload_error(self):
+        with pytest.raises(KeyError):
+            get_workload("16T_01")

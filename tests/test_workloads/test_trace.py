@@ -1,0 +1,36 @@
+"""Unit tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import Trace
+
+
+class TestTrace:
+    def test_basic_properties(self):
+        trace = Trace("t", np.array([1, 2, 3, 2]), ipm=4.0, cpi_base=1.0)
+        assert len(trace) == 4
+        assert trace.instructions == 16
+        assert trace.footprint_lines == 3
+
+    def test_coerces_dtype(self):
+        trace = Trace("t", np.array([1.0, 2.0]), ipm=2.0, cpi_base=1.0)
+        assert trace.lines.dtype == np.int64
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Trace("t", np.array([]), ipm=4.0, cpi_base=1.0)
+
+    def test_rejects_bad_ipm(self):
+        with pytest.raises(ValueError):
+            Trace("t", np.array([1]), ipm=0.0, cpi_base=1.0)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = Trace("roundtrip", np.array([5, 6, 7]), ipm=3.5, cpi_base=0.9)
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == "roundtrip"
+        assert (loaded.lines == trace.lines).all()
+        assert loaded.ipm == 3.5
+        assert loaded.cpi_base == 0.9
