@@ -48,6 +48,30 @@ def test_l1_access_rate(benchmark):
     benchmark(run)
 
 
+def test_l1_bulk_access_rate(benchmark):
+    """The batched engine's prefilter path (vectorised 2-way LRU)."""
+    l1 = SmallLRUCache(CacheGeometry(32 * 2 * 128, 2, 128))
+    stream = np.asarray(STREAM, dtype=np.int64)
+
+    def run():
+        l1.access_lines_hit(stream)
+
+    benchmark(run)
+    assert l1.stats.total_accesses >= len(STREAM)
+
+
+def test_cache_bulk_access_rate(benchmark):
+    cache = SetAssociativeCache(GEOMETRY, "lru",
+                                rng=np.random.default_rng(6))
+    stream = np.asarray(STREAM, dtype=np.int64)
+
+    def run():
+        cache.access_lines(stream)
+
+    benchmark(run)
+    assert cache.stats.total_accesses >= len(STREAM)
+
+
 @pytest.mark.parametrize("policy", ["lru", "nru", "bt"])
 def test_atd_observe_rate(benchmark, policy):
     atd = ATD(GEOMETRY, 8, policy, make_profiler(policy),

@@ -1,0 +1,128 @@
+"""Execution-engine benchmarks: batched vs reference hot loop.
+
+pytest-benchmark entry points measure each engine's simulation rate on a
+4-core Table-II-style mix; ``test_batched_speedup`` is the regression guard
+for the batching win.  Run the file directly for the acceptance-scale
+measurement (4 cores x 1M references)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke    # ~30 s CI
+
+The smoke mode doubles as the per-PR perf canary in CI: it prints the
+measured speedup and fails loudly if batching regresses below 1.5x.
+"""
+
+import os
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ProcessorConfig,
+    SimulationConfig,
+    config_M_N,
+    config_unpartitioned,
+)
+from repro.cmp.simulator import CMPSimulator
+from repro.workloads.generator import generate_trace
+from repro.workloads.trace import Trace
+
+#: The 4-core mix: two cache-friendly threads, one graded, one streamer —
+#: a representative spread of L2 behaviours.
+MIX = ("crafty", "mesa", "twolf", "mcf")
+
+#: Fraction of references hitting a small per-thread hot region.  The
+#: catalog traces model *L2-level* locality only (their raw L1 hit rates
+#: are 10-40 %); a real 32 KB L1D filters 85-95 % of the load/store stream
+#: thanks to stack/local reuse the region-mixture generator leaves out.
+#: Blending in an L1-resident hot set restores a realistic L1 filter rate
+#: without touching the L2-visible stream's character.  Hot references come
+#: in bursts (:data:`HOT_RUN`) the way loop-local reuse does.
+HOT_FRACTION = 0.9
+HOT_LINES = 64
+HOT_RUN = 16
+
+BENCH_ACCESSES = int(os.environ.get("REPRO_ENGINE_ACCESSES", "60000"))
+
+
+def make_mix(num_accesses, hot_fraction=HOT_FRACTION):
+    processor = ProcessorConfig(num_cores=4)
+    l2_lines = processor.l2.num_lines
+    traces = []
+    for core, name in enumerate(MIX):
+        trace = generate_trace(name, num_accesses, l2_lines,
+                               seed=7, core_id=core)
+        if hot_fraction > 0.0:
+            rng = np.random.default_rng(1000 + core)
+            blocks = -(-num_accesses // HOT_RUN)
+            hot = np.repeat(rng.random(blocks) < hot_fraction,
+                            HOT_RUN)[:num_accesses]
+            hot_base = (core + 9) << 50   # thread-private, off L2 regions
+            lines = trace.lines.copy()
+            lines[hot] = hot_base + rng.integers(
+                0, HOT_LINES, size=int(hot.sum()))
+            trace = Trace(trace.name, lines, ipm=trace.ipm,
+                          cpi_base=trace.cpi_base)
+        traces.append(trace)
+    return processor, traces
+
+
+def run_once(engine, num_accesses, partitioned=True):
+    processor, traces = make_mix(num_accesses)
+    config = (config_M_N(0.75) if partitioned
+              else config_unpartitioned("lru"))
+    sim = CMPSimulator(processor, config, traces,
+                       SimulationConfig(seed=7, engine=engine))
+    start = time.perf_counter()
+    result = sim.run()
+    return time.perf_counter() - start, result
+
+
+@pytest.mark.parametrize("engine", ["reference", "batched"])
+def test_engine_rate(benchmark, engine):
+    processor, traces = make_mix(BENCH_ACCESSES)
+
+    def run():
+        sim = CMPSimulator(processor, config_M_N(0.75), traces,
+                           SimulationConfig(seed=7, engine=engine))
+        return sim.run()
+
+    result = benchmark(run)
+    assert len(result.threads) == 4
+
+
+def test_batched_speedup():
+    """Regression guard: batching must stay well ahead of the reference."""
+    ref_time, ref = run_once("reference", BENCH_ACCESSES)
+    bat_time, bat = run_once("batched", BENCH_ACCESSES)
+    assert ref.ipcs == bat.ipcs           # exact, not just fast
+    speedup = ref_time / bat_time
+    print(f"\nengine speedup at {BENCH_ACCESSES} refs/thread: "
+          f"{speedup:.2f}x (reference {ref_time:.2f}s, batched {bat_time:.2f}s)")
+    assert speedup >= 1.5
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    accesses = 120_000 if smoke else 1_000_000
+    ref_time, ref = run_once("reference", accesses)
+    bat_time, bat = run_once("batched", accesses)
+    if ref.ipcs != bat.ipcs:
+        print("FAIL: engines disagree on thread IPCs")
+        return 1
+    speedup = ref_time / bat_time
+    print(f"4-core mix {MIX}, {accesses} references/thread")
+    print(f"  reference: {ref_time:6.2f} s")
+    print(f"  batched:   {bat_time:6.2f} s")
+    print(f"  speedup:   {speedup:6.2f} x")
+    floor = 1.5 if smoke else 3.0
+    if speedup < floor:
+        print(f"FAIL: speedup below the {floor}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -286,6 +286,22 @@ class SetAssociativeCache:
             self._nru.fill_done()
         return False
 
+    def access_lines(self, lines, core: int = 0) -> np.ndarray:
+        """Bulk access of many line addresses by one core.
+
+        Returns the per-access hit flags.  State transitions are identical
+        to calling :meth:`access_line_hit` per element — the shared L2 has
+        cross-core interleaving on the simulator's hot path, so this entry
+        point serves profiling sweeps, warm-up, and benchmarks rather than
+        the engines themselves.
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        flags = np.empty(len(lines), dtype=bool)
+        step = self.access_line_hit
+        for i, line in enumerate(lines.tolist()):
+            flags[i] = step(line, core)
+        return flags
+
     def write_back_line(self, line: int, core: int = 0) -> bool:
         """Absorb a write-back from a private upper level.
 
@@ -344,7 +360,12 @@ class SetAssociativeCache:
         return sum(len(m) for m in self._maps)
 
     def flush(self) -> None:
-        """Invalidate everything and reset replacement state (not stats)."""
+        """Invalidate everything and reset replacement state (not stats).
+
+        The partition scheme is told as well (:meth:`PartitionScheme.on_flush`)
+        so per-line ownership state — owner counters, BT-vector occupancy —
+        does not go stale relative to the now-empty tag store.
+        """
         for s in range(self.geometry.num_sets):
             self._maps[s].clear()
             lines = self._lines[s]
@@ -353,6 +374,8 @@ class SetAssociativeCache:
             self._invalid[s] = self._full_mask
             self._dirty[s] = 0
         self.policy.reset()
+        if self.partition is not None:
+            self.partition.on_flush()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"SetAssociativeCache({self.geometry}, policy={self.policy.name}, "

@@ -13,7 +13,9 @@ single accessing core (verified by the equivalence tests in
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.cache.cache import CacheStats
 from repro.cache.geometry import CacheGeometry
@@ -91,6 +93,157 @@ class SmallLRUCache:
     def is_dirty(self, line: int) -> bool:
         """True when the line is resident and dirty."""
         return line in self._dirty and self.contains_line(line)
+
+    # ------------------------------------------------------------------
+    # Bulk entry points (the batched engine's L1 prefilter)
+    # ------------------------------------------------------------------
+    def access_lines_hit(self, lines: np.ndarray) -> np.ndarray:
+        """Access many line addresses at once; returns per-access hit flags.
+
+        Exactly equivalent to calling :meth:`access_line_hit` per element
+        (state, statistics and outcomes — pinned by ``test_l1`` equivalence
+        tests), but vectorised with numpy for the baseline associativities
+        (1- and 2-way).  Higher associativities fall back to a tight loop.
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        if self._assoc <= 2 and not self._dirty:
+            return self._access_lines_vectorized(lines)
+        flags = np.empty(len(lines), dtype=bool)
+        step = self.access_line_hit
+        for i, line in enumerate(lines.tolist()):
+            flags[i] = step(line)
+        return flags
+
+    def access_lines_rw(self, lines: np.ndarray,
+                        writes: Optional[np.ndarray] = None
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Bulk read/write accesses with write-back bookkeeping.
+
+        Returns ``(hit_flags, dirty_victims)`` where ``dirty_victims[i]`` is
+        the line address whose dirty copy was displaced by access ``i``'s
+        fill, or ``-1``.  Equivalent to per-element :meth:`access_line_rw`.
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        n = len(lines)
+        if writes is not None and len(writes) != n:
+            raise ValueError(
+                f"writes array has {len(writes)} entries for {n} lines"
+            )
+        flags = np.empty(n, dtype=bool)
+        victims = np.full(n, -1, dtype=np.int64)
+        if writes is None and not self._dirty:
+            # Read-only stream over a clean cache: no dirty state can arise,
+            # so the read-only bulk path (vectorised when possible) applies.
+            flags[:] = self.access_lines_hit(lines)
+            return flags, victims
+        step = self.access_line_rw
+        if writes is None:
+            for i, line in enumerate(lines.tolist()):
+                hit, victim = step(line, False)
+                flags[i] = hit
+                if victim is not None:
+                    victims[i] = victim
+        else:
+            for i, (line, write) in enumerate(zip(lines.tolist(),
+                                                  writes.tolist())):
+                hit, victim = step(line, write)
+                flags[i] = hit
+                if victim is not None:
+                    victims[i] = victim
+        return flags, victims
+
+    def _access_lines_vectorized(self, lines: np.ndarray) -> np.ndarray:
+        """Vectorised exact LRU for ``assoc <= 2``.
+
+        Per set, a 2-way LRU access hits iff the line equals the previous
+        access to the set (the MRU) or the most recent *distinct* line
+        before that (the LRU).  Both are computable with grouped forward
+        fills: stable-sort the accesses by set, then ``c[i]`` — the last
+        position where the set's value changed — locates the previous
+        distinct line at ``c[i-1] - 1``.  Current residents are prepended
+        as synthetic accesses so state carries across calls.
+        """
+        n = len(lines)
+        assoc = self._assoc
+        stats = self.stats
+        stats.accesses[0] += n
+        if n == 0:
+            return np.empty(0, dtype=bool)
+        sets = lines & self._set_mask
+        touched = np.unique(sets)
+        occ0 = {}
+        carry: List[int] = []
+        for s in touched.tolist():
+            resident = self._sets[s]
+            occ0[s] = len(resident)
+            carry.extend(reversed(resident))  # LRU first, MRU last
+        nc = len(carry)
+        if nc:
+            ext_lines = np.concatenate(
+                [np.asarray(carry, dtype=np.int64), lines])
+            ext_sets = ext_lines & self._set_mask
+        else:
+            ext_lines = lines
+            ext_sets = sets
+        m = len(ext_lines)
+        order = np.argsort(ext_sets, kind="stable")
+        gl = ext_lines[order]
+        idx = np.arange(m)
+        boundary = np.empty(m, dtype=bool)
+        boundary[0] = True
+        gsets = ext_sets[order]
+        boundary[1:] = gsets[1:] != gsets[:-1]
+        prev_same_set = ~boundary
+        same_as_prev = np.zeros(m, dtype=bool)
+        same_as_prev[1:] = prev_same_set[1:] & (gl[1:] == gl[:-1])
+        hit = same_as_prev.copy()
+        # c[i]: last position at/before i where the set's value changed.
+        change = np.where(same_as_prev, -1, idx)
+        c = np.maximum.accumulate(change)
+        gstart = np.maximum.accumulate(np.where(boundary, idx, -1))
+        if assoc == 2:
+            cprev = np.empty(m, dtype=np.int64)
+            cprev[0] = 0
+            cprev[1:] = c[:-1]
+            # Previous distinct line exists iff the value changed at least
+            # once since the group start; it sits just before that change.
+            has_lru = prev_same_set & (cprev - 1 >= gstart)
+            prev_distinct = gl[np.maximum(cprev - 1, 0)]
+            hit |= has_lru & (gl == prev_distinct)
+        # Scatter back to access order and drop the synthetic carry.
+        flags_ext = np.empty(m, dtype=bool)
+        flags_ext[order] = hit
+        flags = flags_ext[nc:]
+        # Statistics (hits / misses / evictions).
+        hits = int(np.count_nonzero(flags))
+        misses = n - hits
+        stats.hits[0] += hits
+        stats.misses[0] += misses
+        if misses:
+            miss_sets = sets[~flags]
+            uniq, per_set_misses = np.unique(miss_sets, return_counts=True)
+            evictions = 0
+            for s, cnt in zip(uniq.tolist(), per_set_misses.tolist()):
+                spare = assoc - occ0[s]
+                if cnt > spare:
+                    evictions += cnt - spare
+            stats.evictions[0] += evictions
+        # Final per-set state: MRU = last grouped value, LRU = previous
+        # distinct value when the set ever held two lines.
+        ends = np.flatnonzero(np.append(boundary[1:], True))
+        end_sets = gsets[ends].tolist()
+        end_mru = gl[ends].tolist()
+        end_c = c[ends]
+        end_gstart = gstart[ends]
+        has_two = ((end_c - 1 >= end_gstart) if assoc == 2
+                   else np.zeros(len(ends), dtype=bool))
+        end_lru = gl[np.maximum(end_c - 1, 0)].tolist()
+        for j, s in enumerate(end_sets):
+            if has_two[j]:
+                self._sets[s] = [end_mru[j], end_lru[j]]
+            else:
+                self._sets[s] = [end_mru[j]]
+        return flags
 
     # ------------------------------------------------------------------
     def contains_line(self, line: int) -> bool:

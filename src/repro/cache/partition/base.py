@@ -63,6 +63,16 @@ class PartitionScheme(ABC):
     def on_invalidate(self, set_index: int, way: int) -> None:
         """Ownership bookkeeping after a line invalidation; default no-op."""
 
+    def on_flush(self) -> None:
+        """Re-synchronise enforcement state after a cache flush.
+
+        The enforced allocation (quotas / masks / vectors) survives — only
+        state that mirrors cache *contents* is discarded.  Default no-op
+        (global masks hold no per-line state); owner counters clear their
+        ownership mirror, BT vectors re-install the forced directions the
+        policy reset wiped.
+        """
+
     def storage_bits(self) -> int:
         """Extra storage this scheme adds (complexity model cross-check)."""
         raise NotImplementedError

@@ -68,6 +68,18 @@ class BTVectorPartition(PartitionScheme):
     def candidate_mask(self, set_index: int, core: int) -> int:
         return self._masks[core]
 
+    def on_flush(self) -> None:
+        """Re-install the force vectors after a cache flush.
+
+        ``SetAssociativeCache.flush`` resets the replacement policy, which
+        clears the per-core forced directions along with the tree bits —
+        but the vectors encode the enforced *allocation*, which must
+        survive a flush.
+        """
+        if self._allocation is not None:
+            for core, cube in enumerate(self._allocation.cubes):
+                self._policy.set_force(core, cube.force_vector())
+
     def up_down_vectors(self, core: int):
         """The paper's ``(up, down)`` bit vectors for ``core``."""
         if self._allocation is None:

@@ -79,6 +79,19 @@ class OwnerCountersPartition(PartitionScheme):
             self._owned[set_index][previous] &= ~(1 << way)
             self._owner[set_index][way] = -1
 
+    def on_flush(self) -> None:
+        """A flushed cache owns nothing: clear every owner and counter.
+
+        Quotas (the enforced allocation) survive — only the per-line
+        ownership mirror of the now-empty tag store is discarded.
+        """
+        for owner_row in self._owner:
+            for way in range(self.assoc):
+                owner_row[way] = -1
+        for owned_row in self._owned:
+            for core in range(self.num_cores):
+                owned_row[core] = 0
+
     # ------------------------------------------------------------------
     def owned_count(self, set_index: int, core: int) -> int:
         """Number of lines ``core`` owns in ``set_index``."""

@@ -6,13 +6,19 @@ order, firing the partition controller at every interval boundary, and
 freezing each thread's statistics after its instruction budget (the paper's
 "stop when each thread commits 100 M instructions" methodology — fast
 threads keep running to preserve contention).
+
+The hot loop lives in :mod:`repro.cmp.engine`; ``SimulationConfig.engine``
+selects the batched engine (default) or the per-access reference oracle.
 """
 
-from repro.cmp.simulator import (
-    CMPSimulator,
+from repro.cmp.engine import BatchedEngine, ReferenceEngine, make_engine
+from repro.cmp.results import (
     EventCounts,
     SimulationResult,
     ThreadResult,
+)
+from repro.cmp.simulator import (
+    CMPSimulator,
     run_workload,
 )
 from repro.cmp.metrics import (
@@ -30,6 +36,9 @@ __all__ = [
     "ThreadResult",
     "EventCounts",
     "run_workload",
+    "BatchedEngine",
+    "ReferenceEngine",
+    "make_engine",
     "MemoryChannel",
     "BandwidthConfig",
     "ipc_throughput",

@@ -1,0 +1,47 @@
+"""CMP execution engines.
+
+Two interchangeable implementations of the simulation hot loop:
+
+* :class:`ReferenceEngine` — one scheduler event per memory reference,
+  routed through the full hierarchy.  The semantic oracle.
+* :class:`BatchedEngine` — bulk L1 prefilter (numpy over the trace) with
+  slow-path events only for references that reach the shared L2.  Several
+  times faster, bit-identical results.
+
+:func:`make_engine` instantiates by the ``SimulationConfig.engine`` name.
+"""
+
+from __future__ import annotations
+
+from repro.cmp.engine.batched import BatchedEngine, CHUNK_SIZE
+from repro.cmp.engine.common import EngineBase, freeze_count
+from repro.cmp.engine.reference import ReferenceEngine
+from repro.cmp.engine.scheduler import EventScheduler
+from repro.config import ENGINE_BATCHED, ENGINE_REFERENCE
+
+_ENGINES = {
+    ENGINE_REFERENCE: ReferenceEngine,
+    ENGINE_BATCHED: BatchedEngine,
+}
+
+
+def make_engine(sim, name: str) -> EngineBase:
+    """Instantiate the execution engine ``name`` for one simulator."""
+    try:
+        cls = _ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; known: {sorted(_ENGINES)}"
+        ) from None
+    return cls(sim)
+
+
+__all__ = [
+    "BatchedEngine",
+    "CHUNK_SIZE",
+    "EngineBase",
+    "EventScheduler",
+    "ReferenceEngine",
+    "freeze_count",
+    "make_engine",
+]

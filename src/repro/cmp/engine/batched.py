@@ -1,0 +1,278 @@
+"""Batched execution engine: bulk L1 prefilter + event-driven slow path.
+
+The key observation: the private L1s interact with nothing shared.  For a
+read-only trace, a thread's L1 hit/miss outcome for every reference is a
+pure function of its own reference stream, so it can be computed *in bulk*
+ahead of time (vectorised numpy for the baseline 2-way LRU L1s, a tight
+loop otherwise — see :meth:`SmallLRUCache.access_lines_hit`).  Only the
+references that miss the L1 — the ones that reach the shared L2 — take the
+slow path through the replacement/partition/profiling machinery.
+
+Exactness argument (pinned by ``tests/test_cmp/test_engine_equivalence.py``):
+
+* L1 hits touch no shared state, so a whole hit-streak can be committed in
+  one scheduler event; the thread's clock lands on the identical float
+  because both engines evaluate ``anchor + count * base_cost``.
+* L2 accesses, write-back drains, memory-channel requests and interval
+  boundaries all execute at scheduler pops, i.e. at the global minimum
+  clock — the same total order as the reference engine's per-access loop.
+* A thread's freeze access is never folded into a jump: the jump is
+  truncated just before it, so the freeze commits at its own pop in exact
+  global order, and the run terminates after the same access in both
+  engines (this matters: post-freeze contention accesses of *other*
+  threads up to that point are part of the aggregate event counts).
+* Interval boundaries fire while the popped clock has crossed them
+  (catch-up ``while``), which places every repartition before the same L2
+  access as the reference loop does.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heapify, heappop, heappush
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cmp.engine.common import EngineBase
+from repro.cmp.results import SimulationResult, ThreadResult
+
+#: References prefiltered per bulk L1 call.  Bounds the flag/victim arrays
+#: (a few hundred KB per thread) while amortising the numpy fixed costs.
+CHUNK_SIZE = 1 << 16
+
+
+class BatchedEngine(EngineBase):
+    """Hit-streak batching over an exact event scheduler."""
+
+    name = "batched"
+
+    def __init__(self, sim) -> None:
+        super().__init__(sim)
+        n = self.n
+        # Per-thread prefilter window: [start, end) trace positions whose L1
+        # outcomes are known.  ``miss_offs`` are the window-relative offsets
+        # of the L1 misses, ``mp_idx`` the cursor of the next pending miss.
+        self._ck_start = [0] * n
+        self._ck_end = [0] * n
+        self._ck_flags: List[Optional[list]] = [None] * n
+        self._ck_lines: List[Optional[list]] = [None] * n
+        self._ck_miss: List[Optional[list]] = [None] * n
+        self._ck_mpidx = [0] * n
+        self._ck_victims: List[Optional[list]] = [None] * n
+
+    # ------------------------------------------------------------------
+    def _load_chunk(self, t: int, pos: int) -> None:
+        """Prefilter the next window of thread ``t`` through its L1."""
+        trace = self.sim.traces[t]
+        l1 = self.sim.hierarchy.l1[t]
+        end = min(self.lengths[t], pos + CHUNK_SIZE)
+        lines = trace.chunk_view(pos, end - pos)
+        if self.has_writes:
+            writes = None
+            if trace.writes is not None:
+                writes = trace.writes[pos:end]
+            flags, victims = l1.access_lines_rw(lines, writes)
+            self._ck_victims[t] = victims.tolist()
+        else:
+            flags = l1.access_lines_hit(lines)
+            self._ck_victims[t] = None
+        self._ck_start[t] = pos
+        self._ck_end[t] = end
+        # Python lists: scalar indexing on the hot path is several times
+        # cheaper than numpy element access.  Only the current window is
+        # materialised — whole traces stay as their numpy arrays.
+        self._ck_flags[t] = flags.tolist()
+        self._ck_lines[t] = lines.tolist()
+        self._ck_miss[t] = np.flatnonzero(~flags).tolist()
+        self._ck_mpidx[t] = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        sim = self.sim
+        n = self.n
+        traces = sim.traces
+        lengths = self.lengths
+        base = self.base_cost
+        freeze_counts = self.freeze_counts
+        has_writes = self.has_writes
+        l2_hit_pen = self.l2_hit_pen
+        mem_pen = self.mem_pen
+        channel = self.channel
+        max_cycles = self.max_cycles
+
+        controller = sim.controller
+        interval = self.interval
+        # math.inf when unpartitioned: one float compare per pop, no branch.
+        next_boundary = interval if controller is not None else math.inf
+        hierarchy = sim.hierarchy
+        l2 = hierarchy.l2
+        l2_stats = l2.stats
+        l2_access_hit = l2.access_line_hit
+        l2_access_rw = l2.access_line_rw
+        l2_write_back = l2.write_back_line
+        observer = hierarchy.l2_observer
+
+        anchor = [0.0] * n
+        count = [0] * n
+        acc_total = [0] * n       # references committed (== L1 accesses)
+        slow_total = [0] * n      # references that reached the L2 (== L1 misses)
+        # Last commit of each thread, for the termination rollback: a jump
+        # of ``pending_hits`` L1 hits starting at ``pending_count0``.
+        pending_hits = [0] * n
+        pending_count0 = [0] * n
+        positions = [0] * n
+        frozen: List[Optional[ThreadResult]] = [None] * n
+        active = n
+        wb_l1_to_l2 = 0
+        wb_l1_to_mem = 0
+
+        ck_start = self._ck_start
+        ck_end = self._ck_end
+        ck_flags = self._ck_flags
+        ck_lines = self._ck_lines
+        ck_miss = self._ck_miss
+        ck_mpidx = self._ck_mpidx
+        ck_victims = self._ck_victims
+
+        # Raw heapq over (clock, thread) pairs: the same exact order as
+        # EventScheduler (see scheduler.py), without the method-call layer.
+        heap = [(0.0, t) for t in range(n)]
+        heapify(heap)
+        pop = heappop
+        push = heappush
+
+        def freeze(t: int, clock: float) -> None:
+            nonlocal active
+            frozen[t] = ThreadResult(
+                name=traces[t].name,
+                instructions=freeze_counts[t] * self.ipms[t],
+                cycles=clock,
+                l1_accesses=acc_total[t],
+                l1_misses=slow_total[t],
+                l2_accesses=l2_stats.accesses[t],
+                l2_misses=l2_stats.misses[t],
+            )
+            active -= 1
+
+        while active:
+            now, t = pop(heap)
+            while now >= next_boundary:
+                controller.interval_boundary(cycle=int(next_boundary))
+                next_boundary += interval
+            pos = positions[t]
+            if pos < ck_start[t] or pos >= ck_end[t]:
+                self._load_chunk(t, pos)
+            off = pos - ck_start[t]
+            if ck_flags[t][off]:
+                # L1 hit-streak: commit every hit up to the next L2-reaching
+                # reference (or window edge / freeze access) in one event.
+                miss_offs = ck_miss[t]
+                mi = ck_mpidx[t]
+                limit = (miss_offs[mi] if mi < len(miss_offs)
+                         else ck_end[t] - ck_start[t])
+                k = limit - off
+                freeze_now = False
+                if frozen[t] is None:
+                    remaining = freeze_counts[t] - acc_total[t]
+                    if remaining == 1:
+                        # The freeze access runs at its own pop so it
+                        # commits in exact global order.
+                        k = 1
+                        freeze_now = True
+                    elif remaining <= k:
+                        k = remaining - 1
+                acc_total[t] += k
+                pending_hits[t] = k
+                pending_count0[t] = count[t]
+                c = count[t] + k
+                count[t] = c
+                clock = anchor[t] + c * base[t]
+                npos = pos + k
+                if npos < lengths[t]:
+                    positions[t] = npos
+                else:
+                    # Trace wrap: the pass-1 window must not satisfy the
+                    # residency check for pass-2 positions.
+                    positions[t] = 0
+                    ck_end[t] = 0
+            else:
+                # Slow path: the reference reaches the shared L2.
+                line = ck_lines[t][off]
+                if has_writes:
+                    victims = ck_victims[t]
+                    if victims is not None:
+                        victim = victims[off]
+                        if victim >= 0:
+                            if l2_write_back(victim, t):
+                                wb_l1_to_l2 += 1
+                            else:
+                                wb_l1_to_mem += 1
+                    if observer is not None:
+                        observer(t, line)
+                    hit2 = l2_access_rw(line, t, False)
+                else:
+                    if observer is not None:
+                        observer(t, line)
+                    hit2 = l2_access_hit(line, t)
+                if hit2:
+                    clock = now + base[t] + l2_hit_pen
+                elif channel is not None:
+                    clock = channel.request(now + l2_hit_pen) + base[t]
+                else:
+                    clock = now + base[t] + mem_pen
+                anchor[t] = clock
+                count[t] = 0
+                acc_total[t] += 1
+                slow_total[t] += 1
+                pending_hits[t] = 0
+                ck_mpidx[t] = ck_mpidx[t] + 1
+                if pos + 1 < lengths[t]:
+                    positions[t] = pos + 1
+                else:
+                    positions[t] = 0
+                    ck_end[t] = 0
+                freeze_now = (frozen[t] is None
+                              and acc_total[t] >= freeze_counts[t])
+            if freeze_now:
+                freeze(t, clock)
+            # A push after the terminal freeze is dead (the loop condition
+            # exits first) but harmless, so both branches share one tail.
+            push(heap, (clock, t))
+            if max_cycles is not None and now > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded max_cycles={max_cycles} with "
+                    f"{active} threads still running"
+                )
+
+        # Termination rollback: the reference loop stops right after the
+        # last freeze access, so accesses of *other* threads whose step keys
+        # order after it were never executed there.  Only each thread's
+        # last un-popped jump can contain such accesses (its pop key
+        # preceded the final event; any earlier jump was followed by a pop
+        # that also preceded it).  Drop them from the aggregate counts.
+        final_key = (now, t)
+        for u in range(n):
+            if u == t:
+                continue
+            k = pending_hits[u]
+            if not k:
+                continue
+            a0 = anchor[u]
+            b = base[u]
+            count0 = pending_count0[u]
+            lo, hi = 0, k   # first jump access ordering after the final key
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if (a0 + (count0 + mid) * b, u) > final_key:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            acc_total[u] -= k - lo
+
+        return self._assemble(
+            frozen,
+            l1_accesses=sum(acc_total),
+            l1_writebacks=wb_l1_to_l2 + wb_l1_to_mem,
+            memory_writebacks=l2_stats.total_writebacks + wb_l1_to_mem,
+        )

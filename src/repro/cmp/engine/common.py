@@ -1,0 +1,122 @@
+"""Shared scaffolding of the CMP execution engines.
+
+Both engines (reference and batched) simulate the identical machine: the
+same per-thread analytic core model, the same shared hierarchy objects, the
+same interval controller.  This module owns everything that must be *equal
+by construction* between them so the equivalence suite compares engines,
+not setup code:
+
+* the timing recurrence.  A thread's clock is ``anchor + count * base_cost``
+  where ``anchor`` is the clock after its last L2-reaching access and
+  ``count`` the L1 hits committed since.  Written this way, advancing one
+  hit at a time (reference) and advancing a whole hit-streak at once
+  (batched) evaluate the *same* floating-point expression, so the engines
+  agree bit for bit even for non-dyadic ``ipm``/``cpi`` values;
+* the freeze rule.  Statistics freeze on the access where the committed
+  instruction count ``count * ipm`` first reaches the budget; the crossing
+  access index is precomputed as an integer (:func:`freeze_count`) so both
+  engines freeze on exactly the same access;
+* result assembly (:class:`ThreadResult` / :class:`EventCounts`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.cmp.memory import MemoryChannel
+from repro.cmp.results import EventCounts, SimulationResult, ThreadResult
+
+
+def freeze_count(budget: float, ipm: float) -> int:
+    """Smallest access count ``c >= 1`` with ``c * ipm >= budget`` (in
+    float arithmetic, so the comparison matches the engines' freeze test).
+    """
+    c = int(math.ceil(budget / ipm))
+    if c < 1:
+        c = 1
+    while c > 1 and (c - 1) * ipm >= budget:
+        c -= 1
+    while c * ipm < budget:
+        c += 1
+    return c
+
+
+class EngineBase:
+    """Configuration-derived state shared by the execution engines."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        processor = sim.processor
+        simulation = sim.simulation
+        traces = sim.traces
+        n = len(traces)
+        self.n = n
+        self.base_cost: List[float] = [t.ipm * t.cpi_base for t in traces]
+        self.ipms: List[float] = [t.ipm for t in traces]
+        self.lengths: List[int] = [len(t) for t in traces]
+        self.has_writes = any(t.writes is not None for t in traces)
+
+        per_thread = simulation.per_thread_instructions
+        if per_thread is not None:
+            if len(per_thread) != n:
+                raise ValueError(
+                    f"per_thread_instructions has {len(per_thread)} entries "
+                    f"for {n} threads"
+                )
+            budgets = [float(b) for b in per_thread]
+        else:
+            budgets = [
+                float(min(simulation.instructions_per_thread, t.instructions))
+                for t in traces
+            ]
+        self.freeze_counts: List[int] = [
+            freeze_count(budget, trace.ipm)
+            for budget, trace in zip(budgets, traces)
+        ]
+
+        self.l2_hit_pen = float(processor.l2_hit_penalty)
+        self.mem_pen = float(processor.l2_hit_penalty + processor.memory_penalty)
+        self.channel: Optional[MemoryChannel] = None
+        if simulation.memory_service_interval > 0:
+            self.channel = MemoryChannel(simulation.memory_service_interval,
+                                         float(processor.memory_penalty))
+        self.interval = float(sim.partitioning.interval_cycles)
+        self.max_cycles = simulation.max_cycles
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _assemble(self, frozen: Sequence[Optional[ThreadResult]],
+                  l1_accesses: int, l1_writebacks: int,
+                  memory_writebacks: int) -> SimulationResult:
+        """Build the :class:`SimulationResult` from engine-side counters."""
+        sim = self.sim
+        l2_stats = sim.hierarchy.l2.stats
+        atd_accesses = 0
+        if sim.profiling is not None:
+            atd_accesses = sum(
+                m.atd.sampled_accesses for m in sim.profiling.monitors
+            )
+        controller = sim.controller
+        events = EventCounts(
+            l1_accesses=l1_accesses,
+            l2_accesses=l2_stats.total_accesses,
+            l2_hits=l2_stats.total_hits,
+            l2_misses=l2_stats.total_misses,
+            atd_accesses=atd_accesses,
+            repartitions=controller.repartitions if controller else 0,
+            wall_cycles=max(r.cycles for r in frozen if r is not None),
+            l1_writebacks=l1_writebacks,
+            memory_writebacks=memory_writebacks,
+            memory_queue_cycles=self.channel.queue_cycles if self.channel else 0.0,
+        )
+        history = list(controller.history) if controller is not None else []
+        return SimulationResult(
+            acronym=sim.partitioning.acronym,
+            threads=[r for r in frozen if r is not None],
+            events=events,
+            partition_history=history,
+        )

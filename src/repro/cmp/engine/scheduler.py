@@ -1,0 +1,45 @@
+"""Binary-heap event scheduler for the CMP engines.
+
+The simulator must always step the thread with the smallest clock so shared
+L2 accesses interleave in global-time order.  The seed implementation did a
+linear min-scan over the clock list on every access; this scheduler keeps
+the runnable threads in a binary heap of ``(clock, thread)`` pairs.
+
+Exactness: the min-scan kept the *first* thread among equal minimum clocks
+(strict ``<`` comparison), i.e. ties broke toward the lowest thread index.
+A heap ordered by the tuple ``(clock, thread)`` pops the lowest thread
+index among equal clocks — the identical total order — so replacing the
+scan cannot reorder any pair of events.  ``tests/test_cmp`` pins this via
+the engine equivalence suite.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import List, Tuple
+
+
+class EventScheduler:
+    """Min-heap of ``(clock, thread)`` events in exact global-time order."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self, clocks) -> None:
+        self._heap: List[Tuple[float, int]] = [
+            (float(clock), t) for t, clock in enumerate(clocks)
+        ]
+        heapify(self._heap)
+
+    def push(self, clock: float, thread: int) -> None:
+        """Schedule ``thread``'s next event at ``clock``."""
+        heappush(self._heap, (clock, thread))
+
+    def pop(self) -> Tuple[float, int]:
+        """Remove and return the earliest ``(clock, thread)`` event."""
+        return heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

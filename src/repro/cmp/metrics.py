@@ -8,10 +8,11 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 
-def _check(ipcs: Sequence[float], isolation: Sequence[float] = None) -> None:
+def _check(ipcs: Sequence[float],
+           isolation: Optional[Sequence[float]] = None) -> None:
     if not ipcs:
         raise ValueError("need at least one IPC")
     if any(x <= 0 for x in ipcs):

@@ -1,0 +1,88 @@
+"""Result containers of one CMP simulation.
+
+Split out of the simulator so the execution engines
+(:mod:`repro.cmp.engine`) and the simulator facade can share them without
+import cycles.  All containers are plain dataclasses with value equality —
+the engine equivalence suite compares them field by field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.controller import PartitionRecord
+
+
+@dataclass(frozen=True)
+class ThreadResult:
+    """Frozen statistics of one thread."""
+
+    name: str
+    instructions: float
+    cycles: float
+    l1_accesses: int
+    l1_misses: int
+    l2_accesses: int
+    l2_misses: int
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l2_miss_ratio(self) -> float:
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+    @property
+    def mpki(self) -> float:
+        """L2 misses per thousand instructions."""
+        return 1000.0 * self.l2_misses / self.instructions if self.instructions else 0.0
+
+
+@dataclass(frozen=True)
+class EventCounts:
+    """Aggregate event counters feeding the power model (whole run).
+
+    The writeback counters stay zero for read-only traces (the paper's
+    methodology); they are populated by the write-back extension.
+    """
+
+    l1_accesses: int
+    l2_accesses: int
+    l2_hits: int
+    l2_misses: int
+    atd_accesses: int
+    repartitions: int
+    wall_cycles: float
+    #: L1 dirty evictions drained into the L2.
+    l1_writebacks: int = 0
+    #: Dirty-line traffic to main memory (L2 dirty evictions + bypasses).
+    memory_writebacks: int = 0
+    #: Total cycles misses spent queued for the memory channel (0 with the
+    #: paper's fixed-latency memory).
+    memory_queue_cycles: float = 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one CMP simulation."""
+
+    acronym: str
+    threads: List[ThreadResult]
+    events: EventCounts
+    partition_history: List["PartitionRecord"] = field(default_factory=list)
+
+    @property
+    def ipcs(self) -> List[float]:
+        return [t.ipc for t in self.threads]
+
+    @property
+    def throughput(self) -> float:
+        return float(sum(self.ipcs))
+
+    @property
+    def total_l2_misses(self) -> int:
+        return sum(t.l2_misses for t in self.threads)

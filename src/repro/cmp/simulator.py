@@ -1,9 +1,10 @@
 """Trace-driven CMP simulator with an analytic core timing model.
 
 Substitutes the paper's cycle-accurate Turandot/PTCMP substrate (see
-DESIGN.md).  Every thread carries its own clock; the simulator always steps
-the thread with the smallest clock, so shared-L2 accesses interleave in
-global-time order and contention is modelled faithfully at the cache level.
+DESIGN.md).  Every thread carries its own clock; the execution engine
+always steps the thread with the smallest clock, so shared-L2 accesses
+interleave in global-time order and contention is modelled faithfully at
+the cache level.
 
 Timing model per memory access of thread ``t``::
 
@@ -17,100 +18,41 @@ once it commits its instruction budget; the thread keeps executing (trace
 wrap-around) so the others still see its contention — the standard
 multiprogrammed methodology behind "we stop the simulation when each of the
 threads commits 100 million instructions".
+
+This module is the configuration facade; the hot loop lives in
+:mod:`repro.cmp.engine`.  ``SimulationConfig.engine`` selects between the
+batched engine (default — bulk L1 prefilter, several times faster) and the
+per-access reference loop (the oracle the equivalence suite pins the
+batched engine against).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.partition.base import make_partition
 from repro.cache.replacement.base import make_policy
+from repro.cmp.engine import make_engine
+from repro.cmp.results import EventCounts, SimulationResult, ThreadResult
 from repro.config import (
     ENFORCE_BTVECTORS,
     PartitioningConfig,
     ProcessorConfig,
     SimulationConfig,
 )
-from repro.cmp.memory import MemoryChannel
-from repro.core.controller import PartitionController, PartitionRecord
+from repro.core.controller import PartitionController
 from repro.profiling.monitor import ProfilingSystem
 from repro.util.rng import make_rng
 from repro.workloads.trace import Trace
 
-
-@dataclass(frozen=True)
-class ThreadResult:
-    """Frozen statistics of one thread."""
-
-    name: str
-    instructions: float
-    cycles: float
-    l1_accesses: int
-    l1_misses: int
-    l2_accesses: int
-    l2_misses: int
-
-    @property
-    def ipc(self) -> float:
-        """Committed instructions per cycle."""
-        return self.instructions / self.cycles if self.cycles else 0.0
-
-    @property
-    def l2_miss_ratio(self) -> float:
-        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
-
-    @property
-    def mpki(self) -> float:
-        """L2 misses per thousand instructions."""
-        return 1000.0 * self.l2_misses / self.instructions if self.instructions else 0.0
-
-
-@dataclass(frozen=True)
-class EventCounts:
-    """Aggregate event counters feeding the power model (whole run).
-
-    The writeback counters stay zero for read-only traces (the paper's
-    methodology); they are populated by the write-back extension.
-    """
-
-    l1_accesses: int
-    l2_accesses: int
-    l2_hits: int
-    l2_misses: int
-    atd_accesses: int
-    repartitions: int
-    wall_cycles: float
-    #: L1 dirty evictions drained into the L2.
-    l1_writebacks: int = 0
-    #: Dirty-line traffic to main memory (L2 dirty evictions + bypasses).
-    memory_writebacks: int = 0
-    #: Total cycles misses spent queued for the memory channel (0 with the
-    #: paper's fixed-latency memory).
-    memory_queue_cycles: float = 0.0
-
-
-@dataclass
-class SimulationResult:
-    """Outcome of one CMP simulation."""
-
-    acronym: str
-    threads: List[ThreadResult]
-    events: EventCounts
-    partition_history: List[PartitionRecord] = field(default_factory=list)
-
-    @property
-    def ipcs(self) -> List[float]:
-        return [t.ipc for t in self.threads]
-
-    @property
-    def throughput(self) -> float:
-        return float(sum(self.ipcs))
-
-    @property
-    def total_l2_misses(self) -> int:
-        return sum(t.l2_misses for t in self.threads)
+__all__ = [
+    "CMPSimulator",
+    "EventCounts",
+    "SimulationResult",
+    "ThreadResult",
+    "run_workload",
+]
 
 
 class CMPSimulator:
@@ -174,127 +116,7 @@ class CMPSimulator:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Simulate until every thread's statistics are frozen."""
-        traces = self.traces
-        n = len(traces)
-        lines_per_thread = [t.lines.tolist() for t in traces]
-        has_writes = any(t.writes is not None for t in traces)
-        writes_per_thread = [
-            t.writes.tolist() if t.writes is not None else [False] * len(t)
-            for t in traces
-        ] if has_writes else None
-        lengths = [len(t) for t in traces]
-        base_cost = [t.ipm * t.cpi_base for t in traces]
-        ipms = [t.ipm for t in traces]
-        per_thread = self.simulation.per_thread_instructions
-        if per_thread is not None:
-            if len(per_thread) != n:
-                raise ValueError(
-                    f"per_thread_instructions has {len(per_thread)} entries "
-                    f"for {n} threads"
-                )
-            budgets = [float(b) for b in per_thread]
-        else:
-            budgets = [
-                float(min(self.simulation.instructions_per_thread,
-                          t.instructions))
-                for t in traces
-            ]
-        penalty = (0.0,
-                   float(self.processor.l2_hit_penalty),
-                   float(self.processor.l2_hit_penalty
-                         + self.processor.memory_penalty))
-        l2_pen = float(self.processor.l2_hit_penalty)
-        channel = None
-        if self.simulation.memory_service_interval > 0:
-            channel = MemoryChannel(self.simulation.memory_service_interval,
-                                    float(self.processor.memory_penalty))
-
-        cycles = [0.0] * n
-        instructions = [0.0] * n
-        positions = [0] * n
-        frozen: List[Optional[ThreadResult]] = [None] * n
-        active = n
-
-        controller = self.controller
-        interval = self.partitioning.interval_cycles
-        next_boundary = float(interval)
-        access = self.hierarchy.access_line
-        access_rw = self.hierarchy.access_line_rw
-        l1_caches = self.hierarchy.l1
-        l2_stats = self.hierarchy.l2.stats
-        max_cycles = self.simulation.max_cycles
-
-        while active:
-            # Step the thread with the smallest clock (global-time order).
-            t = 0
-            now = cycles[0]
-            for i in range(1, n):
-                if cycles[i] < now:
-                    now = cycles[i]
-                    t = i
-            if controller is not None and now >= next_boundary:
-                controller.interval_boundary(cycle=int(next_boundary))
-                next_boundary += interval
-            pos = positions[t]
-            line = lines_per_thread[t][pos]
-            positions[t] = pos + 1 if pos + 1 < lengths[t] else 0
-            if writes_per_thread is None:
-                level = access(t, line)
-            else:
-                level = access_rw(t, line, writes_per_thread[t][pos])
-            if channel is not None and level == 2:
-                # Bandwidth-limited memory: the miss issues after the L2
-                # lookup and may queue behind earlier misses.
-                cycles[t] = channel.request(now + l2_pen) + base_cost[t]
-            else:
-                cycles[t] = now + base_cost[t] + penalty[level]
-            if frozen[t] is None:
-                done = instructions[t] + ipms[t]
-                instructions[t] = done
-                if done >= budgets[t]:
-                    l1s = l1_caches[t].stats
-                    frozen[t] = ThreadResult(
-                        name=traces[t].name,
-                        instructions=done,
-                        cycles=cycles[t],
-                        l1_accesses=l1s.accesses[0],
-                        l1_misses=l1s.misses[0],
-                        l2_accesses=l2_stats.accesses[t],
-                        l2_misses=l2_stats.misses[t],
-                    )
-                    active -= 1
-            if max_cycles is not None and now > max_cycles:
-                raise RuntimeError(
-                    f"simulation exceeded max_cycles={max_cycles} with "
-                    f"{active} threads still running"
-                )
-
-        atd_accesses = 0
-        if self.profiling is not None:
-            atd_accesses = sum(
-                m.atd.sampled_accesses for m in self.profiling.monitors
-            )
-        hierarchy = self.hierarchy
-        events = EventCounts(
-            l1_accesses=sum(c.stats.total_accesses for c in l1_caches),
-            l2_accesses=l2_stats.total_accesses,
-            l2_hits=l2_stats.total_hits,
-            l2_misses=l2_stats.total_misses,
-            atd_accesses=atd_accesses,
-            repartitions=controller.repartitions if controller else 0,
-            wall_cycles=max(r.cycles for r in frozen if r is not None),
-            l1_writebacks=(hierarchy.writebacks_l1_to_l2
-                           + hierarchy.writebacks_l1_to_mem),
-            memory_writebacks=hierarchy.l2_writebacks_to_memory,
-            memory_queue_cycles=channel.queue_cycles if channel else 0.0,
-        )
-        history = list(controller.history) if controller is not None else []
-        return SimulationResult(
-            acronym=self.partitioning.acronym,
-            threads=[r for r in frozen if r is not None],
-            events=events,
-            partition_history=history,
-        )
+        return make_engine(self, self.simulation.engine).run()
 
 
 def run_workload(processor: ProcessorConfig,

@@ -56,6 +56,11 @@ SELECTOR_STATIC = "static"          # fixed counts (QoS epochs; extension)
 SELECTORS = (SELECTOR_MINMISSES, SELECTOR_LOOKAHEAD, SELECTOR_EVEN,
              SELECTOR_FAIR, SELECTOR_STATIC)
 
+#: Simulation engine identifiers (see :mod:`repro.cmp.engine`).
+ENGINE_REFERENCE = "reference"   # per-access oracle loop
+ENGINE_BATCHED = "batched"       # bulk L1 prefilter + event scheduler
+ENGINES = (ENGINE_REFERENCE, ENGINE_BATCHED)
+
 
 @dataclass(frozen=True)
 class ProcessorConfig:
@@ -242,6 +247,10 @@ class SimulationConfig:
     #: Minimum cycles between successive memory services (single-channel
     #: FCFS queue).  0 = the paper's fixed-latency memory (default).
     memory_service_interval: float = 0.0
+    #: Execution engine: ``"batched"`` (bulk L1 prefilter, the default) or
+    #: ``"reference"`` (the per-access oracle loop).  Both produce identical
+    #: results; the equivalence suite pins this.
+    engine: str = ENGINE_BATCHED
 
     def __post_init__(self) -> None:
         check_positive("instructions_per_thread", self.instructions_per_thread)
@@ -250,3 +259,4 @@ class SimulationConfig:
                 check_positive(f"per_thread_instructions[{i}]", budget)
         if self.memory_service_interval < 0:
             raise ValueError("memory_service_interval cannot be negative")
+        check_in("engine", self.engine, ENGINES)

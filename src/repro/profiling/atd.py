@@ -96,7 +96,10 @@ class ATD:
                 del tag_map[old]
         self._lines[s][way] = line
         tag_map[line] = way
-        self.policy.touch(s, way, 0, None)
+        # Fill promotion must mirror the L2's miss path (``touch_fill``, not
+        # ``touch``): insertion-controlled policies place incoming lines
+        # elsewhere in the recency order, and the ATD shadows the cache.
+        self.policy.touch_fill(s, way, 0, None)
         if self._nru is not None:
             self._nru.fill_done()
         return True

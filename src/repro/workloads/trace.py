@@ -68,6 +68,22 @@ class Trace:
             return 0.0
         return float(self.writes.mean())
 
+    def chunk_view(self, start: int, size: int) -> np.ndarray:
+        """Zero-copy view of ``size`` line addresses from ``start``.
+
+        The batched engine prefilters traces window by window; views avoid
+        duplicating multi-million-entry streams.  The window is clamped to
+        the trace end (wrap-around is the engine's business, not the
+        trace's).
+        """
+        if start < 0 or start >= len(self.lines):
+            raise ValueError(
+                f"chunk start {start} outside trace of {len(self.lines)} accesses"
+            )
+        if size <= 0:
+            raise ValueError(f"chunk size must be positive, got {size}")
+        return self.lines[start:start + size]
+
     def save(self, path: str) -> None:
         """Persist to an ``.npz`` file."""
         payload = dict(lines=self.lines, ipm=self.ipm,

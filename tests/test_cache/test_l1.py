@@ -58,3 +58,82 @@ class TestSmallLRU:
             assert fast.access_line_hit(line) == ref.access_line(line).hit
         for s in range(4):
             assert sorted(fast.stack_of(s)) == sorted(ref.resident_lines(s))
+
+
+class TestBulkAccess:
+    """access_lines_hit / access_lines_rw must be exactly per-element."""
+
+    @pytest.mark.parametrize("assoc", [1, 2, 4])
+    def test_bulk_matches_sequential(self, assoc, rng):
+        g = geometry(num_sets=4, assoc=assoc)
+        seq = SmallLRUCache(g)
+        bulk = SmallLRUCache(g)
+        lines = rng.integers(0, 12 * assoc, size=4000)
+        expected = np.array([seq.access_line_hit(int(x)) for x in lines])
+        got = bulk.access_lines_hit(lines)
+        assert np.array_equal(expected, got)
+        for field in ("accesses", "hits", "misses", "evictions"):
+            assert getattr(seq.stats, field) == getattr(bulk.stats, field)
+        for s in range(4):
+            assert seq.stack_of(s) == bulk.stack_of(s)
+
+    def test_bulk_state_carries_across_chunks(self, rng):
+        g = geometry(num_sets=4, assoc=2)
+        seq = SmallLRUCache(g)
+        chunked = SmallLRUCache(g)
+        lines = rng.integers(0, 24, size=5000)
+        expected = np.array([seq.access_line_hit(int(x)) for x in lines])
+        parts = [chunked.access_lines_hit(lines[i:i + 700])
+                 for i in range(0, 5000, 700)]
+        assert np.array_equal(expected, np.concatenate(parts))
+        for s in range(4):
+            assert seq.stack_of(s) == chunked.stack_of(s)
+
+    def test_bulk_empty(self):
+        l1 = SmallLRUCache(geometry())
+        assert len(l1.access_lines_hit(np.empty(0, dtype=np.int64))) == 0
+        assert l1.stats.accesses[0] == 0
+
+    def test_bulk_rw_matches_sequential(self, rng):
+        g = geometry(num_sets=4, assoc=2)
+        seq = SmallLRUCache(g)
+        bulk = SmallLRUCache(g)
+        lines = rng.integers(0, 24, size=4000)
+        writes = rng.random(4000) < 0.4
+        exp_flags = []
+        exp_victims = []
+        for line, write in zip(lines, writes):
+            hit, victim = seq.access_line_rw(int(line), bool(write))
+            exp_flags.append(hit)
+            exp_victims.append(-1 if victim is None else victim)
+        flags, victims = bulk.access_lines_rw(lines, writes)
+        assert np.array_equal(np.array(exp_flags), flags)
+        assert np.array_equal(np.array(exp_victims), victims)
+        for field in ("accesses", "hits", "misses", "evictions",
+                      "write_accesses", "writebacks"):
+            assert getattr(seq.stats, field) == getattr(bulk.stats, field)
+
+    def test_bulk_rw_read_only_fast_path(self, rng):
+        """writes=None over a clean cache takes the vectorised path."""
+        g = geometry(num_sets=4, assoc=2)
+        seq = SmallLRUCache(g)
+        bulk = SmallLRUCache(g)
+        lines = rng.integers(0, 24, size=3000)
+        expected = np.array([seq.access_line_hit(int(x)) for x in lines])
+        flags, victims = bulk.access_lines_rw(lines, None)
+        assert np.array_equal(expected, flags)
+        assert np.all(victims == -1)
+
+    def test_bulk_after_writes_stays_exact(self, rng):
+        """Once dirty lines exist, the read-only bulk path must not take the
+        vectorised shortcut (it cannot track dirty evictions)."""
+        g = geometry(num_sets=2, assoc=2)
+        seq = SmallLRUCache(g)
+        bulk = SmallLRUCache(g)
+        for cache in (seq, bulk):
+            cache.access_line_rw(0, True)
+            cache.access_line_rw(2, True)
+        lines = rng.integers(0, 12, size=1000)
+        expected = np.array([seq.access_line_hit(int(x)) for x in lines])
+        got = bulk.access_lines_hit(lines)
+        assert np.array_equal(expected, got)

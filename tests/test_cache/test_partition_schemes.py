@@ -197,3 +197,69 @@ class TestFactory:
     def test_too_many_cores(self):
         with pytest.raises(ValueError):
             make_partition("masks", 9, 4, 8)
+
+
+class TestFlushHook:
+    def test_owner_counters_reset_on_flush(self):
+        """flush() must clear per-line ownership or the counters go stale
+        relative to the empty tag store (regression)."""
+        import numpy as np
+
+        from repro.cache.cache import SetAssociativeCache
+        from repro.cache.geometry import CacheGeometry
+
+        geometry = CacheGeometry(4 * 4 * 128, 4, 128)
+        scheme = OwnerCountersPartition(2, 4, 4)
+        scheme.apply(WayAllocation.from_counts([2, 2], 4))
+        cache = SetAssociativeCache(geometry, "lru", partition=scheme,
+                                    num_cores=2,
+                                    rng=np.random.default_rng(0))
+        for line in range(32):
+            cache.access_line(line, core=line % 2)
+        assert any(scheme.owned_count(s, c)
+                   for s in range(4) for c in range(2))
+        cache.flush()
+        for s in range(4):
+            for c in range(2):
+                assert scheme.owned_count(s, c) == 0
+            for w in range(4):
+                assert scheme.owner_of(s, w) == -1
+        # The enforced allocation survives the flush.
+        assert scheme.quota(0) == 2 and scheme.quota(1) == 2
+        # Refilling from empty converges back to quota without going over.
+        for line in range(64):
+            cache.access_line(line, core=0)
+        assert all(scheme.owned_count(s, 0) <= 4 for s in range(4))
+
+    def test_default_hook_is_noop(self):
+        scheme = MasksPartition(2, 4, 8)
+        scheme.apply(WayAllocation.from_counts([3, 5], 8))
+        scheme.on_flush()
+        assert scheme.candidate_mask(0, 0) == 0b00000111
+
+    def test_btvectors_survive_flush(self):
+        """flush() resets the BT policy, wiping its force vectors; the
+        scheme must re-install them or the cache runs unpartitioned
+        (regression)."""
+        import numpy as np
+
+        from repro.cache.cache import SetAssociativeCache
+        from repro.cache.geometry import CacheGeometry
+
+        geometry = CacheGeometry(4 * 8 * 128, 8, 128)
+        policy = BTPolicy(4, 8, rng=np.random.default_rng(0))
+        scheme = BTVectorPartition(2, 4, 8, policy)
+        scheme.apply(even_subcube_allocation(2, 8))
+        cache = SetAssociativeCache(geometry, policy, partition=scheme,
+                                    num_cores=2)
+        forced_before = [policy.get_force(c) for c in range(2)]
+        assert any(f is not None for f in forced_before)
+        cache.flush()
+        assert [policy.get_force(c) for c in range(2)] == forced_before
+        # Victims still land inside each core's subcube after the flush.
+        for line in range(64):
+            core = line % 2
+            result = cache.access_line(line, core=core)
+            if not result.hit:
+                assert (1 << result.way) & scheme.candidate_mask(
+                    result.set_index, core)

@@ -1,0 +1,202 @@
+"""Batched-vs-reference engine equivalence suite.
+
+The batched engine must reproduce the reference loop's results *exactly* —
+every :class:`ThreadResult` field, every :class:`EventCounts` field, every
+partition record — across replacement policies, enforcement schemes, write
+traces and the bandwidth-limited memory channel.  Anything short of ``==``
+on these dataclasses is a bug in the batching argument.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cmp.simulator import run_workload
+from repro.config import (
+    ProcessorConfig,
+    SimulationConfig,
+    config_C_L,
+    config_M_BT,
+    config_M_L,
+    config_M_N,
+    config_unpartitioned,
+)
+from repro.workloads.trace import Trace
+from repro.workloads.writes import overlay_writes
+
+
+def processor(num_cores=2):
+    return ProcessorConfig(
+        num_cores=num_cores,
+        l1i=CacheGeometry(2 * 2 * 128, 2, 128),
+        l1d=CacheGeometry(2 * 2 * 128, 2, 128),
+        l2=CacheGeometry(16 * 8 * 128, 8, 128),
+    )
+
+
+def make_traces(num_cores=2, count=6000, ipm=4.0, cpi=1.0):
+    """A mix of one cache-friendly thread and progressively larger streams."""
+    traces = []
+    for core in range(num_cores):
+        rng = np.random.default_rng(100 + core)
+        footprint = 48 * (4 ** core)
+        lines = rng.integers(0, footprint, size=count) + core * 1_000_000
+        traces.append(Trace(f"t{core}", lines, ipm=ipm, cpi_base=cpi))
+    return traces
+
+
+def both_engines(partitioning, traces, num_cores=2, budget=30_000,
+                 service_interval=0.0, per_thread=None):
+    results = []
+    for engine in ("reference", "batched"):
+        sim = SimulationConfig(
+            instructions_per_thread=budget,
+            per_thread_instructions=per_thread,
+            seed=7,
+            memory_service_interval=service_interval,
+            engine=engine,
+        )
+        results.append(run_workload(processor(num_cores), partitioning,
+                                    traces, sim))
+    return results
+
+
+def assert_identical(reference, batched):
+    assert len(reference.threads) == len(batched.threads)
+    for ref, bat in zip(reference.threads, batched.threads):
+        assert dataclasses.asdict(ref) == dataclasses.asdict(bat)
+    assert dataclasses.asdict(reference.events) == \
+        dataclasses.asdict(batched.events)
+    assert reference.partition_history == batched.partition_history
+    assert reference.acronym == batched.acronym
+
+
+PARTITIONED_CONFIGS = [
+    config_C_L(atd_sampling=4, interval_cycles=20_000),
+    config_M_L(atd_sampling=4, interval_cycles=20_000),
+    config_M_N(0.75, atd_sampling=4, interval_cycles=20_000),
+    config_M_BT(atd_sampling=4, interval_cycles=20_000),
+]
+
+UNPARTITIONED_POLICIES = ["lru", "nru", "bt", "random", "fifo", "dip", "srrip"]
+
+
+class TestReadOnly:
+    @pytest.mark.parametrize("policy", UNPARTITIONED_POLICIES)
+    def test_unpartitioned_policies(self, policy):
+        ref, bat = both_engines(config_unpartitioned(policy), make_traces())
+        assert_identical(ref, bat)
+
+    @pytest.mark.parametrize("config", PARTITIONED_CONFIGS,
+                             ids=lambda c: c.acronym)
+    def test_partitioned_schemes(self, config):
+        ref, bat = both_engines(config, make_traces())
+        assert_identical(ref, bat)
+
+    def test_four_cores(self):
+        ref, bat = both_engines(
+            config_C_L(atd_sampling=4, interval_cycles=20_000),
+            make_traces(num_cores=4), num_cores=4)
+        assert_identical(ref, bat)
+
+    def test_non_dyadic_timing_parameters(self):
+        """ipm/cpi values whose products round: the clock recurrence must
+        still evaluate identically in both engines."""
+        traces = make_traces(ipm=2.6, cpi=1.1)
+        ref, bat = both_engines(config_unpartitioned("lru"), traces,
+                                budget=20_000)
+        assert_identical(ref, bat)
+
+    def test_per_thread_budgets_and_wrap(self):
+        """Budgets beyond one trace pass exercise wrap-around batching."""
+        traces = make_traces(count=2500)
+        ref, bat = both_engines(config_unpartitioned("lru"), traces,
+                                per_thread=(24_000, 6_000))
+        assert_identical(ref, bat)
+
+    def test_mid_trace_chunk_reloads(self, monkeypatch):
+        """Traces longer than the prefilter window exercise reloads at
+        nonzero ``ck_start`` (window-relative offset arithmetic)."""
+        import repro.cmp.engine.batched as batched_mod
+
+        monkeypatch.setattr(batched_mod, "CHUNK_SIZE", 512)
+        ref, bat = both_engines(
+            config_C_L(atd_sampling=4, interval_cycles=20_000),
+            make_traces())
+        assert_identical(ref, bat)
+
+    def test_l1_resident_streaks(self):
+        """A tiny-footprint thread batches giant hit-streaks."""
+        rng = np.random.default_rng(5)
+        friendly = Trace("tiny", rng.integers(0, 4, size=4000),
+                         ipm=4.0, cpi_base=1.0)
+        stream = Trace("stream", np.arange(20_000) + 10_000_000,
+                       ipm=4.0, cpi_base=1.0)
+        ref, bat = both_engines(
+            config_M_L(atd_sampling=4, interval_cycles=20_000),
+            [friendly, stream])
+        assert_identical(ref, bat)
+
+
+class TestWriteTraces:
+    @pytest.mark.parametrize("config", [
+        config_unpartitioned("lru"),
+        config_C_L(atd_sampling=4, interval_cycles=20_000),
+        config_M_N(0.75, atd_sampling=4, interval_cycles=20_000),
+    ], ids=lambda c: c.acronym)
+    def test_write_overlay(self, config):
+        traces = [overlay_writes(t, 0.4, seed=3) for t in make_traces()]
+        ref, bat = both_engines(config, traces)
+        assert_identical(ref, bat)
+        assert ref.events.l1_writebacks > 0
+
+    def test_mixed_read_write_threads(self):
+        traces = make_traces()
+        traces[1] = overlay_writes(traces[1], 0.5, seed=9)
+        ref, bat = both_engines(
+            config_M_L(atd_sampling=4, interval_cycles=20_000), traces)
+        assert_identical(ref, bat)
+
+
+class TestBandwidthChannel:
+    @pytest.mark.parametrize("config", [
+        config_unpartitioned("lru"),
+        config_C_L(atd_sampling=4, interval_cycles=20_000),
+    ], ids=lambda c: c.acronym)
+    def test_limited_channel(self, config):
+        ref, bat = both_engines(config, make_traces(),
+                                service_interval=40.0)
+        assert_identical(ref, bat)
+        assert ref.events.memory_queue_cycles > 0
+
+    def test_channel_with_writes(self):
+        traces = [overlay_writes(t, 0.3, seed=4) for t in make_traces()]
+        ref, bat = both_engines(config_unpartitioned("lru"), traces,
+                                service_interval=25.0)
+        assert_identical(ref, bat)
+
+
+class TestBoundaryPlacement:
+    def test_tiny_interval_repartition_counts(self):
+        """Sub-access intervals force multi-boundary catch-ups in one step;
+        both engines must fire the same repartition sequence."""
+        ref, bat = both_engines(
+            config_C_L(atd_sampling=4, interval_cycles=500),
+            make_traces(count=3000), budget=10_000)
+        assert_identical(ref, bat)
+        assert ref.events.repartitions > 10
+
+
+class TestScheduler:
+    def test_pops_in_clock_then_thread_order(self):
+        from repro.cmp.engine.scheduler import EventScheduler
+
+        sched = EventScheduler([5.0, 1.0, 5.0])
+        sched.push(0.5, 0)
+        order = [sched.pop() for _ in range(4)]
+        # Equal clocks break toward the lower thread index — the same tie
+        # rule as the seed loop's first-minimum scan.
+        assert order == [(0.5, 0), (1.0, 1), (5.0, 0), (5.0, 2)]
+        assert not sched

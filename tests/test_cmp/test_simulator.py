@@ -173,6 +173,25 @@ class TestPartitionedRuns:
                          config_C_L(atd_sampling=64),
                          traces, sim_config())
 
+    @pytest.mark.parametrize("engine", ["reference", "batched"])
+    def test_boundary_catchup_on_clock_jumps(self, engine):
+        """A clock jump across several intervals must fire every skipped
+        repartition boundary (regression: the seed loop fired at most one
+        boundary per access, silently dropping the rest)."""
+        # Streaming trace: every access pays ~269 cycles, the interval is
+        # 100 — each step crosses 2-3 boundaries.
+        trace = Trace("stream", np.arange(50_000) + 1_000_000,
+                      ipm=4.0, cpi_base=1.0)
+        friend = synthetic_trace("friend", 8, 50_000, 0)
+        cfg = SimulationConfig(instructions_per_thread=20_000, seed=7,
+                               engine=engine)
+        result = run_workload(
+            tiny_processor(2),
+            config_C_L(atd_sampling=4, interval_cycles=100),
+            [friend, trace], cfg)
+        expected = result.events.wall_cycles / 100
+        assert result.events.repartitions >= 0.9 * expected
+
     def test_events_counted(self):
         traces = [synthetic_trace("a", 512, 8000, 0),
                   synthetic_trace("b", 512, 8000, 1, offset=65536)]

@@ -84,3 +84,35 @@ class TestStorage:
         geometry = CacheGeometry(2 * 1024 * 1024, 16, 128)
         atd = ATD(geometry, 32, "lru", make_profiler("lru"))
         assert atd.storage_bits() == int(3.25 * 1024 * 8)
+
+
+class TestFillSemantics:
+    """ATD fills must use ``touch_fill`` like the L2 it shadows (regression:
+    ``touch`` diverges for insertion-controlled policies)."""
+
+    class _StubProfiler:
+        """Minimal profiler so the ATD can host any policy under test."""
+
+        def __init__(self, policy_name):
+            self.policy_name = policy_name
+
+        def on_hit(self, policy, set_index, way, sdh):
+            pass
+
+    @pytest.mark.parametrize("policy", ["lru", "nru", "bt", "fifo"])
+    def test_atd_shadows_cache_contents(self, policy):
+        from repro.cache.cache import SetAssociativeCache
+
+        geometry = CacheGeometry(8 * 4 * 128, 4, 128)
+        atd = ATD(geometry, 1, policy, self._StubProfiler(policy),
+                  rng=np.random.default_rng(0))
+        cache = SetAssociativeCache(geometry, policy,
+                                    rng=np.random.default_rng(0))
+        rng = np.random.default_rng(3)
+        for line in rng.integers(0, 128, size=5000):
+            line = int(line)
+            # An unsampled single-core ATD is an exact tag shadow of the
+            # cache: residency must agree before every access.
+            assert atd.contains_line(line) == cache.contains_line(line)
+            atd.observe(line)
+            cache.access_line_hit(line)

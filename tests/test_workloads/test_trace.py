@@ -34,3 +34,29 @@ class TestTrace:
         assert (loaded.lines == trace.lines).all()
         assert loaded.ipm == 3.5
         assert loaded.cpi_base == 0.9
+
+
+class TestChunkViews:
+    def test_chunk_view_is_a_view(self):
+        trace = Trace("t", np.arange(100), ipm=4.0, cpi_base=1.0)
+        view = trace.chunk_view(10, 20)
+        assert len(view) == 20
+        assert view.base is trace.lines or view.base is trace.lines.base
+        assert view[0] == 10
+
+    def test_chunk_view_clamps_to_end(self):
+        trace = Trace("t", np.arange(100), ipm=4.0, cpi_base=1.0)
+        assert len(trace.chunk_view(90, 50)) == 10
+
+    def test_chunk_view_validates(self):
+        trace = Trace("t", np.arange(10), ipm=4.0, cpi_base=1.0)
+        with pytest.raises(ValueError):
+            trace.chunk_view(10, 1)
+        with pytest.raises(ValueError):
+            trace.chunk_view(0, 0)
+
+    def test_chunk_views_cover_the_pass(self):
+        trace = Trace("t", np.arange(100), ipm=4.0, cpi_base=1.0)
+        parts = [trace.chunk_view(start, 32) for start in range(0, 100, 32)]
+        assert [len(p) for p in parts] == [32, 32, 32, 4]
+        assert np.array_equal(np.concatenate(parts), trace.lines)
