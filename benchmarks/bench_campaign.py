@@ -1,0 +1,116 @@
+"""Campaign-layer benchmark: worker-pool sweep vs the serial path.
+
+Measures the three walls the campaign layer is built to knock down, on a
+real figure matrix:
+
+1. **serial** — the figure module's own loop (one process, in-memory
+   caching only), the pre-campaign status quo;
+2. **pool (cold)** — the same matrix through ``Campaign`` on N workers
+   with an empty store: isolation stage first (deduplicated shared
+   sub-results), then the embarrassingly parallel outcome stage;
+3. **pool (warm)** — the same invocation again: every job a store hit,
+   zero simulations executed.
+
+The sweep should speed up roughly by the core count (minus the isolation
+stage's smaller width), and the warm run should be near-instant.  Results
+are checked bit-identical between the serial and pool paths, so the bench
+doubles as an end-to-end equivalence test at benchmark scale.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py                # fig6
+    PYTHONPATH=src python benchmarks/bench_campaign.py --target fig7 -j 8
+    PYTHONPATH=src python benchmarks/bench_campaign.py --smoke        # ~30 s
+
+``REPRO_*`` environment knobs control the scale as everywhere else.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import replace
+
+from repro.campaign.runner import Campaign, plan_jobs, run_serial
+from repro.campaign.store import ResultStore
+from repro.experiments import fig6, fig7, fig8
+from repro.experiments.common import ExperimentScale, WorkloadRunner
+
+MATRICES = {"fig6": fig6.matrix, "fig7": fig7.matrix, "fig8": fig8.matrix}
+
+#: Bench default: a lighter trace length than the figure benches so the
+#: serial baseline stays in interactive territory on a laptop.
+BENCH_ACCESSES = int(os.environ.get("REPRO_CAMPAIGN_ACCESSES", "20000"))
+
+SMOKE_SCALE = ExperimentScale(
+    scale=16, accesses=2_000, target_cycles=200_000.0,
+    atd_sampling=4, interval_cycles=50_000, seed=7,
+    mixes_2t=("2T_05",), mixes_4t=("4T_03",), mixes_8t=("8T_11",),
+    mixes_fig8=("2T_05",), benchmarks_1t=("crafty",),
+)
+
+
+def bench(scale: ExperimentScale, target: str, jobs: int) -> int:
+    matrix = MATRICES[target](scale)
+    plan = plan_jobs(matrix)
+    print(f"{target}: {len(plan.outcome)} outcome + {len(plan.isolation)} "
+          f"isolation job(s), {jobs} worker(s), "
+          f"accesses={scale.accesses}, scale=1/{scale.scale}")
+
+    t0 = time.perf_counter()
+    serial_results = run_serial(matrix, WorkloadRunner(scale))
+    t_serial = time.perf_counter() - t0
+    print(f"  serial        {t_serial:8.2f} s")
+
+    store_root = tempfile.mkdtemp(prefix="repro-campaign-bench-")
+    try:
+        store = ResultStore(store_root)
+        t0 = time.perf_counter()
+        pool_results, cold = Campaign(store, workers=jobs).run(matrix)
+        t_cold = time.perf_counter() - t0
+        speedup = t_serial / t_cold if t_cold else float("inf")
+        print(f"  pool (cold)   {t_cold:8.2f} s   speedup {speedup:5.2f}x  "
+              f"(executed={cold.executed})")
+
+        t0 = time.perf_counter()
+        _, warm = Campaign(store, workers=jobs).run(matrix)
+        t_warm = time.perf_counter() - t0
+        print(f"  pool (warm)   {t_warm:8.2f} s   "
+              f"(executed={warm.executed}, cached={warm.cached})")
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+
+    mismatches = sum(
+        1 for job, expected in serial_results.items()
+        if job.kind == "outcome"
+        and pool_results[job].result.threads != expected.result.threads
+    )
+    ok = mismatches == 0 and warm.executed == 0
+    print(f"  identity: {'OK' if mismatches == 0 else 'MISMATCH'}   "
+          f"warm cache-hit: {'OK' if warm.executed == 0 else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--target", choices=sorted(MATRICES), default="fig6")
+    parser.add_argument("--jobs", "-j", type=int,
+                        default=os.cpu_count() or 1)
+    parser.add_argument("--smoke", action="store_true",
+                        help="micro matrix (~30 s): CI-friendly sanity run")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        scale = SMOKE_SCALE
+        jobs = min(args.jobs, 2)
+    else:
+        scale = replace(ExperimentScale.from_env(), accesses=BENCH_ACCESSES)
+        jobs = args.jobs
+    return bench(scale, args.target, jobs)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

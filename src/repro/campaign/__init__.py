@@ -1,0 +1,65 @@
+"""Parallel experiment campaigns with a content-addressed result store.
+
+The paper's evaluation is an embarrassingly parallel sweep — 49 mixes x
+{LRU, NRU, BT} x enforcement schemes x four figures and two tables.  This
+package turns every point of that sweep into a declarative :class:`Job`
+spec, executes jobs on a :mod:`multiprocessing` worker pool with
+deterministic per-job seeding, and memoises results in an on-disk store
+keyed by a stable content hash of (configuration, trace recipe, engine
+version).  Re-runs, interrupted sweeps and sub-results shared between
+figures (the LRU isolation budgets every figure needs) become cache hits
+instead of re-simulation.
+
+Layering::
+
+    jobs.py      Job specs + isolation-dependency expansion
+    hashing.py   canonical spec JSON -> SHA-256 store keys
+    store.py     atomic content-addressed on-disk store
+    runner.py    two-stage planner, worker pool, StoreWorkloadRunner
+    registry.py  per-figure job matrices and renderers (CLI targets)
+
+``registry`` imports the experiment modules (which in turn import this
+package for :class:`Job`), so it is deliberately *not* imported here —
+pull it in directly (``from repro.campaign import registry``) as
+:mod:`repro.cli` does.
+
+Entry point: ``python -m repro campaign run fig6 fig7 --jobs 8``.
+"""
+
+from repro.campaign.hashing import canonical_spec, job_key
+from repro.campaign.jobs import (
+    Job,
+    KIND_ISOLATION,
+    KIND_OUTCOME,
+    isolation_deps,
+    isolation_job,
+    outcome_job,
+)
+from repro.campaign.runner import (
+    Campaign,
+    CampaignReport,
+    StoreWorkloadRunner,
+    execute_job,
+    plan_jobs,
+    run_serial,
+)
+from repro.campaign.store import ResultStore, default_store_path
+
+__all__ = [
+    "Campaign",
+    "CampaignReport",
+    "Job",
+    "KIND_ISOLATION",
+    "KIND_OUTCOME",
+    "ResultStore",
+    "StoreWorkloadRunner",
+    "canonical_spec",
+    "default_store_path",
+    "execute_job",
+    "isolation_deps",
+    "isolation_job",
+    "job_key",
+    "outcome_job",
+    "plan_jobs",
+    "run_serial",
+]

@@ -1,0 +1,146 @@
+"""Declarative experiment jobs: the unit of work of a campaign.
+
+A :class:`Job` pins down *everything* a worker process needs to reproduce
+one simulation — the experiment scale (which fixes the trace recipe: catalog
+benchmark, length, footprint calibration and seed), the partitioning
+configuration, the L2 capacity and the memory model.  Jobs are frozen,
+hashable and picklable, so they serve simultaneously as
+
+* work items shipped to :mod:`multiprocessing` workers,
+* dictionary keys when a figure module assembles its tables, and
+* the content that is hashed into the result store address
+  (:func:`repro.campaign.hashing.job_key`).
+
+Two kinds exist:
+
+``outcome``
+    One :meth:`WorkloadRunner.run` point — a (mix, configuration, L2
+    capacity) simulation producing a :class:`RunOutcome`.
+``isolation``
+    One single-thread isolation run — a (benchmark, core id, policy, L2
+    capacity) simulation producing a :class:`ThreadResult`.  Outcome jobs
+    *depend* on isolation jobs twice over: the LRU isolation IPCs define
+    the cycle-matched instruction budgets, and the same-policy isolation
+    IPCs are the denominators of the relative metrics.
+    :func:`isolation_deps` enumerates those dependencies so the campaign
+    runner can execute them once, up front, instead of once per figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import PartitioningConfig, POLICY_RANDOM
+from repro.experiments.common import BASE_L2_BYTES, ExperimentScale
+from repro.workloads.mixes import get_workload
+
+#: Job kind identifiers.
+KIND_OUTCOME = "outcome"
+KIND_ISOLATION = "isolation"
+KINDS = (KIND_OUTCOME, KIND_ISOLATION)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One memoisable unit of simulation work (see the module docstring).
+
+    Construct through :func:`outcome_job` / :func:`isolation_job` — they
+    normalise the configuration so that semantically identical jobs compare
+    (and hash) equal.
+    """
+
+    kind: str
+    scale: ExperimentScale
+    l2_bytes: int = BASE_L2_BYTES
+    # -- outcome jobs ---------------------------------------------------
+    #: Table II mix name (or a display label when ``benchmarks`` overrides).
+    mix: str = ""
+    config: Optional[PartitioningConfig] = None
+    #: Explicit benchmark tuple (1-core Figure 6 points); None = Table II.
+    benchmarks: Optional[Tuple[str, ...]] = None
+    memory_service_interval: float = 0.0
+    # -- isolation jobs -------------------------------------------------
+    benchmark: str = ""
+    #: Core slot the benchmark occupies in its mix — part of the trace
+    #: recipe (address space and random stream are per-core).
+    core_id: int = 0
+    policy: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; known: {KINDS}")
+        if self.kind == KIND_OUTCOME:
+            if self.config is None:
+                raise ValueError("outcome jobs need a PartitioningConfig")
+            if not self.mix:
+                raise ValueError("outcome jobs need a mix name")
+        else:
+            if not self.benchmark or not self.policy:
+                raise ValueError("isolation jobs need a benchmark and policy")
+            if self.core_id < 0:
+                raise ValueError("core_id cannot be negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def workload(self) -> Tuple[str, ...]:
+        """Benchmark tuple an outcome job simulates."""
+        if self.kind != KIND_OUTCOME:
+            raise ValueError("only outcome jobs have a workload")
+        if self.benchmarks is not None:
+            return self.benchmarks
+        return get_workload(self.mix)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for status/progress output."""
+        if self.kind == KIND_OUTCOME:
+            return f"{self.mix}/{self.config.acronym}@{self.l2_bytes // 1024}KB"
+        return (f"iso:{self.benchmark}#{self.core_id}/{self.policy}"
+                f"@{self.l2_bytes // 1024}KB")
+
+
+def outcome_job(scale: ExperimentScale, mix: str, config: PartitioningConfig,
+                l2_bytes: int = BASE_L2_BYTES,
+                benchmarks: Optional[Tuple[str, ...]] = None,
+                memory_service_interval: float = 0.0) -> Job:
+    """Job for one :meth:`WorkloadRunner.run` point.
+
+    The configuration is normalised with :meth:`ExperimentScale.partitioning`
+    (the sampling/interval override the runner applies anyway) so two jobs
+    that would execute identically never hash differently.
+    """
+    return Job(
+        kind=KIND_OUTCOME, scale=scale, l2_bytes=l2_bytes, mix=mix,
+        config=scale.partitioning(config),
+        benchmarks=tuple(benchmarks) if benchmarks is not None else None,
+        memory_service_interval=memory_service_interval,
+    )
+
+
+def isolation_job(scale: ExperimentScale, benchmark: str, core_id: int,
+                  policy: str, l2_bytes: int = BASE_L2_BYTES) -> Job:
+    """Job for one single-thread isolation run."""
+    return Job(kind=KIND_ISOLATION, scale=scale, l2_bytes=l2_bytes,
+               benchmark=benchmark, core_id=core_id, policy=policy)
+
+
+def isolation_deps(job: Job) -> List[Job]:
+    """Isolation jobs an outcome job reads (budgets + metric denominators).
+
+    Budgets always come from LRU isolation runs; the relative metrics
+    normalise to the outcome's own policy (random maps to LRU, mirroring
+    :meth:`WorkloadRunner.run`).  Isolation jobs have no dependencies.
+    """
+    if job.kind != KIND_OUTCOME:
+        return []
+    policies = {"lru"}
+    iso_policy = ("lru" if job.config.policy == POLICY_RANDOM
+                  else job.config.policy)
+    policies.add(iso_policy)
+    deps: List[Job] = []
+    for policy in sorted(policies):
+        for core_id, benchmark in enumerate(job.workload):
+            deps.append(isolation_job(job.scale, benchmark, core_id, policy,
+                                      job.l2_bytes))
+    return deps

@@ -1,0 +1,278 @@
+"""Campaign execution: job graph -> worker pool -> result store.
+
+The runner turns a flat list of :class:`Job` specs into a two-stage plan:
+
+1. **isolation stage** — the union of every outcome job's isolation
+   dependencies (:func:`isolation_deps`), deduplicated by store key.  This
+   is where the shared sub-results live: the LRU isolation runs that define
+   cycle-matched budgets are computed once per (benchmark, core slot,
+   geometry) for the whole campaign, no matter how many figures reuse them;
+2. **outcome stage** — the actual (mix, configuration) simulations, free to
+   run embarrassingly parallel because every cross-job input is now a
+   store hit.
+
+Each stage first partitions its jobs into *cached* (store hit) and
+*pending*; only pending jobs execute — on a :mod:`multiprocessing` pool
+when ``jobs > 1``, inline otherwise.  Workers write their results into the
+store themselves (atomic publishes, see :mod:`.store`), so an interrupted
+sweep resumes by simply re-running the campaign: completed jobs are cache
+hits, only the missing ones execute.
+
+Determinism: a job's result is a pure function of its spec.  Traces are
+generated from ``(scale.seed, benchmark, core_id)`` via the repo's keyed
+RNG streams, budgets derive from store-shared isolation IPCs, and the
+simulation itself is seeded from the spec — so pool execution, serial
+execution and any interleaving of the two produce bit-identical metrics
+(pinned by ``tests/test_campaign/test_figures.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.hashing import canonical_spec, job_key
+from repro.campaign.jobs import (
+    Job,
+    KIND_ISOLATION,
+    KIND_OUTCOME,
+    isolation_deps,
+    isolation_job,
+)
+from repro.campaign.store import ResultStore
+from repro.experiments.common import (
+    BASE_L2_BYTES,
+    ExperimentScale,
+    WorkloadRunner,
+)
+from repro.workloads.generator import generate_trace
+
+
+# ----------------------------------------------------------------------
+# Job execution (used identically by workers and the serial path)
+# ----------------------------------------------------------------------
+def execute_job(job: Job, runner: WorkloadRunner) -> Any:
+    """Execute one job on a runner built for the job's scale.
+
+    Returns a :class:`RunOutcome` for outcome jobs and a
+    :class:`ThreadResult` for isolation jobs.  The runner must have been
+    constructed with ``job.scale`` — the caller owns runner reuse.
+    """
+    scale = job.scale
+    if job.kind == KIND_ISOLATION:
+        trace = generate_trace(job.benchmark, scale.accesses,
+                               scale.baseline_l2_lines,
+                               seed=scale.seed, core_id=job.core_id)
+        return runner.isolation(job.l2_bytes).thread_result(trace, job.policy)
+    return runner.run(job.mix, job.config, l2_bytes=job.l2_bytes,
+                      benchmarks=job.benchmarks,
+                      memory_service_interval=job.memory_service_interval)
+
+
+def run_serial(jobs: Sequence[Job], runner: WorkloadRunner) -> Dict[Job, Any]:
+    """Execute jobs in order on one in-process runner (no store).
+
+    The serial reference path behind every figure module's ``run()``; the
+    campaign path must match it bit for bit.
+    """
+    return {job: execute_job(job, runner) for job in jobs}
+
+
+class StoreWorkloadRunner(WorkloadRunner):
+    """WorkloadRunner whose isolation lookups go through a result store.
+
+    Overrides the :meth:`WorkloadRunner.iso_results` funnel: each per-thread
+    isolation result is first looked up in an in-memory memo, then in the
+    on-disk store, and only computed (and published) on a genuine miss.
+    This is the piece that lets outcome jobs in different worker processes
+    share one set of isolation runs.
+    """
+
+    def __init__(self, scale: ExperimentScale, store: ResultStore) -> None:
+        super().__init__(scale)
+        self.store = store
+        self._iso_memo: Dict[str, Any] = {}
+
+    def iso_results(self, benchmarks, policy, l2_bytes=BASE_L2_BYTES):
+        results = []
+        for core_id, benchmark in enumerate(benchmarks):
+            job = isolation_job(self.scale, benchmark, core_id, policy,
+                                l2_bytes)
+            key = job_key(job)
+            value = self._iso_memo.get(key)
+            if value is None:
+                value = self.store.get(key)
+            if value is None:
+                value = execute_job(job, self)
+                self.store.put(key, canonical_spec(job), value)
+            self._iso_memo[key] = value
+            results.append(value)
+        return results
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+# Per-worker state, initialised once per process: the store handle and a
+# runner per scale (so a worker draining many jobs reuses its traces).
+_WORKER: Dict[str, Any] = {}
+
+
+def _init_worker(store_root: str) -> None:
+    _WORKER["store"] = ResultStore(store_root)
+    _WORKER["runners"] = {}
+
+
+def _run_job(item: Tuple[str, Job]) -> Tuple[str, Any]:
+    key, job = item
+    store: ResultStore = _WORKER["store"]
+    runners: Dict[ExperimentScale, StoreWorkloadRunner] = _WORKER["runners"]
+    runner = runners.get(job.scale)
+    if runner is None:
+        runner = StoreWorkloadRunner(job.scale, store)
+        runners[job.scale] = runner
+    value = execute_job(job, runner)
+    store.put(key, canonical_spec(job), value)
+    return key, value
+
+
+# ----------------------------------------------------------------------
+# The campaign driver
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignReport:
+    """Execution accounting of one :meth:`Campaign.run` call."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    #: (stage name, executed, cached) per stage, in execution order.
+    stages: List[Tuple[str, int, int]] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    def summary(self) -> str:
+        """One human-readable accounting line (CI asserts cache hits via
+        ``--expect-cached`` exit codes, not by parsing this)."""
+        return (f"campaign: total={self.total} executed={self.executed} "
+                f"cached={self.cached} elapsed={self.elapsed:.1f}s")
+
+
+@dataclass
+class Plan:
+    """Deduplicated two-stage execution plan for a set of jobs."""
+
+    isolation: List[Tuple[str, Job]]
+    outcome: List[Tuple[str, Job]]
+
+    @property
+    def total(self) -> int:
+        return len(self.isolation) + len(self.outcome)
+
+
+def plan_jobs(jobs: Sequence[Job]) -> Plan:
+    """Expand isolation dependencies and deduplicate by store key."""
+    seen: Dict[str, None] = {}
+    isolation: List[Tuple[str, Job]] = []
+    outcome: List[Tuple[str, Job]] = []
+    for job in jobs:
+        deps = isolation_deps(job) if job.kind == KIND_OUTCOME else [job]
+        for dep in deps:
+            key = job_key(dep)
+            if key not in seen:
+                seen[key] = None
+                isolation.append((key, dep))
+        if job.kind == KIND_OUTCOME:
+            key = job_key(job)
+            if key not in seen:
+                seen[key] = None
+                outcome.append((key, job))
+    return Plan(isolation=isolation, outcome=outcome)
+
+
+class Campaign:
+    """Executes job lists against a store, optionally on a worker pool.
+
+    Parameters
+    ----------
+    store:
+        The content-addressed result store (shared across invocations —
+        memoisation and resume both fall out of it).
+    workers:
+        Worker-process count; 1 executes inline (still through the store).
+    force:
+        Ignore store hits and recompute everything (results are still
+        republished, so a forced run refreshes the store).
+    echo:
+        Optional ``print``-like progress sink.
+    """
+
+    def __init__(self, store: ResultStore, workers: int = 1,
+                 force: bool = False,
+                 echo: Optional[Callable[[str], None]] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store = store
+        self.workers = workers
+        self.force = force
+        self.echo = echo or (lambda _msg: None)
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> Tuple[Dict[Job, Any], CampaignReport]:
+        """Execute (or recall) every job; returns results and accounting.
+
+        The result dict covers outcome *and* isolation jobs, keyed by the
+        :class:`Job` itself, so figure assembly can look points up by
+        reconstructing their specs.
+        """
+        start = time.perf_counter()
+        plan = plan_jobs(jobs)
+        report = CampaignReport(total=plan.total)
+        results: Dict[Job, Any] = {}
+        for name, stage in (("isolation", plan.isolation),
+                            ("outcome", plan.outcome)):
+            executed, cached = self._run_stage(name, stage, results)
+            report.executed += executed
+            report.cached += cached
+            report.stages.append((name, executed, cached))
+        report.elapsed = time.perf_counter() - start
+        return results, report
+
+    # ------------------------------------------------------------------
+    def _run_stage(self, name: str, stage: List[Tuple[str, Job]],
+                   results: Dict[Job, Any]) -> Tuple[int, int]:
+        pending: List[Tuple[str, Job]] = []
+        cached = 0
+        for key, job in stage:
+            value = None if self.force else self.store.get(key)
+            if value is None:
+                pending.append((key, job))
+            else:
+                results[job] = value
+                cached += 1
+        if pending:
+            self.echo(f"  {name}: running {len(pending)} job(s) "
+                      f"({cached} cached) on "
+                      f"{min(self.workers, len(pending))} worker(s)")
+            by_key = {key: job for key, job in pending}
+            if self.workers == 1 or len(pending) == 1:
+                _init_worker(str(self.store.root))
+                try:
+                    for item in pending:
+                        key, value = _run_job(item)
+                        results[by_key[key]] = value
+                finally:
+                    _WORKER.clear()
+            else:
+                with multiprocessing.Pool(
+                    processes=min(self.workers, len(pending)),
+                    initializer=_init_worker,
+                    initargs=(str(self.store.root),),
+                ) as pool:
+                    for key, value in pool.imap_unordered(
+                            _run_job, pending, chunksize=1):
+                        results[by_key[key]] = value
+        elif stage:
+            self.echo(f"  {name}: all {cached} job(s) cached")
+        return len(pending), cached

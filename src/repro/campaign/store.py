@@ -1,0 +1,130 @@
+"""Content-addressed on-disk result store.
+
+Results live under ``<root>/objects/<key[:2]>/<key>.pkl`` — the same
+two-level fan-out git uses, keyed by :func:`repro.campaign.hashing.job_key`.
+Each object is a pickle of ``{"key", "spec", "value"}``; the canonical spec
+string rides along purely for debuggability (``repro campaign status`` and
+humans poking at the store can see *what* a blob is without recomputing
+hashes).
+
+Concurrency model: writes go to a temporary file in the final directory and
+are published with :func:`os.replace`, which is atomic on POSIX and
+Windows.  Many worker processes may therefore race to publish the same key
+— last writer wins with an identical value (jobs are deterministic), and a
+reader never observes a partial object.  A corrupt or truncated object
+(interrupted run, disk trouble) reads as a *miss* and is simply recomputed;
+the store is a cache, never the source of truth.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+#: Environment override for the default store location.
+STORE_ENV = "REPRO_STORE"
+#: Default store directory (relative to the working directory).
+DEFAULT_STORE = ".repro-store"
+
+
+def default_store_path() -> str:
+    """Store root honouring the ``REPRO_STORE`` environment override."""
+    return os.environ.get(STORE_ENV, DEFAULT_STORE)
+
+
+class ResultStore:
+    """Content-addressed pickle store (see the module docstring)."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = Path(root if root is not None else default_store_path())
+        self._objects = self.root / "objects"
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """On-disk location of one key (existence not implied)."""
+        return self._objects / key[:2] / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        # Full validation, not just is_file(): a truncated object must
+        # count as missing here exactly as get() treats it, or status
+        # and run would disagree about what is cached.
+        return self._load(key) is not None
+
+    def _load(self, key: str) -> Optional[dict]:
+        """Payload dict of one object; None on miss or any corruption.
+
+        ``ValueError`` covers corrupt protocol bytes, the rest covers
+        truncation, missing classes and renamed modules — a damaged object
+        must always read as a miss, never crash a campaign.
+        """
+        try:
+            with open(self.path_for(key), "rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            return None
+        return payload
+
+    def get(self, key: str) -> Optional[Any]:
+        """Stored value for ``key``, or None on miss *or* corruption."""
+        payload = self._load(key)
+        return payload.get("value") if payload is not None else None
+
+    def spec(self, key: str) -> Optional[str]:
+        """Canonical spec string recorded with ``key`` (None on miss)."""
+        payload = self._load(key)
+        return payload.get("spec") if payload is not None else None
+
+    def put(self, key: str, spec: str, value: Any) -> Path:
+        """Atomically publish ``value`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps({"key": key, "spec": spec, "value": value},
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def delete(self, key: str) -> bool:
+        """Remove one object; True if it existed."""
+        try:
+            os.unlink(self.path_for(key))
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    def iter_keys(self) -> Iterator[str]:
+        """All keys currently stored."""
+        if not self._objects.is_dir():
+            return
+        for shard in sorted(self._objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.pkl")):
+                yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_keys())
+
+    def clean(self) -> int:
+        """Delete every stored object; returns how many were removed."""
+        removed = 0
+        for key in list(self.iter_keys()):
+            if self.delete(key):
+                removed += 1
+        return removed

@@ -12,9 +12,21 @@ Examples::
     python -m repro workloads               # list catalog + mixes
     python -m repro policies                # list replacement policies
 
+    python -m repro campaign run fig6 fig7 --jobs 8   # parallel sweep
+    python -m repro campaign run all -j 8 --store /tmp/repro-store
+    python -m repro campaign status fig6              # cached vs missing
+    python -m repro campaign clean                    # wipe the store
+
 The figure commands accept the same knobs as the ``REPRO_*`` environment
 variables used by the benches (``--scale``, ``--accesses``, ``--mixes``,
-``--seed``, ``--full``); command-line flags take precedence.
+``--seed``, ``--target-cycles``, ``--full``); command-line flags take
+precedence.
+
+``campaign run`` executes the selected figures' job matrices on a worker
+pool (``--jobs N``), memoising every simulation in a content-addressed
+store (``--store DIR``, default ``.repro-store`` or ``$REPRO_STORE``).
+Re-running an interrupted or finished sweep only executes missing jobs —
+that *is* the resume mechanism — and ``--force`` recomputes everything.
 """
 
 from __future__ import annotations
@@ -41,6 +53,8 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                         help="Table II mix coverage")
     parser.add_argument("--seed", type=int, default=None,
                         help="base random seed")
+    parser.add_argument("--target-cycles", type=float, default=None,
+                        help="cycle-matching horizon (smaller = faster)")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale run (slow; implies --scale 1)")
 
@@ -60,6 +74,8 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
             os.environ["REPRO_ACCESSES"] = str(args.accesses)
         if args.seed is not None:
             os.environ["REPRO_SEED"] = str(args.seed)
+        if args.target_cycles is not None:
+            os.environ["REPRO_TARGET_CYCLES"] = str(args.target_cycles)
         return ExperimentScale.from_env()
     finally:
         os.environ.clear()
@@ -145,6 +161,67 @@ def _cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_store(args: argparse.Namespace):
+    from repro.campaign.store import ResultStore, default_store_path
+    return ResultStore(args.store if args.store else default_store_path())
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.campaign import registry
+    from repro.campaign.runner import Campaign
+
+    scale = _scale_from_args(args)
+    targets = registry.resolve_targets(args.targets)
+    jobs = [job for target in targets for job in target.matrix(scale)]
+    store = _campaign_store(args)
+    workers = args.jobs if args.jobs else (os.cpu_count() or 1)
+    campaign = Campaign(store, workers=workers, force=args.force, echo=print)
+    print(f"campaign store: {store.root}")
+    results, report = campaign.run(jobs)
+    print(report.summary())
+    for target in targets:
+        print()
+        print(f"=== {target.name} ===")
+        print(target.render(scale, results))
+    if args.expect_cached and report.executed:
+        print(f"ERROR: expected a fully cached campaign but "
+              f"{report.executed} job(s) executed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import registry
+    from repro.campaign.runner import plan_jobs
+    from repro.experiments.report import format_table
+
+    scale = _scale_from_args(args)
+    targets = registry.resolve_targets(args.targets or ["all"])
+    store = _campaign_store(args)
+    rows = []
+    for target in targets:
+        plan = plan_jobs(target.matrix(scale))
+        cached = sum(1 for key, _ in plan.isolation + plan.outcome
+                     if key in store)
+        rows.append([target.name, len(plan.outcome), len(plan.isolation),
+                     cached, plan.total - cached])
+    print(f"campaign store: {store.root} ({len(store)} object(s))")
+    print(format_table(
+        ["target", "sim jobs", "iso jobs", "cached", "missing"], rows,
+        title="campaign status (at the current scale)",
+    ))
+    return 0
+
+
+def _cmd_campaign_clean(args: argparse.Namespace) -> int:
+    store = _campaign_store(args)
+    removed = store.clean()
+    print(f"campaign store: {store.root} — removed {removed} object(s)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -166,6 +243,40 @@ def build_parser() -> argparse.ArgumentParser:
         _add_scale_arguments(p)
     sub.add_parser("workloads", help="list benchmarks and Table II mixes")
     sub.add_parser("policies", help="list registered replacement policies")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="parallel sweep runner with a content-addressed result store",
+    )
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+    run_p = csub.add_parser(
+        "run", help="execute figure job matrices on a worker pool")
+    run_p.add_argument("targets", nargs="+", metavar="TARGET",
+                       help="fig6..fig9, table1, table2, smoke, or all")
+    _add_scale_arguments(run_p)
+    run_p.add_argument("--jobs", "-j", type=int, default=None,
+                       help="worker processes (default: all cores)")
+    run_p.add_argument("--store", default=None,
+                       help="result store directory (default: .repro-store "
+                            "or $REPRO_STORE)")
+    run_p.add_argument("--resume", action="store_true",
+                       help="only run jobs missing from the store "
+                            "(the default; spelled out for scripts)")
+    run_p.add_argument("--force", action="store_true",
+                       help="ignore cached results and re-simulate")
+    run_p.add_argument("--expect-cached", action="store_true",
+                       help="fail if any job actually executed "
+                            "(CI cache-hit assertion)")
+    status_p = csub.add_parser(
+        "status", help="cached vs missing jobs per target")
+    status_p.add_argument("targets", nargs="*", metavar="TARGET",
+                          help="targets to inspect (default: all)")
+    _add_scale_arguments(status_p)
+    status_p.add_argument("--store", default=None,
+                          help="result store directory")
+    clean_p = csub.add_parser("clean", help="delete every stored result")
+    clean_p.add_argument("--store", default=None,
+                         help="result store directory")
     return parser
 
 
@@ -190,6 +301,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_workloads(args)
     if command == "policies":
         return _cmd_policies(args)
+    if command == "campaign":
+        if args.campaign_command == "run":
+            return _cmd_campaign_run(args)
+        if args.campaign_command == "status":
+            return _cmd_campaign_status(args)
+        if args.campaign_command == "clean":
+            return _cmd_campaign_clean(args)
     raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
 
 

@@ -19,6 +19,14 @@ from repro.cmp.engine.reference import ReferenceEngine
 from repro.cmp.engine.scheduler import EventScheduler
 from repro.config import ENGINE_BATCHED, ENGINE_REFERENCE
 
+#: Simulation-semantics version, part of every campaign store key
+#: (:mod:`repro.campaign.hashing`).  Bump whenever a change can alter
+#: simulation *results* — timing recurrence, freeze rule, hierarchy
+#: semantics — so stale cached results can never be mistaken for current
+#: ones.  Version 1 was the seed hot loop; version 2 is the PR 1
+#: ``anchor + count * base`` recurrence with integer freeze counts.
+ENGINE_VERSION = 2
+
 _ENGINES = {
     ENGINE_REFERENCE: ReferenceEngine,
     ENGINE_BATCHED: BatchedEngine,
@@ -39,6 +47,7 @@ def make_engine(sim, name: str) -> EngineBase:
 __all__ = [
     "BatchedEngine",
     "CHUNK_SIZE",
+    "ENGINE_VERSION",
     "EngineBase",
     "EventScheduler",
     "ReferenceEngine",

@@ -89,6 +89,11 @@ class BatchedEngine(EngineBase):
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
+        """Commit L1 hit-streaks in bulk, L2 events in exact global order.
+
+        See the module docstring for the exactness argument; the result is
+        bit-identical to :meth:`ReferenceEngine.run`.
+        """
         sim = self.sim
         n = self.n
         traces = sim.traces

@@ -86,6 +86,11 @@ class EngineBase:
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
+        """Execute the simulation until every thread's statistics freeze.
+
+        Engines must produce *identical* :class:`SimulationResult` values
+        for identical inputs — the contract the equivalence suite pins.
+        """
         raise NotImplementedError
 
     # ------------------------------------------------------------------

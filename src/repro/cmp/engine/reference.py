@@ -41,6 +41,7 @@ class ReferenceEngine(EngineBase):
     name = "reference"
 
     def run(self) -> SimulationResult:
+        """Step one memory reference per scheduler pop until all freeze."""
         sim = self.sim
         n = self.n
         traces = sim.traces

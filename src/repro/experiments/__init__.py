@@ -1,7 +1,12 @@
 """Experiment harness: one module per table/figure of the paper.
 
 Every module exposes ``run(scale) -> <Figure>Data`` returning structured
-results plus a ``main()`` that prints the paper-style rows.  The
+results plus a ``main()`` that prints the paper-style rows.  Figure
+modules additionally declare their run matrix as campaign jobs
+(``matrix(scale) -> [Job]``) and rebuild their data object from campaign
+results (``assemble(scale, results)``); ``run()`` is the serial reference
+path over the same matrix, and ``python -m repro campaign run <figure>``
+is the parallel, memoised one (see :mod:`repro.campaign`).  The
 :class:`~repro.experiments.common.ExperimentScale` controls the laptop-scale
 defaults (1/8-size caches, shortened traces, a representative subset of the
 Table II mixes); set ``REPRO_FULL=1`` for paper-scale runs and

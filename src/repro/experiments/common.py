@@ -10,7 +10,11 @@ contention spectrum.  Environment overrides:
 * ``REPRO_FULL=1`` — paper-scale caches, long traces, all mixes;
 * ``REPRO_MIXES=all`` — all Table II mixes at the current scale;
 * ``REPRO_ACCESSES=<n>`` — trace length per thread;
-* ``REPRO_SCALE=<n>`` — cache capacity divisor.
+* ``REPRO_SCALE=<n>`` — cache capacity divisor;
+* ``REPRO_SEED=<n>`` — base random seed;
+* ``REPRO_TARGET_CYCLES=<n>`` — cycle-matching horizon (smaller = faster);
+* ``REPRO_STORE=<dir>`` — campaign result store location
+  (:mod:`repro.campaign.store`).
 
 **Cycle matching.** The paper freezes each thread's statistics at 100 M
 instructions and lets fast threads keep running (trace wrap) so contention
@@ -37,7 +41,7 @@ from repro.config import (
 )
 from repro.cmp.isolation import IsolationRunner
 from repro.cmp.metrics import hmean_relative, ipc_throughput, weighted_speedup
-from repro.cmp.simulator import CMPSimulator, SimulationResult
+from repro.cmp.simulator import CMPSimulator, SimulationResult, ThreadResult
 from repro.hwmodel.power import PowerModel, PowerReport
 from repro.workloads.generator import generate_trace
 from repro.workloads.mixes import get_workload, workload_names
@@ -100,6 +104,8 @@ class ExperimentScale:
             kwargs["accesses"] = int(os.environ["REPRO_ACCESSES"])
         if "REPRO_SEED" in os.environ:
             kwargs["seed"] = int(os.environ["REPRO_SEED"])
+        if "REPRO_TARGET_CYCLES" in os.environ:
+            kwargs["target_cycles"] = float(os.environ["REPRO_TARGET_CYCLES"])
         return cls(**kwargs)  # type: ignore[arg-type]
 
     def mixes_for(self, num_threads: int) -> Tuple[str, ...]:
@@ -191,17 +197,28 @@ class WorkloadRunner:
             self._isolation[l2_bytes] = runner
         return runner
 
+    def iso_results(self, benchmarks: Tuple[str, ...], policy: str,
+                    l2_bytes: int = BASE_L2_BYTES) -> List["ThreadResult"]:
+        """Per-thread isolation results of a mix under one policy.
+
+        The single funnel for isolation lookups — budgets and relative
+        metrics both go through here, so a subclass can substitute a shared
+        backing store (``repro.campaign.runner.StoreWorkloadRunner``) and
+        every consumer inherits the memoisation.
+        """
+        traces = self.traces_for(benchmarks)
+        iso = self.isolation(l2_bytes)
+        return [iso.thread_result(t, policy) for t in traces]
+
     def budgets_for(self, mix_key: Tuple[str, ...],
                     l2_bytes: int = BASE_L2_BYTES) -> Tuple[int, ...]:
         """Cycle-matched per-thread instruction budgets (LRU isolation)."""
         key = (mix_key, l2_bytes)
         cached = self._budgets.get(key)
         if cached is None:
-            traces = self.traces_for(mix_key)
-            iso = self.isolation(l2_bytes)
             cached = tuple(
-                max(10_000, int(iso.ipc(t, "lru") * self.scale.target_cycles))
-                for t in traces
+                max(10_000, int(r.ipc * self.scale.target_cycles))
+                for r in self.iso_results(tuple(mix_key), "lru", l2_bytes)
             )
             self._budgets[key] = cached
         return cached
@@ -233,11 +250,10 @@ class WorkloadRunner:
                           if sim.profiling is not None else 0)
         power = self.power_model.evaluate(result, processor, config,
                                           profiling_bits=profiling_bits)
-        iso = self.isolation(l2_bytes)
         # Relative metrics normalise to same-policy isolation runs; random
         # maps to LRU so the denominator stays configuration-independent.
         iso_policy = "lru" if config.policy == "random" else config.policy
-        iso_ipcs = iso.ipcs(traces, iso_policy)
+        iso_ipcs = [r.ipc for r in self.iso_results(bench, iso_policy, l2_bytes)]
         return RunOutcome(mix=mix, acronym=config.acronym, result=result,
                           iso_ipcs=iso_ipcs, power=power)
 

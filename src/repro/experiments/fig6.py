@@ -10,8 +10,10 @@ cores.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.campaign.jobs import Job, outcome_job
+from repro.campaign.runner import run_serial
 from repro.config import config_unpartitioned
 from repro.experiments.common import (
     ExperimentScale,
@@ -53,34 +55,49 @@ class Fig6Data:
         )
 
 
-def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig6Data:
-    """Regenerate Figure 6 at the given scale."""
-    if scale is None:
-        scale = ExperimentScale.from_env()
-    if runner is None:
-        runner = WorkloadRunner(scale)
+def _points(scale: ExperimentScale,
+            cores: int) -> List[Tuple[str, Optional[Tuple[str, ...]]]]:
+    """(mix label, explicit benchmarks) points for one core count."""
+    if cores == 1:
+        return [(name, (name,)) for name in scale.benchmarks_1t]
+    return [(mix, None) for mix in scale.mixes_for(cores)]
 
+
+def matrix(scale: ExperimentScale) -> List[Job]:
+    """Figure 6's run matrix as declarative campaign jobs."""
+    jobs: List[Job] = []
+    for cores in CORE_COUNTS:
+        for mix, benchmarks in _points(scale, cores):
+            for policy in POLICIES:
+                jobs.append(outcome_job(scale, mix,
+                                        config_unpartitioned(policy),
+                                        benchmarks=benchmarks))
+    return jobs
+
+
+def assemble(scale: ExperimentScale,
+             results: Mapping[Job, RunOutcome]) -> Fig6Data:
+    """Aggregate campaign results into :class:`Fig6Data`.
+
+    Iterates points in the same order as the old serial loop so the
+    geometric means see identical operand sequences — the campaign path is
+    byte-identical to ``run()``, not merely approximately equal.
+    """
     relative: Dict[str, Dict[int, Dict[str, float]]] = {
         m: {} for m in METRICS
     }
     data = Fig6Data(relative=relative)
 
     for cores in CORE_COUNTS:
-        if cores == 1:
-            points: List[Tuple[str, Tuple[str, ...]]] = [
-                (name, (name,)) for name in scale.benchmarks_1t
-            ]
-        else:
-            points = [(mix, None) for mix in scale.mixes_for(cores)]
-
         per_metric: Dict[str, Dict[str, List[float]]] = {
             m: {p: [] for p in POLICIES} for m in METRICS
         }
-        for mix, benchmarks in points:
+        for mix, benchmarks in _points(scale, cores):
             outcomes = {}
             for policy in POLICIES:
-                outcome = runner.run(mix, config_unpartitioned(policy),
-                                     benchmarks=benchmarks)
+                job = outcome_job(scale, mix, config_unpartitioned(policy),
+                                  benchmarks=benchmarks)
+                outcome = results[job]
                 outcomes[policy] = outcome
                 data.outcomes[(cores, mix, policy)] = outcome
             base = outcomes["lru"]
@@ -98,6 +115,15 @@ def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig6Dat
                 p: geometric_mean(per_metric[metric][p]) for p in POLICIES
             }
     return data
+
+
+def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig6Data:
+    """Regenerate Figure 6 at the given scale (serial reference path)."""
+    if scale is None:
+        scale = ExperimentScale.from_env()
+    if runner is None:
+        runner = WorkloadRunner(scale)
+    return assemble(scale, run_serial(matrix(scale), runner))
 
 
 def main() -> Fig6Data:  # pragma: no cover - exercised via bench

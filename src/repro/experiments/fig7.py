@@ -13,8 +13,10 @@ every metric relative to the ``C-L`` baseline.  Expected shape (§V-B):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
+from repro.campaign.jobs import Job, outcome_job
+from repro.campaign.runner import run_serial
 from repro.config import paper_figure7_configs
 from repro.experiments.common import (
     ExperimentScale,
@@ -54,13 +56,20 @@ class Fig7Data:
         )
 
 
-def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig7Data:
-    """Regenerate Figure 7 at the given scale."""
-    if scale is None:
-        scale = ExperimentScale.from_env()
-    if runner is None:
-        runner = WorkloadRunner(scale)
+def matrix(scale: ExperimentScale) -> List[Job]:
+    """Figure 7's run matrix as declarative campaign jobs."""
+    return [
+        outcome_job(scale, mix, config)
+        for cores in CORE_COUNTS
+        for mix in scale.mixes_for(cores)
+        for config in paper_figure7_configs()
+    ]
 
+
+def assemble(scale: ExperimentScale,
+             results: Mapping[Job, RunOutcome]) -> Fig7Data:
+    """Aggregate campaign results into :class:`Fig7Data` (same float
+    operand order as the serial loop — byte-identical tables)."""
     relative: Dict[str, Dict[int, Dict[str, float]]] = {m: {} for m in METRICS}
     data = Fig7Data(relative=relative)
     configs = paper_figure7_configs()
@@ -72,7 +81,7 @@ def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig7Dat
         for mix in scale.mixes_for(cores):
             outcomes: Dict[str, RunOutcome] = {}
             for config in configs:
-                outcome = runner.run(mix, config)
+                outcome = results[outcome_job(scale, mix, config)]
                 outcomes[outcome.acronym] = outcome
                 data.outcomes[(cores, mix, outcome.acronym)] = outcome
             base = outcomes["C-L"]
@@ -87,6 +96,15 @@ def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig7Dat
                 a: geometric_mean(per_metric[metric][a]) for a in ACRONYMS
             }
     return data
+
+
+def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig7Data:
+    """Regenerate Figure 7 at the given scale (serial reference path)."""
+    if scale is None:
+        scale = ExperimentScale.from_env()
+    if runner is None:
+        runner = WorkloadRunner(scale)
+    return assemble(scale, run_serial(matrix(scale), runner))
 
 
 def main() -> Fig7Data:  # pragma: no cover - exercised via bench

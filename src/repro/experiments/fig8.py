@@ -11,8 +11,10 @@ while NRU's gains stay under ~2 % because of eSDH estimation error.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
+from repro.campaign.jobs import Job, outcome_job
+from repro.campaign.runner import run_serial
 from repro.config import (
     PartitioningConfig,
     config_M_BT,
@@ -72,13 +74,30 @@ class Fig8Data:
         )
 
 
-def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig8Data:
-    """Regenerate Figure 8 at the given scale."""
-    if scale is None:
-        scale = ExperimentScale.from_env()
-    if runner is None:
-        runner = WorkloadRunner(scale)
+def matrix(scale: ExperimentScale) -> List[Job]:
+    """Figure 8's run matrix as declarative campaign jobs.
 
+    Each (panel, L2 size, mix) cell contributes a non-partitioned baseline
+    and a partitioned run at that capacity; the unpartitioned LRU/NRU/BT
+    points shared between panels deduplicate by content hash in the
+    campaign planner.
+    """
+    jobs: List[Job] = []
+    for partitioned_cfg, policy, _panel in PAIRS:
+        for size in L2_SIZES:
+            for mix in scale.mixes_fig8:
+                jobs.append(outcome_job(scale, mix,
+                                        config_unpartitioned(policy),
+                                        l2_bytes=size))
+                jobs.append(outcome_job(scale, mix, partitioned_cfg,
+                                        l2_bytes=size))
+    return jobs
+
+
+def assemble(scale: ExperimentScale,
+             results: Mapping[Job, RunOutcome]) -> Fig8Data:
+    """Aggregate campaign results into :class:`Fig8Data` (same float
+    operand order as the serial loop — byte-identical tables)."""
     per_mix: Dict[str, Dict[int, Dict[str, float]]] = {}
     average: Dict[str, Dict[int, float]] = {}
     data = Fig8Data(per_mix=per_mix, average=average)
@@ -89,15 +108,26 @@ def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig8Dat
         for size in L2_SIZES:
             ratios: Dict[str, float] = {}
             for mix in scale.mixes_fig8:
-                base = runner.run(mix, config_unpartitioned(policy),
-                                  l2_bytes=size)
-                part = runner.run(mix, partitioned_cfg, l2_bytes=size)
+                base = results[outcome_job(scale, mix,
+                                           config_unpartitioned(policy),
+                                           l2_bytes=size)]
+                part = results[outcome_job(scale, mix, partitioned_cfg,
+                                           l2_bytes=size)]
                 data.outcomes[(panel, size, mix, False)] = base
                 data.outcomes[(panel, size, mix, True)] = part
                 ratios[mix] = part.throughput / base.throughput
             per_mix[panel][size] = ratios
             average[panel][size] = geometric_mean(list(ratios.values()))
     return data
+
+
+def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig8Data:
+    """Regenerate Figure 8 at the given scale (serial reference path)."""
+    if scale is None:
+        scale = ExperimentScale.from_env()
+    if runner is None:
+        runner = WorkloadRunner(scale)
+    return assemble(scale, run_serial(matrix(scale), runner))
 
 
 def main() -> Fig8Data:  # pragma: no cover - exercised via bench

@@ -10,8 +10,9 @@ profiling logic stays below 0.3 % of total power.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Mapping
 
+from repro.campaign.jobs import Job
 from repro.experiments import fig7
 from repro.experiments.common import ExperimentScale, WorkloadRunner, geometric_mean
 from repro.experiments.report import format_table, fmt_rel
@@ -55,6 +56,22 @@ class Fig9Data:
             ["config"] + list(COMPONENT_GROUPS), rows,
             title="Figure 9(b): component power shares, 2-core CMP",
         )
+
+
+def matrix(scale: ExperimentScale) -> List[Job]:
+    """Figure 9 simulates nothing of its own: its jobs *are* Figure 7's.
+
+    Power/energy are derived from the PowerReports already attached to the
+    Figure 7 outcomes, so a campaign running both figures simulates each
+    point exactly once.
+    """
+    return fig7.matrix(scale)
+
+
+def assemble(scale: ExperimentScale,
+             results: Mapping[Job, "fig7.RunOutcome"]) -> Fig9Data:
+    """Derive Figure 9 from campaign results of Figure 7's matrix."""
+    return run(scale, fig7_data=fig7.assemble(scale, results))
 
 
 def run(scale: ExperimentScale = None,

@@ -67,6 +67,15 @@ def run(geometry: CacheGeometry = PAPER_GEOMETRY,
     )
 
 
+def matrix(scale=None) -> list:
+    """Table I's campaign matrix: empty — it is closed-form arithmetic.
+
+    Declared anyway so ``repro campaign run table1`` treats the tables
+    uniformly with the figures (zero simulation jobs, render-only).
+    """
+    return []
+
+
 def paper_checkpoints() -> Dict[str, bool]:
     """Assert the paper's quoted numbers (used by tests and benches)."""
     comp_lru = ReplacementComplexity("lru", PAPER_GEOMETRY, PAPER_CORES)

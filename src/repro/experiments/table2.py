@@ -28,6 +28,15 @@ def workload_table() -> str:
                         title="Table II (right): 49 multiprogrammed mixes")
 
 
+def matrix(scale=None) -> list:
+    """Table II's campaign matrix: empty — it lists static configuration.
+
+    Declared so ``repro campaign run table2`` treats the tables uniformly
+    with the figures (zero simulation jobs, render-only).
+    """
+    return []
+
+
 def main() -> None:  # pragma: no cover - exercised via bench
     print(processor_table())
     print()

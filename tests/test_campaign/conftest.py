@@ -1,0 +1,31 @@
+"""Shared micro-scale fixtures for the campaign suite.
+
+Same philosophy as ``tests/test_experiments``: a 1/16-scale machine and
+very short traces make the numbers meaningless but the *plumbing* —
+hashing, storage, pool-vs-serial identity, resume — fully exercised.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.store import ResultStore
+from repro.experiments.common import ExperimentScale
+
+MICRO = ExperimentScale(
+    scale=16, accesses=2_000, target_cycles=200_000.0,
+    atd_sampling=4, interval_cycles=50_000, seed=7,
+    mixes_2t=("2T_05",), mixes_4t=("4T_03",), mixes_8t=("8T_11",),
+    mixes_fig8=("2T_05",),
+    benchmarks_1t=("crafty",),
+)
+
+
+@pytest.fixture(scope="session")
+def micro_scale() -> ExperimentScale:
+    return MICRO
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store")

@@ -1,0 +1,143 @@
+"""Store-key stability: same spec -> same key, everywhere, always."""
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.campaign.hashing import canonical_spec, job_key
+from repro.campaign.jobs import isolation_deps, isolation_job, outcome_job
+from repro.cmp.engine import ENGINE_VERSION
+from repro.config import config_M_N, config_unpartitioned
+from repro.experiments.common import ExperimentScale
+
+
+def outcome(scale, **kw):
+    return outcome_job(scale, "2T_05", config_unpartitioned("lru"), **kw)
+
+
+class TestKeyIdentity:
+    def test_equal_specs_equal_keys(self, micro_scale):
+        assert job_key(outcome(micro_scale)) == job_key(outcome(micro_scale))
+
+    def test_normalised_configs_collapse(self, micro_scale):
+        """Configs differing only in scale-overridden knobs hash equal."""
+        raw = config_unpartitioned("lru")
+        tweaked = replace(raw, atd_sampling=32, interval_cycles=123_456)
+        a = outcome_job(micro_scale, "2T_05", raw)
+        b = outcome_job(micro_scale, "2T_05", tweaked)
+        assert a == b
+        assert job_key(a) == job_key(b)
+
+    def test_jobs_usable_as_dict_keys(self, micro_scale):
+        d = {outcome(micro_scale): 1}
+        assert d[outcome(micro_scale)] == 1
+
+
+class TestKeySensitivity:
+    def test_config_changes_key(self, micro_scale):
+        a = outcome_job(micro_scale, "2T_05", config_unpartitioned("lru"))
+        b = outcome_job(micro_scale, "2T_05", config_unpartitioned("nru"))
+        c = outcome_job(micro_scale, "2T_05", config_M_N(0.75))
+        assert len({job_key(a), job_key(b), job_key(c)}) == 3
+
+    def test_l2_bytes_changes_key(self, micro_scale):
+        assert (job_key(outcome(micro_scale))
+                != job_key(outcome(micro_scale, l2_bytes=512 * 1024)))
+
+    def test_memory_model_changes_key(self, micro_scale):
+        assert (job_key(outcome(micro_scale)) !=
+                job_key(outcome(micro_scale, memory_service_interval=2.0)))
+
+    def test_trace_recipe_changes_key(self, micro_scale):
+        for change in (dict(seed=8), dict(accesses=4_000), dict(scale=8),
+                       dict(target_cycles=300_000.0)):
+            assert (job_key(outcome(replace(micro_scale, **change)))
+                    != job_key(outcome(micro_scale)))
+
+    def test_isolation_core_slot_changes_key(self, micro_scale):
+        a = isolation_job(micro_scale, "crafty", 0, "lru")
+        b = isolation_job(micro_scale, "crafty", 1, "lru")
+        assert job_key(a) != job_key(b)
+
+    def test_isolation_key_ignores_outcome_only_knobs(self, micro_scale):
+        """Sweeping target_cycles/sampling/interval keeps isolation cached.
+
+        Isolation runs are unpartitioned and budget-free, so those knobs
+        cannot change their results — the shared isolation stage must stay
+        a cache hit across such sweeps.
+        """
+        base = isolation_job(micro_scale, "crafty", 0, "lru")
+        for change in (dict(target_cycles=1e6), dict(atd_sampling=8),
+                       dict(interval_cycles=250_000)):
+            tweaked = isolation_job(replace(micro_scale, **change),
+                                    "crafty", 0, "lru")
+            assert job_key(tweaked) == job_key(base)
+
+    def test_isolation_key_tracks_trace_recipe(self, micro_scale):
+        base = isolation_job(micro_scale, "crafty", 0, "lru")
+        for change in (dict(seed=8), dict(accesses=4_000), dict(scale=8)):
+            tweaked = isolation_job(replace(micro_scale, **change),
+                                    "crafty", 0, "lru")
+            assert job_key(tweaked) != job_key(base)
+
+    def test_mix_subset_does_not_change_key(self, micro_scale):
+        """Widening REPRO_MIXES must not invalidate cached points."""
+        widened = replace(micro_scale, mixes_2t=("2T_01", "2T_05"),
+                          benchmarks_1t=("crafty", "mcf"))
+        assert job_key(outcome(widened)) == job_key(outcome(micro_scale))
+
+    def test_engine_version_is_keyed(self, micro_scale):
+        doc = json.loads(canonical_spec(outcome(micro_scale)))
+        assert doc["engine"] == ENGINE_VERSION
+
+
+class TestCrossProcessStability:
+    def test_key_stable_in_fresh_interpreter(self, micro_scale):
+        """The on-disk store must be shareable across processes/sessions."""
+        job = outcome(micro_scale)
+        here = job_key(job)
+        src = Path(__file__).resolve().parents[2] / "src"
+        code = (
+            "from repro.campaign.hashing import job_key\n"
+            "from repro.campaign.jobs import outcome_job\n"
+            "from repro.config import config_unpartitioned\n"
+            "from repro.experiments.common import ExperimentScale\n"
+            "scale = ExperimentScale(scale=16, accesses=2_000,"
+            " target_cycles=200_000.0, atd_sampling=4,"
+            " interval_cycles=50_000, seed=7, mixes_2t=('2T_05',),"
+            " mixes_4t=('4T_03',), mixes_8t=('8T_11',),"
+            " mixes_fig8=('2T_05',), benchmarks_1t=('crafty',))\n"
+            "print(job_key(outcome_job(scale, '2T_05',"
+            " config_unpartitioned('lru'))))\n"
+        )
+        env = dict(os.environ, PYTHONPATH=str(src))
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == here
+
+
+class TestIsolationDeps:
+    def test_lru_outcome_needs_only_lru(self, micro_scale):
+        deps = isolation_deps(outcome(micro_scale))
+        assert {d.policy for d in deps} == {"lru"}
+        assert [d.core_id for d in deps] == [0, 1]
+
+    def test_pseudo_lru_outcome_needs_both(self, micro_scale):
+        job = outcome_job(micro_scale, "2T_05", config_unpartitioned("nru"))
+        deps = isolation_deps(job)
+        assert {d.policy for d in deps} == {"lru", "nru"}
+
+    def test_random_normalises_to_lru(self, micro_scale):
+        job = outcome_job(micro_scale, "2T_05", config_unpartitioned("random"))
+        assert {d.policy for d in isolation_deps(job)} == {"lru"}
+
+    def test_deps_inherit_geometry(self, micro_scale):
+        job = outcome(micro_scale, l2_bytes=512 * 1024)
+        assert all(d.l2_bytes == 512 * 1024 for d in isolation_deps(job))
+
+    def test_isolation_jobs_have_no_deps(self, micro_scale):
+        assert isolation_deps(isolation_job(micro_scale, "crafty", 0,
+                                            "lru")) == []

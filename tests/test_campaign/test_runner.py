@@ -1,0 +1,138 @@
+"""Campaign execution: pool == serial, memoisation, resume, sharing."""
+
+import pytest
+
+from repro.campaign.hashing import job_key
+from repro.campaign.jobs import outcome_job
+from repro.campaign.runner import (
+    Campaign,
+    StoreWorkloadRunner,
+    plan_jobs,
+    run_serial,
+)
+from repro.config import config_unpartitioned
+from repro.experiments.common import WorkloadRunner
+
+
+def small_matrix(scale):
+    """1-core crafty + the 2-thread mix, LRU and NRU: 4 outcome jobs."""
+    jobs = []
+    for mix, benchmarks in (("crafty", ("crafty",)), ("2T_05", None)):
+        for policy in ("lru", "nru"):
+            jobs.append(outcome_job(scale, mix, config_unpartitioned(policy),
+                                    benchmarks=benchmarks))
+    return jobs
+
+
+class TestPlan:
+    def test_stages_and_dedup(self, micro_scale):
+        plan = plan_jobs(small_matrix(micro_scale))
+        assert len(plan.outcome) == 4
+        # crafty@0 x {lru,nru} is shared between the 1-core point and
+        # 2T_05 (whose first benchmark is crafty): dedup leaves
+        # {crafty@0, <mix second bench>@1} x {lru, nru}.
+        iso_ids = {(j.benchmark, j.core_id, j.policy)
+                   for _, j in plan.isolation}
+        assert len(iso_ids) == len(plan.isolation)
+        assert plan.total == len(plan.outcome) + len(plan.isolation)
+
+    def test_duplicate_jobs_collapse(self, micro_scale):
+        jobs = small_matrix(micro_scale)
+        plan_once = plan_jobs(jobs)
+        plan_twice = plan_jobs(jobs + jobs)
+        assert plan_twice.total == plan_once.total
+
+
+class TestPoolVsSerial:
+    @pytest.fixture(scope="class")
+    def serial(self, micro_scale):
+        return micro_scale, run_serial(small_matrix(micro_scale),
+                                       WorkloadRunner(micro_scale))
+
+    def test_worker_pool_results_identical_to_serial(self, serial, store):
+        scale, serial_results = serial
+        results, report = Campaign(store, workers=2).run(small_matrix(scale))
+        assert report.executed == report.total
+        for job, expected in serial_results.items():
+            got = results[job]
+            # Bit-identical, not approximately equal.
+            assert got.result.threads == expected.result.threads
+            assert got.result.events == expected.result.events
+            assert got.iso_ipcs == expected.iso_ipcs
+            assert got.throughput == expected.throughput
+            assert got.wspeedup == expected.wspeedup
+            assert got.hmean == expected.hmean
+
+    def test_single_process_campaign_identical_too(self, serial, store):
+        scale, serial_results = serial
+        results, _ = Campaign(store, workers=1).run(small_matrix(scale))
+        for job, expected in serial_results.items():
+            assert results[job].result.threads == expected.result.threads
+
+
+class TestMemoisation:
+    def test_second_run_is_all_cache_hits(self, micro_scale, store):
+        jobs = small_matrix(micro_scale)
+        _, first = Campaign(store, workers=2).run(jobs)
+        assert first.executed == first.total
+        results, second = Campaign(store, workers=2).run(jobs)
+        assert second.executed == 0
+        assert second.cached == second.total == first.total
+        assert len(results) == first.total
+
+    def test_force_reexecutes(self, micro_scale, store):
+        jobs = small_matrix(micro_scale)[:1]
+        Campaign(store, workers=1).run(jobs)
+        _, report = Campaign(store, workers=1, force=True).run(jobs)
+        assert report.cached == 0
+        assert report.executed == report.total
+
+    def test_resume_runs_only_missing_jobs(self, micro_scale, store):
+        """Interrupt simulation: drop two results, re-run, count work."""
+        jobs = small_matrix(micro_scale)
+        _, first = Campaign(store, workers=2).run(jobs)
+        plan = plan_jobs(jobs)
+        victims = [plan.outcome[0][0], plan.isolation[0][0]]
+        for key in victims:
+            assert store.delete(key)
+        _, resumed = Campaign(store, workers=2).run(jobs)
+        assert resumed.executed == len(victims)
+        assert resumed.cached == first.total - len(victims)
+
+    def test_cached_values_equal_fresh_ones(self, micro_scale, store):
+        jobs = small_matrix(micro_scale)
+        fresh, _ = Campaign(store, workers=2).run(jobs)
+        recalled, _ = Campaign(store, workers=2).run(jobs)
+        for job in jobs:
+            assert recalled[job].result.threads == fresh[job].result.threads
+
+
+class TestIsolationSharing:
+    def test_isolation_computed_once_per_point(self, micro_scale, store):
+        """Executed-job count == deduplicated plan size: nothing ran twice."""
+        jobs = small_matrix(micro_scale)
+        plan = plan_jobs(jobs)
+        _, report = Campaign(store, workers=2).run(jobs)
+        assert report.executed == plan.total
+        assert len(store) == plan.total
+
+    def test_store_runner_reads_shared_isolation(self, micro_scale, store):
+        """A StoreWorkloadRunner resolves iso results via the store."""
+        jobs = small_matrix(micro_scale)
+        Campaign(store, workers=1).run(jobs)
+        runner = StoreWorkloadRunner(micro_scale, store)
+        before = len(store)
+        outcome = runner.run("2T_05", config_unpartitioned("lru"))
+        assert outcome.iso_ipcs  # served from the store,
+        assert len(store) == before  # nothing new was published
+
+    def test_report_summary_is_parseable(self, micro_scale, store):
+        _, report = Campaign(store, workers=1).run(small_matrix(micro_scale)[:1])
+        assert "executed=" in report.summary()
+        assert f"total={report.total}" in report.summary()
+
+
+class TestValidation:
+    def test_zero_workers_rejected(self, store):
+        with pytest.raises(ValueError):
+            Campaign(store, workers=0)

@@ -1,0 +1,123 @@
+"""Content-addressed store: round-trips, atomicity contract, hygiene."""
+
+import pickle
+
+import pytest
+
+from repro.campaign.store import (
+    DEFAULT_STORE,
+    ResultStore,
+    default_store_path,
+)
+from repro.cmp.results import ThreadResult
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+def sample_value():
+    return ThreadResult(name="crafty", instructions=1000.0, cycles=2500.0,
+                        l1_accesses=100, l1_misses=10,
+                        l2_accesses=10, l2_misses=3)
+
+
+class TestRoundTrip:
+    def test_miss_returns_none(self, store):
+        assert store.get(KEY) is None
+        assert KEY not in store
+
+    def test_put_get(self, store):
+        store.put(KEY, '{"spec": 1}', sample_value())
+        assert KEY in store
+        value = store.get(KEY)
+        assert value == sample_value()
+        assert value.ipc == pytest.approx(0.4)
+
+    def test_spec_recorded(self, store):
+        store.put(KEY, '{"spec": 1}', sample_value())
+        assert store.spec(KEY) == '{"spec": 1}'
+
+    def test_arbitrary_pickleables(self, store):
+        payload = {"nested": (1, 2.5, "x"), "list": [sample_value()]}
+        store.put(KEY, "spec", payload)
+        assert store.get(KEY) == payload
+
+    def test_overwrite_wins(self, store):
+        store.put(KEY, "a", 1)
+        store.put(KEY, "b", 2)
+        assert store.get(KEY) == 2
+
+
+class TestHygiene:
+    def test_corrupt_object_reads_as_miss(self, store):
+        path = store.put(KEY, "spec", sample_value())
+        path.write_bytes(b"\x80\x05 garbage")
+        assert store.get(KEY) is None
+
+    def test_corrupt_protocol_byte_reads_as_miss(self, store):
+        # pickle.load raises ValueError for an unsupported protocol byte;
+        # that too must read as a miss, not crash the campaign.
+        path = store.put(KEY, "spec", sample_value())
+        path.write_bytes(b"\x80\xff" + path.read_bytes()[2:])
+        assert store.get(KEY) is None
+        assert store.spec(KEY) is None
+
+    def test_truncated_object_reads_as_miss(self, store):
+        path = store.put(KEY, "spec", sample_value())
+        path.write_bytes(path.read_bytes()[:10])
+        assert store.get(KEY) is None
+
+    def test_key_mismatch_reads_as_miss(self, store):
+        # An object renamed to the wrong address must not impersonate it.
+        path = store.put(KEY, "spec", sample_value())
+        wrong = store.path_for(OTHER)
+        wrong.parent.mkdir(parents=True, exist_ok=True)
+        wrong.write_bytes(path.read_bytes())
+        assert store.get(OTHER) is None
+
+    def test_no_tmp_litter_after_put(self, store):
+        store.put(KEY, "spec", sample_value())
+        litter = list(store.root.rglob("*.tmp"))
+        assert litter == []
+
+
+class TestInventory:
+    def test_len_and_iter(self, store):
+        assert len(store) == 0
+        store.put(KEY, "a", 1)
+        store.put(OTHER, "b", 2)
+        assert len(store) == 2
+        assert set(store.iter_keys()) == {KEY, OTHER}
+
+    def test_delete(self, store):
+        store.put(KEY, "a", 1)
+        assert store.delete(KEY)
+        assert not store.delete(KEY)
+        assert store.get(KEY) is None
+
+    def test_clean(self, store):
+        store.put(KEY, "a", 1)
+        store.put(OTHER, "b", 2)
+        assert store.clean() == 2
+        assert len(store) == 0
+
+    def test_clean_empty_store(self, tmp_path):
+        assert ResultStore(tmp_path / "nowhere").clean() == 0
+
+
+class TestDefaultPath:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "/tmp/elsewhere")
+        assert default_store_path() == "/tmp/elsewhere"
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert default_store_path() == DEFAULT_STORE
+
+
+def test_payload_is_plain_pickle(store):
+    """Objects are introspectable without the package (debuggability)."""
+    path = store.put(KEY, "the-spec", 42)
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    assert payload == {"key": KEY, "spec": "the-spec", "value": 42}

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Documentation checker: required files exist, internal links resolve.
+
+Scans every tracked-directory Markdown file (repo root and ``docs/``) for
+inline links and images ``[text](target)`` and verifies that each
+*relative* target exists on disk (anchors and external schemes are
+skipped).  Also asserts the documentation the repo promises is actually
+present (``README.md``, ``docs/architecture.md``).
+
+Run from anywhere::
+
+    python tools/check_docs.py
+
+Exit status 0 = all good, 1 = problems (listed on stderr).  No
+dependencies beyond the standard library, so the CI docs job needs no
+installs.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Documentation that must exist.
+REQUIRED = ("README.md", "docs/architecture.md", "CHANGES.md", "ROADMAP.md")
+
+#: Where Markdown is looked for (non-recursive for the root, recursive
+#: for docs/).
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files():
+    yield from sorted(REPO_ROOT.glob("*.md"))
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.rglob("*.md"))
+
+
+def check_links(path: Path):
+    """Yield human-readable problem strings for one Markdown file."""
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SCHEMES) or target.startswith("#"):
+            continue
+        # Strip anchors and angle brackets: [x](file.md#section)
+        target = target.split("#", 1)[0].strip("<>")
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            line = text[:match.start()].count("\n") + 1
+            yield (f"{path.relative_to(REPO_ROOT)}:{line}: "
+                   f"broken link -> {target}")
+
+
+def main() -> int:
+    problems = []
+    for required in REQUIRED:
+        if not (REPO_ROOT / required).is_file():
+            problems.append(f"missing required documentation: {required}")
+    files = list(markdown_files())
+    if not files:
+        problems.append("no Markdown files found at all")
+    for path in files:
+        problems.extend(check_links(path))
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"docs check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs check: {len(files)} file(s) ok, required docs present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
