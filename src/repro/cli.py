@@ -17,6 +17,10 @@ Examples::
     python -m repro campaign status fig6              # cached vs missing
     python -m repro campaign clean                    # wipe the store
 
+    python -m repro report run --scale micro --jobs 2 # populate the store
+    python -m repro report build                      # html/md/json artifacts
+    python -m repro report check --strict             # grade the verdicts
+
 The figure commands accept the same knobs as the ``REPRO_*`` environment
 variables used by the benches (``--scale``, ``--accesses``, ``--mixes``,
 ``--seed``, ``--target-cycles``, ``--full``); command-line flags take
@@ -27,6 +31,13 @@ pool (``--jobs N``), memoising every simulation in a content-addressed
 store (``--store DIR``, default ``.repro-store`` or ``$REPRO_STORE``).
 Re-running an interrupted or finished sweep only executes missing jobs —
 that *is* the resume mechanism — and ``--force`` recomputes everything.
+
+``report`` turns a campaign store into the paper's artifacts:
+``report run`` populates the store for the selected sections and records
+a manifest, ``report build`` assembles ``report.html`` / ``report.md`` /
+``report.json`` (graded against the checked-in paper values), and
+``report check`` validates an emitted ``report.json``.  See
+``docs/reproducing.md`` for the full walkthrough.
 """
 
 from __future__ import annotations
@@ -222,6 +233,104 @@ def _cmd_campaign_clean(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_sections(args: argparse.Namespace):
+    from repro.reporting.sections import resolve_sections
+
+    names = []
+    if getattr(args, "only", None):
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+    return resolve_sections(names)
+
+
+def _cmd_report_run(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.reporting import build
+
+    scale_name, scale = build.resolve_scale(args.report_scale)
+    sections = _report_sections(args)
+    store = _campaign_store(args)
+    workers = args.jobs if args.jobs else (os.cpu_count() or 1)
+    print(f"report store: {store.root} (scale: {scale_name})")
+    _, campaign_report = build.run_report_campaign(
+        scale, store, sections, workers=workers, force=args.force,
+        echo=print)
+    print(campaign_report.summary())
+    manifest = build.write_manifest(store, scale_name, scale, sections)
+    print(f"manifest: {manifest} "
+          f"(sections: {', '.join(s.name for s in sections)})")
+    print("next: python -m repro report build")
+    return 0
+
+
+def _cmd_report_build(args: argparse.Namespace) -> int:
+    from repro.reporting import build
+    from repro.reporting.emit import write_report
+
+    store = _campaign_store(args)
+    sections = None
+    if args.report_scale is not None:
+        scale_name, scale = build.resolve_scale(args.report_scale)
+    else:
+        manifest = build.read_manifest(store)
+        if manifest is not None:
+            scale_name = manifest["scale_name"]
+            scale = build.scale_from_dict(manifest["scale"])
+            if not args.only:
+                sections = build.resolve_sections(manifest["sections"])
+        else:
+            scale_name, scale = build.resolve_scale("small")
+    if sections is None:
+        sections = _report_sections(args)
+
+    print(f"report store: {store.root} (scale: {scale_name})")
+    workers = args.jobs if args.jobs else 1
+    report, campaign_report = build.build_report(
+        scale, store, sections, scale_name=scale_name, workers=workers,
+        echo=print)
+    print(campaign_report.summary())
+    paths = write_report(report, args.out)
+    counts = report.verdict_counts()
+    print(f"verdicts: pass={counts['pass']} warn={counts['warn']} "
+          f"fail={counts['fail']} over {report.total_points} point(s)")
+    for kind in ("html", "md", "json"):
+        print(f"wrote {paths[kind]}")
+    return 0
+
+
+def _cmd_report_check(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.reporting.emit import validate_report_dict
+
+    path = Path(args.out) / "report.json"
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        print(f"ERROR: cannot read {path}: {exc} "
+              f"(run `repro report build` first)", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"ERROR: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_report_dict(payload)
+    if problems:
+        for problem in problems:
+            print(f"ERROR: {problem}", file=sys.stderr)
+        return 1
+    counts = payload["verdicts"]
+    total = sum(len(s["points"]) for s in payload["sections"])
+    print(f"report ok: {len(payload['sections'])} section(s), "
+          f"{total} graded point(s) — pass={counts['pass']} "
+          f"warn={counts['warn']} fail={counts['fail']}")
+    if args.strict and counts["fail"]:
+        print(f"ERROR: --strict and {counts['fail']} point(s) failed "
+              f"against the paper's values", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -277,6 +386,45 @@ def build_parser() -> argparse.ArgumentParser:
     clean_p = csub.add_parser("clean", help="delete every stored result")
     clean_p.add_argument("--store", default=None,
                          help="result store directory")
+
+    report = sub.add_parser(
+        "report",
+        help="render every figure/table into a verified reproduction report",
+    )
+    rsub = report.add_subparsers(dest="report_command", required=True)
+
+    def _report_common(p, scale_default):
+        p.add_argument("--scale", dest="report_scale", default=scale_default,
+                       metavar="NAME|N",
+                       help="micro | small | paper, or an integer capacity "
+                            "divisor"
+                            + (" (default: the report-run manifest)"
+                               if scale_default is None else ""))
+        p.add_argument("--only", default=None, metavar="SECTIONS",
+                       help="comma-separated subset, e.g. fig6,table1 "
+                            "(default: all sections)")
+        p.add_argument("--store", default=None,
+                       help="campaign store directory (default: "
+                            ".repro-store or $REPRO_STORE)")
+        p.add_argument("--jobs", "-j", type=int, default=None,
+                       help="worker processes")
+
+    run_r = rsub.add_parser(
+        "run", help="populate the campaign store for the report sections")
+    _report_common(run_r, "small")
+    run_r.add_argument("--force", action="store_true",
+                       help="ignore cached results and re-simulate")
+    build_r = rsub.add_parser(
+        "build", help="assemble report.html / report.md / report.json")
+    _report_common(build_r, None)
+    build_r.add_argument("--out", default="report",
+                         help="output directory (default: report/)")
+    check_r = rsub.add_parser(
+        "check", help="validate an emitted report.json")
+    check_r.add_argument("--out", default="report",
+                         help="report directory holding report.json")
+    check_r.add_argument("--strict", action="store_true",
+                         help="also fail when any point's verdict is fail")
     return parser
 
 
@@ -308,6 +456,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_campaign_status(args)
         if args.campaign_command == "clean":
             return _cmd_campaign_clean(args)
+    if command == "report":
+        if args.report_command == "run":
+            return _cmd_report_run(args)
+        if args.report_command == "build":
+            return _cmd_report_build(args)
+        if args.report_command == "check":
+            return _cmd_report_check(args)
     raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
 
 

@@ -91,6 +91,16 @@ class PartitionController:
                  assoc: int, selector: str = "minmisses", min_ways: int = 1,
                  record: bool = True,
                  static_counts: Optional[Tuple[int, ...]] = None) -> None:
+        """Wire a profiling system to an enforcement scheme.
+
+        ``selector`` names the partition-selection block (``minmisses`` /
+        ``lookahead`` / ``fair`` / ``even`` / ``static``); BT-vector
+        enforcement automatically switches to the subcube DP.  ``record``
+        keeps a :class:`PartitionRecord` history for analysis (tests and
+        examples read it); ``static_counts`` is required by — and only
+        meaningful for — ``selector='static'``.  An initial allocation
+        (even split, or the static one) is installed immediately.
+        """
         self.profiling = profiling
         self.scheme = scheme
         self.assoc = assoc

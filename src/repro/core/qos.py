@@ -111,6 +111,7 @@ class QoSPartitioner:
 
     def __init__(self, targets: Sequence[Optional[float]],
                  memory_penalty: float = 250.0) -> None:
+        """Validate and pin the per-thread targets (see the class docs)."""
         for t in targets:
             if t is not None and not 0.0 < t <= 1.0:
                 raise ValueError(f"targets must be in (0, 1] or None, got {t}")

@@ -133,6 +133,52 @@ class ExperimentScale:
                        interval_cycles=self.interval_cycles)
 
 
+def _micro_scale() -> ExperimentScale:
+    """1/16-size machine, very short traces, one mix per core count."""
+    return ExperimentScale(
+        scale=16, accesses=2_000, target_cycles=200_000.0,
+        atd_sampling=4, interval_cycles=50_000, seed=7,
+        mixes_2t=("2T_05",), mixes_4t=("4T_03",), mixes_8t=("8T_11",),
+        mixes_fig8=("2T_05",),
+        benchmarks_1t=("crafty",),
+    )
+
+
+def _paper_scale() -> ExperimentScale:
+    """Paper-scale caches, long traces, all 49 Table II mixes (hours)."""
+    return ExperimentScale(
+        scale=1, accesses=2_000_000, target_cycles=200_000_000.0,
+        atd_sampling=32,
+        mixes_2t=tuple(workload_names(2)),
+        mixes_4t=tuple(workload_names(4)),
+        mixes_8t=tuple(workload_names(8)),
+        mixes_fig8=tuple(workload_names(2)),
+    )
+
+
+#: Named scale presets for the reproduction report (``repro report
+#: --scale NAME``) and the docs: ``micro`` exercises the full pipeline in
+#: seconds (numbers are meaningless, plumbing is real), ``small`` is the
+#: laptop default every figure command uses, ``paper`` is the full
+#: configuration of the paper.
+SCALE_PRESETS = {
+    "micro": _micro_scale,
+    "small": ExperimentScale,
+    "paper": _paper_scale,
+}
+
+
+def scale_preset(name: str) -> ExperimentScale:
+    """Resolve a named scale preset (``micro`` / ``small`` / ``paper``)."""
+    try:
+        factory = SCALE_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale preset {name!r}; known: {sorted(SCALE_PRESETS)}"
+        ) from None
+    return factory()
+
+
 @dataclass
 class RunOutcome:
     """One (mix, configuration) simulation with its derived metrics."""

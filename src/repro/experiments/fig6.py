@@ -22,6 +22,7 @@ from repro.experiments.common import (
     geometric_mean,
 )
 from repro.experiments.report import format_table, fmt_rel
+from repro.reporting.model import BarChart, DataPoint, Reference
 
 POLICIES = ("lru", "nru", "bt")
 METRICS = ("throughput", "hmean", "wspeedup")
@@ -115,6 +116,58 @@ def assemble(scale: ExperimentScale,
                 p: geometric_mean(per_metric[metric][p]) for p in POLICIES
             }
     return data
+
+
+def references() -> List[Reference]:
+    """Paper-reported Figure 6 values with tolerance bands.
+
+    The paper quotes relative throughput of NRU and BT per core count
+    (§V-A); the bands are generous because the default scales shrink the
+    machine — see docs/reproducing.md ("How to read verdicts").
+    """
+    refs = []
+    for policy, per_cores in PAPER_REL_THROUGHPUT.items():
+        for cores, expected in per_cores.items():
+            refs.append(Reference(
+                point=f"fig6/throughput/{cores}c/{policy}",
+                expected=expected, rel_warn=0.02, rel_fail=0.05,
+                source="§V-A",
+            ))
+    return refs
+
+
+def points(data: Fig6Data) -> List[DataPoint]:
+    """Measured values matching :func:`references`, straight from the data."""
+    out: List[DataPoint] = []
+    for policy, per_cores in PAPER_REL_THROUGHPUT.items():
+        for cores in per_cores:
+            value = data.relative.get("throughput", {}).get(cores, {}).get(policy)
+            out.append(DataPoint(
+                id=f"fig6/throughput/{cores}c/{policy}",
+                label=(f"{policy.upper()} relative throughput, {cores} "
+                       f"core{'s' if cores > 1 else ''}"),
+                value=value, unit="x vs LRU",
+            ))
+    return out
+
+
+def charts(data: Fig6Data) -> List[BarChart]:
+    """Grouped-bar spec per metric (cores on the x axis, one bar/policy)."""
+    specs = []
+    for metric in METRICS:
+        core_counts = sorted(data.relative[metric])
+        specs.append(BarChart(
+            title=f"Figure 6 ({metric}): relative to LRU",
+            groups=tuple(f"{c} core{'s' if c > 1 else ''}"
+                         for c in core_counts),
+            series=tuple(
+                (p.upper(), tuple(data.relative[metric][c][p]
+                                  for c in core_counts))
+                for p in POLICIES
+            ),
+            y_label=f"{metric} vs LRU", baseline=1.0,
+        ))
+    return specs
 
 
 def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig6Data:

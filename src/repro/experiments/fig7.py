@@ -25,6 +25,7 @@ from repro.experiments.common import (
     geometric_mean,
 )
 from repro.experiments.report import format_table, fmt_rel
+from repro.reporting.model import BarChart, DataPoint, Reference
 
 METRICS = ("throughput", "hmean", "wspeedup")
 CORE_COUNTS = (2, 4, 8)
@@ -96,6 +97,50 @@ def assemble(scale: ExperimentScale,
                 a: geometric_mean(per_metric[metric][a]) for a in ACRONYMS
             }
     return data
+
+
+def references() -> List[Reference]:
+    """Paper-quoted Figure 7 throughput degradations vs C-L (§V-B)."""
+    refs = []
+    for acronym, per_cores in PAPER_REL_THROUGHPUT.items():
+        for cores, expected in per_cores.items():
+            refs.append(Reference(
+                point=f"fig7/throughput/{cores}c/{acronym}",
+                expected=expected, rel_warn=0.02, rel_fail=0.05,
+                source="§V-B",
+            ))
+    return refs
+
+
+def points(data: Fig7Data) -> List[DataPoint]:
+    """Measured values matching :func:`references`."""
+    out: List[DataPoint] = []
+    for acronym, per_cores in PAPER_REL_THROUGHPUT.items():
+        for cores in per_cores:
+            value = data.relative.get("throughput", {}).get(cores, {}).get(acronym)
+            out.append(DataPoint(
+                id=f"fig7/throughput/{cores}c/{acronym}",
+                label=f"{acronym} relative throughput, {cores} cores",
+                value=value, unit="x vs C-L",
+            ))
+    return out
+
+
+def charts(data: Fig7Data) -> List[BarChart]:
+    """Grouped-bar spec per metric (cores on the x axis, one bar/config)."""
+    specs = []
+    for metric in METRICS:
+        core_counts = sorted(data.relative[metric])
+        specs.append(BarChart(
+            title=f"Figure 7 ({metric}): partitioned configs vs C-L",
+            groups=tuple(f"{c} cores" for c in core_counts),
+            series=tuple(
+                (a, tuple(data.relative[metric][c][a] for c in core_counts))
+                for a in ACRONYMS
+            ),
+            y_label=f"{metric} vs C-L", baseline=1.0,
+        ))
+    return specs
 
 
 def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig7Data:

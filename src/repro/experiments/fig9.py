@@ -17,6 +17,7 @@ from repro.experiments import fig7
 from repro.experiments.common import ExperimentScale, WorkloadRunner, geometric_mean
 from repro.experiments.report import format_table, fmt_rel
 from repro.hwmodel.power import PowerModel
+from repro.reporting.model import BarChart, DataPoint, Reference
 
 ACRONYMS = fig7.ACRONYMS
 CORE_COUNTS = fig7.CORE_COUNTS
@@ -121,6 +122,70 @@ def run(scale: ExperimentScale = None,
     return Fig9Data(relative_power=relative_power,
                     relative_energy=relative_energy,
                     breakdown_2core=breakdown)
+
+
+def references() -> List[Reference]:
+    """The paper's Figure 9 claim: profiling burns < 0.3 % of total power.
+
+    Encoded as an expected share of 0 with an absolute 0.003 pass band
+    (``relative_error`` falls back to absolute error when expected is 0),
+    one point per partitioned configuration on the 2-core breakdown.
+    """
+    return [
+        Reference(point=f"fig9/profiling_share/2c/{acronym}",
+                  expected=0.0, rel_warn=0.003, rel_fail=0.006,
+                  source="§V-C")
+        for acronym in ACRONYMS
+    ]
+
+
+def points(data: Fig9Data) -> List[DataPoint]:
+    """Measured 2-core profiling power shares matching :func:`references`."""
+    return [
+        DataPoint(
+            id=f"fig9/profiling_share/2c/{acronym}",
+            label=f"{acronym} profiling power share, 2 cores",
+            value=data.breakdown_2core.get(acronym, {}).get("profiling"),
+            unit="fraction of total",
+        )
+        for acronym in ACRONYMS
+    ]
+
+
+def charts(data: Fig9Data) -> List[BarChart]:
+    """Relative power/energy bars plus the 2-core component breakdown."""
+    core_counts = sorted(data.relative_power)
+    specs = [
+        BarChart(
+            title="Figure 9(a): total power relative to C-L",
+            groups=tuple(f"{c} cores" for c in core_counts),
+            series=tuple(
+                (a, tuple(data.relative_power[c][a] for c in core_counts))
+                for a in ACRONYMS
+            ),
+            y_label="power vs C-L", baseline=1.0,
+        ),
+        BarChart(
+            title="Figure 9(a): energy (CPI x Power) relative to C-L",
+            groups=tuple(f"{c} cores" for c in core_counts),
+            series=tuple(
+                (a, tuple(data.relative_energy[c][a] for c in core_counts))
+                for a in ACRONYMS
+            ),
+            y_label="energy vs C-L", baseline=1.0,
+        ),
+        BarChart(
+            title="Figure 9(b): component power shares, 2-core CMP",
+            groups=tuple(ACRONYMS),
+            series=tuple(
+                (group, tuple(data.breakdown_2core[a][group]
+                              for a in ACRONYMS))
+                for group in COMPONENT_GROUPS
+            ),
+            y_label="share of total power",
+        ),
+    ]
+    return specs
 
 
 def main() -> Fig9Data:  # pragma: no cover - exercised via bench

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from typing import List
+
 from repro.cache.geometry import CacheGeometry
 from repro.experiments.report import format_table
 from repro.hwmodel.area import format_area
@@ -19,6 +21,7 @@ from repro.hwmodel.complexity import (
     event_bits_table,
     storage_bits_table,
 )
+from repro.reporting.model import DataPoint, Reference
 
 PAPER_GEOMETRY = CacheGeometry(size_bytes=2 * 1024 * 1024, assoc=16,
                                line_bytes=128)
@@ -74,6 +77,66 @@ def matrix(scale=None) -> list:
     uniformly with the figures (zero simulation jobs, render-only).
     """
     return []
+
+
+#: (point suffix, label, expected bits) — the exact quantities Table I
+#: states; the report grades them with zero tolerance (pure arithmetic).
+_PAPER_BITS = (
+    ("storage_bits/lru", "LRU replacement storage", 8 * 8 * 1024),
+    ("storage_bits/nru", "NRU replacement storage (incl. pointer)",
+     2 * 8 * 1024 + 4),
+    ("storage_bits/bt", "BT replacement storage", int(1.875 * 8 * 1024)),
+    ("tag_compare_bits", "tag comparison per lookup", 752),
+    ("update_bits/lru", "LRU update per hit", 64),
+    ("update_bits/nru", "NRU update per hit", 19),
+    ("update_bits/bt", "BT update per hit", 4),
+    ("data_hit_bits", "data bits per hit", 1024),
+    ("profiling_read_bits/lru", "LRU profiling read", 4),
+    ("profiling_read_bits/nru", "NRU profiling read", 16),
+    ("profiling_read_bits/bt", "BT profiling read", 16),
+)
+
+
+def _measured_bits() -> Dict[str, int]:
+    """Computed counterparts of ``_PAPER_BITS`` (paper geometry)."""
+    comp = {p: ReplacementComplexity(p, PAPER_GEOMETRY, PAPER_CORES)
+            for p in ("lru", "nru", "bt")}
+    return {
+        "storage_bits/lru": comp["lru"].storage_bits_total("none"),
+        "storage_bits/nru": comp["nru"].storage_bits_total("none"),
+        "storage_bits/bt": comp["bt"].storage_bits_total("none"),
+        "tag_compare_bits": comp["lru"].tag_comparison_bits(),
+        "update_bits/lru": comp["lru"].update_bits_unpartitioned(),
+        "update_bits/nru": comp["nru"].update_bits_unpartitioned(),
+        "update_bits/bt": comp["bt"].update_bits_unpartitioned(),
+        "data_hit_bits": comp["lru"].data_bits(),
+        "profiling_read_bits/lru": comp["lru"].profiling_read_bits(),
+        "profiling_read_bits/nru": comp["nru"].profiling_read_bits(),
+        "profiling_read_bits/bt": comp["bt"].profiling_read_bits(),
+    }
+
+
+def references() -> List[Reference]:
+    """Table I's quoted numbers, graded exactly (zero tolerance)."""
+    return [
+        Reference(point=f"table1/{suffix}", expected=float(expected),
+                  rel_warn=0.0, rel_fail=0.0, source="Table I")
+        for suffix, _, expected in _PAPER_BITS
+    ]
+
+
+def points(data: Table1Data = None) -> List[DataPoint]:
+    """Computed Table I quantities matching :func:`references`.
+
+    ``data`` is accepted for builder uniformity but unused — the values
+    are closed-form arithmetic over the paper geometry.
+    """
+    measured = _measured_bits()
+    return [
+        DataPoint(id=f"table1/{suffix}", label=label,
+                  value=float(measured[suffix]), unit="bits")
+        for suffix, label, _ in _PAPER_BITS
+    ]
 
 
 def paper_checkpoints() -> Dict[str, bool]:

@@ -32,6 +32,16 @@ class ATD:
                  policy_name: str, profiler: DistanceProfiler,
                  sdh: Optional[SDH] = None,
                  rng: Optional[np.random.Generator] = None) -> None:
+        """Build the directory for one thread.
+
+        ``sampling`` is the 1-in-N set-sampling ratio (a power of two
+        dividing the L2 set count; the paper uses 32).  ``policy_name``
+        must match the L2's replacement policy *and* the profiler's —
+        the ATD shadows the cache and the profiler interprets its state.
+        ``sdh`` and ``rng`` default to a fresh register file and the
+        policy's own stream (pass explicit ones to share or to pin
+        determinism across runs).
+        """
         if sampling <= 0 or sampling & (sampling - 1):
             raise ValueError(
                 f"sampling must be a positive power of two (hardware decodes "

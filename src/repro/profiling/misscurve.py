@@ -36,6 +36,7 @@ class MissCurve:
     __slots__ = ("_m",)
 
     def __init__(self, misses: ArrayLike) -> None:
+        """Wrap and validate raw curve values ``misses[w]`` for w = 0..A."""
         m = np.asarray(misses, dtype=np.float64)
         if m.ndim != 1 or len(m) < 2:
             raise ValueError("a miss curve needs values for w = 0 .. A (A >= 1)")

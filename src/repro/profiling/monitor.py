@@ -26,6 +26,12 @@ class ThreadMonitor:
                  sampling: int = 32, nru_scaling: float = 1.0,
                  nru_spread_update: bool = False,
                  rng: Optional[np.random.Generator] = None) -> None:
+        """Assemble ATD + matching profiler + SDH for one thread.
+
+        ``nru_scaling`` / ``nru_spread_update`` parameterise the NRU eSDH
+        (ignored for other policies); ``sampling`` is the ATD's 1-in-N
+        set-sampling ratio.
+        """
         self.policy_name = policy_name
         profiler = make_profiler(policy_name, scaling=nru_scaling,
                                  spread_update=nru_spread_update)
@@ -45,6 +51,7 @@ class ThreadMonitor:
         self.sdh.halve()
 
     def reset(self) -> None:
+        """Cold-start the ATD (and with it the SDH)."""
         self.atd.reset()
 
 
@@ -56,6 +63,11 @@ class ProfilingSystem:
                  nru_scaling: float = 1.0,
                  nru_spread_update: bool = False,
                  seed: int = 0) -> None:
+        """One monitor per core, each with its own keyed RNG stream.
+
+        Parameters mirror :class:`ThreadMonitor`; ``seed`` keys the
+        per-core streams so results are reproducible per (seed, core).
+        """
         self.monitors: List[ThreadMonitor] = [
             ThreadMonitor(
                 l2_geometry, policy_name, sampling=sampling,
@@ -89,6 +101,7 @@ class ProfilingSystem:
         return np.stack([m.miss_curve() for m in self.monitors])
 
     def halve_all(self) -> None:
+        """Interval-boundary decay of every thread's SDH (paper §II-A)."""
         for monitor in self.monitors:
             monitor.halve()
 

@@ -53,6 +53,7 @@ class LRUDistanceProfiler(DistanceProfiler):
     policy_name = "lru"
 
     def on_hit(self, policy: LRUPolicy, set_index: int, way: int, sdh: SDH) -> None:
+        """Record the line's exact pre-access stack position (1 = MRU)."""
         sdh.record(policy.stack_position(set_index, way))
 
 
@@ -73,12 +74,14 @@ class NRUDistanceProfiler(DistanceProfiler):
     policy_name = "nru"
 
     def __init__(self, scaling: float = 1.0, spread_update: bool = False) -> None:
+        """Validate the scaling factor (see the class docstring)."""
         if not 0.0 < scaling <= 1.0:
             raise ValueError(f"scaling must be in (0, 1], got {scaling}")
         self.scaling = scaling
         self.spread_update = spread_update
 
     def on_hit(self, policy: NRUPolicy, set_index: int, way: int, sdh: SDH) -> None:
+        """Estimate ``d = ceil(S * U)`` from the set's used bits (§III-A)."""
         if not policy.used_bit(set_index, way):
             # Distance within U+1 .. A: skipped on purpose (constant-offset
             # argument, paper §III-A).
@@ -99,6 +102,7 @@ class BTDistanceProfiler(DistanceProfiler):
     policy_name = "bt"
 
     def on_hit(self, policy: BTPolicy, set_index: int, way: int, sdh: SDH) -> None:
+        """Estimate ``d = A - (ID xor path)`` from the BT bits (§III-B)."""
         xor = policy.path_bits(set_index, way) ^ policy.id_bits(way)
         sdh.record(policy.assoc - xor)
 

@@ -19,6 +19,7 @@ class SDH:
     """SDH register file for one thread."""
 
     def __init__(self, assoc: int) -> None:
+        """Allocate the ``A + 1`` registers of an ``assoc``-way cache."""
         if assoc <= 0:
             raise ValueError("assoc must be positive")
         self.assoc = assoc
@@ -56,6 +57,7 @@ class SDH:
         self._r >>= 1
 
     def reset(self) -> None:
+        """Zero every register (cold start)."""
         self._r[:] = 0
 
     # ------------------------------------------------------------------

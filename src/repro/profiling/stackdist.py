@@ -37,10 +37,12 @@ class _Fenwick:
     __slots__ = ("_tree", "size")
 
     def __init__(self, size: int) -> None:
+        """Tree over ``size`` time slots, all zero."""
         self.size = size
         self._tree = np.zeros(size + 1, dtype=np.int64)
 
     def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` at one time slot (O(log n))."""
         tree = self._tree
         i = index + 1
         size = self.size
@@ -82,6 +84,7 @@ class ReuseDistanceAnalyzer:
     """
 
     def __init__(self, capacity_hint: int = 1024) -> None:
+        """Start an empty stream (see the class docstring for the hint)."""
         if capacity_hint < 1:
             raise ValueError("capacity_hint must be positive")
         self._tree = _Fenwick(capacity_hint)
@@ -118,6 +121,7 @@ class ReuseDistanceAnalyzer:
         return self._time
 
     def reset(self) -> None:
+        """Forget the stream (keeps the grown tree capacity)."""
         self._tree = _Fenwick(max(1024, self._tree.size))
         self._last.clear()
         self._time = 0
@@ -132,6 +136,7 @@ class SetReuseDistanceAnalyzer:
     """
 
     def __init__(self, num_sets: int) -> None:
+        """One lazily-created analyzer per set (power-of-two mapping)."""
         if num_sets < 1 or num_sets & (num_sets - 1):
             raise ValueError(f"num_sets must be a positive power of two, got {num_sets}")
         self.num_sets = num_sets
@@ -148,6 +153,7 @@ class SetReuseDistanceAnalyzer:
         return analyzer.access(line)
 
     def reset(self) -> None:
+        """Forget every set's stream."""
         self._analyzers = [None] * self.num_sets
 
 

@@ -1,0 +1,347 @@
+"""Report emitters: ``report.json`` / ``report.md`` / ``report.html``.
+
+All three render the same :class:`~repro.reporting.model.Report`:
+
+* **JSON** — machine-readable, schema ``repro-report/1``; the CI job and
+  ``repro report check`` consume it.  ``report_to_dict`` and
+  ``report_from_dict`` are exact inverses (pinned by the round-trip test).
+* **Markdown** — tables and graded points, readable in a code host.
+* **HTML** — self-contained single file: inline CSS, inline SVG charts,
+  verdict-colored point tables.  No external assets, no scripts.
+
+None of the emitters embed timestamps or host details, so emitting the
+same report twice produces identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+from xml.sax.saxutils import escape
+
+from repro.reporting.model import (
+    BarChart,
+    DataPoint,
+    LineChart,
+    Report,
+    Section,
+    TableBlock,
+    VERDICTS,
+)
+from repro.reporting.svg import render_chart
+
+REPORT_SCHEMA = "repro-report/1"
+
+_VERDICT_BADGES = {"pass": "PASS", "warn": "WARN", "fail": "FAIL", None: "-"}
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def _chart_to_dict(chart) -> dict:
+    if isinstance(chart, BarChart):
+        return {
+            "kind": "bars", "title": chart.title,
+            "groups": list(chart.groups),
+            "series": [{"name": n, "values": list(v)}
+                       for n, v in chart.series],
+            "y_label": chart.y_label, "baseline": chart.baseline,
+        }
+    if isinstance(chart, LineChart):
+        return {
+            "kind": "lines", "title": chart.title,
+            "series": [{"name": n, "points": [list(p) for p in pts]}
+                       for n, pts in chart.series],
+            "x_label": chart.x_label, "y_label": chart.y_label,
+            "baseline": chart.baseline,
+        }
+    raise TypeError(f"not a chart spec: {type(chart).__name__}")
+
+
+def _chart_from_dict(payload: dict):
+    if payload["kind"] == "bars":
+        return BarChart(
+            title=payload["title"], groups=tuple(payload["groups"]),
+            series=tuple((s["name"], tuple(s["values"]))
+                         for s in payload["series"]),
+            y_label=payload["y_label"], baseline=payload["baseline"],
+        )
+    if payload["kind"] == "lines":
+        return LineChart(
+            title=payload["title"],
+            series=tuple((s["name"], tuple(tuple(p) for p in s["points"]))
+                         for s in payload["series"]),
+            x_label=payload["x_label"], y_label=payload["y_label"],
+            baseline=payload["baseline"],
+        )
+    raise ValueError(f"unknown chart kind {payload['kind']!r}")
+
+
+def report_to_dict(report: Report) -> dict:
+    """Schema ``repro-report/1`` dict of the whole report."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "scale": {"name": report.scale_name, "params": report.scale_params},
+        "verdicts": report.verdict_counts(),
+        "sections": [
+            {
+                "name": s.name, "title": s.title, "kind": s.kind,
+                "summary": s.summary,
+                "verdicts": s.verdict_counts(),
+                "tables": [
+                    {"title": t.title, "headers": list(t.headers),
+                     "rows": [list(r) for r in t.rows]}
+                    for t in s.tables
+                ],
+                "charts": [_chart_to_dict(c) for c in s.charts],
+                "points": [
+                    {"id": p.id, "label": p.label, "value": p.value,
+                     "unit": p.unit, "expected": p.expected,
+                     "verdict": p.verdict, "error": p.error,
+                     "source": p.source}
+                    for p in s.points
+                ],
+            }
+            for s in report.sections
+        ],
+    }
+
+
+def report_from_dict(payload: dict) -> Report:
+    """Inverse of :func:`report_to_dict` (raises on schema mismatch)."""
+    if payload.get("schema") != REPORT_SCHEMA:
+        raise ValueError(
+            f"expected schema {REPORT_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    sections = []
+    for s in payload["sections"]:
+        sections.append(Section(
+            name=s["name"], title=s["title"], kind=s["kind"],
+            summary=s["summary"],
+            tables=[TableBlock(title=t["title"],
+                               headers=tuple(t["headers"]),
+                               rows=tuple(tuple(r) for r in t["rows"]))
+                    for t in s["tables"]],
+            charts=[_chart_from_dict(c) for c in s["charts"]],
+            points=[DataPoint(id=p["id"], label=p["label"],
+                              value=p["value"], unit=p["unit"],
+                              expected=p["expected"], verdict=p["verdict"],
+                              error=p["error"], source=p["source"])
+                    for p in s["points"]],
+        ))
+    return Report(scale_name=payload["scale"]["name"],
+                  scale_params=payload["scale"]["params"],
+                  sections=sections)
+
+
+def validate_report_dict(payload: dict) -> List[str]:
+    """Structural problems of a ``report.json`` payload (empty = valid).
+
+    This is what ``repro report check`` and the CI job run: schema tag,
+    required keys, and — the important part — that the grading actually
+    happened: every point carrying a paper expectation must have a
+    recognised verdict, and every section must grade at least one point
+    (a report that silently dropped its grading is exactly the failure
+    mode the check exists to catch).  Points *without* an ``expected``
+    value are informational extras — :func:`~repro.reporting.model.
+    grade_points` passes them through ungraded on purpose.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["report payload is not a JSON object"]
+    if payload.get("schema") != REPORT_SCHEMA:
+        problems.append(f"schema is {payload.get('schema')!r}, "
+                        f"expected {REPORT_SCHEMA!r}")
+        return problems
+    sections = payload.get("sections")
+    if not isinstance(sections, list) or not sections:
+        problems.append("report has no sections")
+        return problems
+    for s in sections:
+        name = s.get("name", "<unnamed>")
+        points = s.get("points")
+        if not isinstance(points, list) or not points:
+            problems.append(f"section {name}: no graded points")
+            continue
+        graded = 0
+        for p in points:
+            if p.get("verdict") in VERDICTS:
+                graded += 1
+            elif p.get("expected") is not None:
+                problems.append(
+                    f"section {name}: point {p.get('id')!r} has a paper "
+                    f"expectation but no verdict"
+                )
+        if not graded:
+            problems.append(f"section {name}: no graded points")
+    counts = payload.get("verdicts", {})
+    for verdict in VERDICTS:
+        if not isinstance(counts.get(verdict), int):
+            problems.append(f"missing aggregate verdict count {verdict!r}")
+    return problems
+
+
+def emit_json(report: Report) -> str:
+    """Deterministic, human-diffable JSON text."""
+    return json.dumps(report_to_dict(report), indent=2,
+                      sort_keys=False) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Markdown
+# ----------------------------------------------------------------------
+def _md_table(headers, rows) -> List[str]:
+    lines = ["| " + " | ".join(headers) + " |",
+             "| " + " | ".join("---" for _ in headers) + " |"]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return lines
+
+
+def _fmt_value(value) -> str:
+    if value is None:
+        return "missing"
+    return f"{value:g}"
+
+
+def emit_markdown(report: Report) -> str:
+    """Markdown report: summary, then every section's tables and points."""
+    counts = report.verdict_counts()
+    lines = [
+        "# Reproduction report",
+        "",
+        f"Scale: **{report.scale_name}** · graded points: "
+        f"{report.total_points} — "
+        f"pass {counts['pass']}, warn {counts['warn']}, "
+        f"fail {counts['fail']}",
+        "",
+        "Verdicts compare this run against the paper's reported values "
+        "(see `docs/reproducing.md` for the tolerance-band semantics and "
+        "why small scales drift).",
+    ]
+    for section in report.sections:
+        lines += ["", f"## {section.title}", ""]
+        if section.summary:
+            lines += [section.summary, ""]
+        for table in section.tables:
+            lines += [f"**{table.title}**", ""]
+            lines += _md_table(table.headers, table.rows)
+            lines += [""]
+        if section.points:
+            lines += ["**Paper checkpoints**", ""]
+            rows = []
+            for p in section.points:
+                rows.append((
+                    p.label, _fmt_value(p.value), _fmt_value(p.expected),
+                    "-" if p.error is None else f"{p.error * 100:.1f}%",
+                    _VERDICT_BADGES[p.verdict],
+                ))
+            lines += _md_table(
+                ("point", "measured", "paper", "error", "verdict"), rows)
+            lines += [""]
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# ----------------------------------------------------------------------
+# HTML
+# ----------------------------------------------------------------------
+_CSS = """
+body { font-family: Helvetica, Arial, sans-serif; margin: 2rem auto;
+       max-width: 70rem; color: #222; }
+h1 { border-bottom: 2px solid #0072b2; padding-bottom: .3rem; }
+h2 { margin-top: 2.2rem; border-bottom: 1px solid #ddd; }
+table { border-collapse: collapse; margin: .8rem 0; }
+th, td { border: 1px solid #ccc; padding: .25rem .6rem; font-size: .9rem;
+         text-align: left; }
+th { background: #f2f6fa; }
+caption { caption-side: top; font-weight: bold; text-align: left;
+          padding: .3rem 0; }
+.verdict { font-weight: bold; padding: .1rem .45rem; border-radius: .6rem;
+           font-size: .8rem; }
+.verdict-pass { background: #d8f0d8; color: #1a6b1a; }
+.verdict-warn { background: #fdf3d0; color: #8a6d00; }
+.verdict-fail { background: #fbdcdc; color: #a11616; }
+.summary { background: #f7f9fb; border: 1px solid #e0e6ec;
+           padding: .7rem 1rem; border-radius: .4rem; }
+figure { margin: 1rem 0; }
+""".strip()
+
+
+def _html_points(points: List[DataPoint]) -> List[str]:
+    parts = ["<table>", "<caption>Paper checkpoints</caption>",
+             "<tr><th>point</th><th>measured</th><th>paper</th>"
+             "<th>error</th><th>verdict</th></tr>"]
+    for p in points:
+        badge = _VERDICT_BADGES[p.verdict]
+        cls = f"verdict verdict-{p.verdict}" if p.verdict else "verdict"
+        error = "-" if p.error is None else f"{p.error * 100:.1f}%"
+        parts.append(
+            f"<tr><td>{escape(p.label)}</td>"
+            f"<td>{escape(_fmt_value(p.value))}</td>"
+            f"<td>{escape(_fmt_value(p.expected))}</td>"
+            f"<td>{error}</td>"
+            f'<td><span class="{cls}">{badge}</span></td></tr>'
+        )
+    parts.append("</table>")
+    return parts
+
+
+def emit_html(report: Report) -> str:
+    """One self-contained HTML file with inline CSS and inline SVG."""
+    counts = report.verdict_counts()
+    parts = [
+        "<!DOCTYPE html>", '<html lang="en">', "<head>",
+        '<meta charset="utf-8"/>',
+        "<title>Reproduction report</title>",
+        f"<style>{_CSS}</style>", "</head>", "<body>",
+        "<h1>Reproduction report</h1>",
+        '<p class="summary">'
+        f"Scale: <strong>{escape(report.scale_name)}</strong> · "
+        f"graded points: {report.total_points} — "
+        f'<span class="verdict verdict-pass">PASS {counts["pass"]}</span> '
+        f'<span class="verdict verdict-warn">WARN {counts["warn"]}</span> '
+        f'<span class="verdict verdict-fail">FAIL {counts["fail"]}</span>'
+        "</p>",
+        "<p>Verdicts compare this run against the paper's reported values; "
+        "tolerance-band semantics are documented in "
+        "<code>docs/reproducing.md</code>.</p>",
+    ]
+    for section in report.sections:
+        parts.append(f"<h2>{escape(section.title)}</h2>")
+        if section.summary:
+            parts.append(f"<p>{escape(section.summary)}</p>")
+        for chart in section.charts:
+            parts.append(f"<figure>{render_chart(chart)}</figure>")
+        for table in section.tables:
+            parts.append("<table>")
+            parts.append(f"<caption>{escape(table.title)}</caption>")
+            parts.append(
+                "<tr>" + "".join(f"<th>{escape(h)}</th>"
+                                 for h in table.headers) + "</tr>")
+            for row in table.rows:
+                parts.append(
+                    "<tr>" + "".join(f"<td>{escape(c)}</td>"
+                                     for c in row) + "</tr>")
+            parts.append("</table>")
+        if section.points:
+            parts.extend(_html_points(section.points))
+    parts += ["</body>", "</html>"]
+    return "\n".join(parts) + "\n"
+
+
+# ----------------------------------------------------------------------
+# File output
+# ----------------------------------------------------------------------
+def write_report(report: Report, out_dir) -> Dict[str, Path]:
+    """Write all three artifacts into ``out_dir``; returns their paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "json": out / "report.json",
+        "md": out / "report.md",
+        "html": out / "report.html",
+    }
+    paths["json"].write_text(emit_json(report), encoding="utf-8")
+    paths["md"].write_text(emit_markdown(report), encoding="utf-8")
+    paths["html"].write_text(emit_html(report), encoding="utf-8")
+    return paths

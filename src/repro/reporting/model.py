@@ -1,0 +1,247 @@
+"""Data model of the reproduction report (pure stdlib, no repro imports).
+
+These types are the contract between three groups of code that must not
+import each other eagerly:
+
+* the experiment modules (:mod:`repro.experiments.fig6` ...) declare their
+  paper reference values as :class:`Reference` rows and describe their
+  plots as :class:`BarChart` / :class:`LineChart` specs;
+* the section builders (:mod:`repro.reporting.sections`) extract
+  :class:`DataPoint` values from assembled figure data and pair them with
+  the references;
+* the emitters (:mod:`repro.reporting.emit`) render everything into
+  ``report.html`` / ``report.md`` / ``report.json`` without knowing where
+  a number came from.
+
+Keeping the module free of ``repro`` imports lets experiment modules use
+it without creating an import cycle through the reporting package.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Verdict labels, in decreasing order of goodness.
+VERDICT_PASS = "pass"
+VERDICT_WARN = "warn"
+VERDICT_FAIL = "fail"
+VERDICTS = (VERDICT_PASS, VERDICT_WARN, VERDICT_FAIL)
+
+
+# ----------------------------------------------------------------------
+# Reference values and verdicts
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Reference:
+    """One paper-reported value with its tolerance bands.
+
+    Parameters
+    ----------
+    point:
+        Stable data-point identifier (``"fig6/throughput/8c/nru"``); the
+        section builder emits a :class:`DataPoint` with the same id.
+    expected:
+        The paper's reported value.
+    rel_warn:
+        Relative-error band of a *pass* verdict (inclusive).  ``0`` means
+        the value must match exactly (Table I arithmetic).
+    rel_fail:
+        Relative-error band of a *warn* verdict (inclusive); beyond it the
+        verdict is *fail*.  Must be ``>= rel_warn``.
+    source:
+        Where the paper states the number ("§V-A", "Table I(a)").
+    """
+
+    point: str
+    expected: float
+    rel_warn: float
+    rel_fail: float
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rel_warn < 0 or self.rel_fail < self.rel_warn:
+            raise ValueError(
+                f"need 0 <= rel_warn <= rel_fail, got "
+                f"({self.rel_warn}, {self.rel_fail}) for {self.point!r}"
+            )
+
+
+def relative_error(value: float, expected: float) -> float:
+    """|value − expected| scaled by |expected| (absolute when expected=0)."""
+    err = abs(value - expected)
+    return err / abs(expected) if expected != 0.0 else err
+
+
+#: Slack absorbing float noise on band edges (a value *meant* to sit on a
+#: 2 % band computes to 0.020000000000000018 relative error).
+_EDGE_EPS = 1e-12
+
+
+def verdict_for(value: Optional[float], reference: Reference) -> str:
+    """Grade one measured value against its reference.
+
+    A missing (``None``) or NaN value always fails — the report must never
+    silently drop a point the paper reports.  Band edges are inclusive, so
+    a value sitting exactly on ``rel_warn`` passes and one exactly on
+    ``rel_fail`` warns (up to float rounding of the error itself).
+    """
+    if value is None or math.isnan(value):
+        return VERDICT_FAIL
+    err = relative_error(value, reference.expected)
+    if err <= reference.rel_warn + _EDGE_EPS:
+        return VERDICT_PASS
+    if err <= reference.rel_fail + _EDGE_EPS:
+        return VERDICT_WARN
+    return VERDICT_FAIL
+
+
+# ----------------------------------------------------------------------
+# Data points
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DataPoint:
+    """One measured value of a section, optionally graded.
+
+    ``value`` is ``None`` when the underlying result is missing (the
+    verdict is then *fail* with no measured number to show); ``verdict``
+    and ``error`` are filled in by the report builder for points that have
+    a :class:`Reference`.
+    """
+
+    id: str
+    label: str
+    value: Optional[float]
+    unit: str = ""
+    expected: Optional[float] = None
+    verdict: Optional[str] = None
+    error: Optional[float] = None
+    source: str = ""
+
+
+# ----------------------------------------------------------------------
+# Chart and table specs (rendered by reporting.svg / the emitters)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BarChart:
+    """Grouped vertical bars: one cluster per group, one bar per series."""
+
+    title: str
+    groups: Tuple[str, ...]
+    #: ``(series name, one value per group)`` in draw order.
+    series: Tuple[Tuple[str, Tuple[float, ...]], ...]
+    y_label: str = ""
+    #: Optional horizontal reference line (1.0 for relative charts).
+    baseline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name, values in self.series:
+            if len(values) != len(self.groups):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} values for "
+                    f"{len(self.groups)} groups"
+                )
+
+
+@dataclass(frozen=True)
+class LineChart:
+    """Multi-series line plot over a numeric x axis."""
+
+    title: str
+    #: ``(series name, ((x, y), ...))`` in draw order.
+    series: Tuple[Tuple[str, Tuple[Tuple[float, float], ...]], ...]
+    x_label: str = ""
+    y_label: str = ""
+    baseline: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TableBlock:
+    """One rendered table: headers plus stringified rows."""
+
+    title: str
+    headers: Tuple[str, ...]
+    rows: Tuple[Tuple[str, ...], ...]
+
+
+# ----------------------------------------------------------------------
+# Sections and the report
+# ----------------------------------------------------------------------
+@dataclass
+class Section:
+    """Everything the report shows for one figure/table of the paper."""
+
+    name: str
+    title: str
+    kind: str  # "figure" | "table"
+    summary: str = ""
+    tables: List[TableBlock] = field(default_factory=list)
+    charts: List[object] = field(default_factory=list)  # BarChart | LineChart
+    points: List[DataPoint] = field(default_factory=list)
+
+    def verdict_counts(self) -> Dict[str, int]:
+        """``{pass: n, warn: n, fail: n}`` over the graded points."""
+        counts = {v: 0 for v in VERDICTS}
+        for point in self.points:
+            if point.verdict is not None:
+                counts[point.verdict] += 1
+        return counts
+
+
+@dataclass
+class Report:
+    """The assembled reproduction report (input to every emitter)."""
+
+    scale_name: str
+    scale_params: Dict[str, object]
+    sections: List[Section]
+
+    def verdict_counts(self) -> Dict[str, int]:
+        """Aggregate verdict tallies across all sections."""
+        counts = {v: 0 for v in VERDICTS}
+        for section in self.sections:
+            for verdict, n in section.verdict_counts().items():
+                counts[verdict] += n
+        return counts
+
+    @property
+    def total_points(self) -> int:
+        return sum(len(s.points) for s in self.sections)
+
+
+def grade_points(points: Sequence[DataPoint],
+                 references: Sequence[Reference]) -> List[DataPoint]:
+    """Attach verdicts to every point that has a reference.
+
+    References without a matching point are *not* dropped: a synthetic
+    failing point is emitted for each (value ``None``), so a section that
+    forgets to measure a paper-reported number shows up as a fail instead
+    of silently shrinking the report.
+    """
+    by_id = {r.point: r for r in references}
+    graded: List[DataPoint] = []
+    seen = set()
+    for point in points:
+        ref = by_id.get(point.id)
+        if ref is None:
+            graded.append(point)
+            continue
+        seen.add(point.id)
+        value = point.value
+        if value is not None and math.isnan(value):
+            value = None
+        graded.append(DataPoint(
+            id=point.id, label=point.label, value=value, unit=point.unit,
+            expected=ref.expected, verdict=verdict_for(value, ref),
+            error=(relative_error(value, ref.expected)
+                   if value is not None else None),
+            source=ref.source,
+        ))
+    for ref in references:
+        if ref.point not in seen:
+            graded.append(DataPoint(
+                id=ref.point, label=f"{ref.point} (missing)", value=None,
+                expected=ref.expected, verdict=VERDICT_FAIL, source=ref.source,
+            ))
+    return graded

@@ -10,15 +10,10 @@ from __future__ import annotations
 import pytest
 
 from repro.campaign.store import ResultStore
-from repro.experiments.common import ExperimentScale
+from repro.experiments.common import ExperimentScale, scale_preset
 
-MICRO = ExperimentScale(
-    scale=16, accesses=2_000, target_cycles=200_000.0,
-    atd_sampling=4, interval_cycles=50_000, seed=7,
-    mixes_2t=("2T_05",), mixes_4t=("4T_03",), mixes_8t=("8T_11",),
-    mixes_fig8=("2T_05",),
-    benchmarks_1t=("crafty",),
-)
+#: The shared micro preset — also what ``repro report --scale micro`` uses.
+MICRO = scale_preset("micro")
 
 
 @pytest.fixture(scope="session")

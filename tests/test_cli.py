@@ -84,3 +84,58 @@ class TestInfoCommands:
         out = capsys.readouterr().out
         for name in ("lru", "nru", "bt", "srrip", "dip"):
             assert name in out
+
+
+class TestReportCommands:
+    """The report verb on the simulation-free table sections (fast)."""
+
+    def test_run_build_check_handoff(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        out = str(tmp_path / "out")
+        assert main(["report", "run", "--scale", "micro",
+                     "--only", "table1,table2", "--jobs", "2",
+                     "--store", store]) == 0
+        text = capsys.readouterr().out
+        assert "manifest" in text and "scale: micro" in text
+        # Flag-less build picks scale + sections up from the manifest.
+        assert main(["report", "build", "--store", store,
+                     "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "scale: micro" in text
+        assert "pass=17 warn=0 fail=0" in text
+        for name in ("report.html", "report.md", "report.json"):
+            assert (tmp_path / "out" / name).is_file()
+        assert main(["report", "check", "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "report ok" in text
+        # All table points pass, so --strict succeeds too.
+        assert main(["report", "check", "--out", out, "--strict"]) == 0
+
+    def test_check_fails_without_report(self, tmp_path, capsys):
+        assert main(["report", "check",
+                     "--out", str(tmp_path / "missing")]) == 1
+        assert "report build" in capsys.readouterr().err
+
+    def test_check_rejects_invalid_json(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        out.mkdir()
+        (out / "report.json").write_text("{broken", encoding="utf-8")
+        assert main(["report", "check", "--out", str(out)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_only_tolerates_whitespace(self, tmp_path, capsys):
+        # Natural shell quoting: --only "table1, table2".
+        assert main(["report", "run", "--scale", "micro",
+                     "--only", "table1, table2",
+                     "--store", str(tmp_path / "store")]) == 0
+        assert "table1, table2" in capsys.readouterr().out
+
+    def test_unknown_section_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["report", "run", "--scale", "micro", "--only", "fig99",
+                  "--store", str(tmp_path / "store")])
+
+    def test_unknown_scale_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["report", "run", "--scale", "gigantic",
+                  "--store", str(tmp_path / "store")])

@@ -1,0 +1,12 @@
+"""Fixtures for the reporting suite (same micro philosophy as campaign)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentScale, scale_preset
+
+
+@pytest.fixture(scope="session")
+def micro_scale() -> ExperimentScale:
+    return scale_preset("micro")

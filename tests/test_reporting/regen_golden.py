@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Regenerate the SVG golden files from the specs in test_svg.py.
+
+Run after an intentional renderer change, then review the SVG diff::
+
+    PYTHONPATH=src python tests/test_reporting/regen_golden.py
+"""
+
+import sys
+from pathlib import Path
+
+
+def main() -> None:
+    sys.path.insert(0, str(Path(__file__).parent))
+    from test_svg import BAR_SPEC, GOLDEN, LINE_SPEC
+
+    from repro.reporting.svg import render_bar_chart, render_line_chart
+
+    GOLDEN.mkdir(exist_ok=True)
+    (GOLDEN / "bar_chart.svg").write_text(
+        render_bar_chart(BAR_SPEC), encoding="utf-8")
+    (GOLDEN / "line_chart.svg").write_text(
+        render_line_chart(LINE_SPEC), encoding="utf-8")
+    print(f"wrote {GOLDEN / 'bar_chart.svg'}")
+    print(f"wrote {GOLDEN / 'line_chart.svg'}")
+
+
+if __name__ == "__main__":
+    main()

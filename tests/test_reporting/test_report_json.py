@@ -1,0 +1,140 @@
+"""``report.json`` schema: round-trip identity and validation rules."""
+
+import json
+
+import pytest
+
+from repro.reporting.emit import (
+    REPORT_SCHEMA,
+    emit_json,
+    report_from_dict,
+    report_to_dict,
+    validate_report_dict,
+)
+from repro.reporting.model import (
+    BarChart,
+    DataPoint,
+    LineChart,
+    Report,
+    Section,
+    TableBlock,
+)
+
+
+def sample_report() -> Report:
+    """A small report exercising every schema feature."""
+    return Report(
+        scale_name="micro",
+        scale_params={"scale": 16, "accesses": 2000},
+        sections=[
+            Section(
+                name="fig6", title="Figure 6", kind="figure",
+                summary="policies",
+                tables=[TableBlock(title="t", headers=("a", "b"),
+                                   rows=(("1", "2"), ("3", "4")))],
+                charts=[
+                    BarChart(title="bars", groups=("g1", "g2"),
+                             series=(("s", (1.0, 2.0)),),
+                             y_label="y", baseline=1.0),
+                    LineChart(title="lines",
+                              series=(("s", ((1.0, 2.0), (3.0, 4.0))),),
+                              x_label="x", y_label="y"),
+                ],
+                points=[
+                    DataPoint(id="fig6/p1", label="p1", value=1.01,
+                              unit="x", expected=1.0, verdict="pass",
+                              error=0.01, source="§V-A"),
+                    DataPoint(id="fig6/p2", label="p2 (missing)",
+                              value=None, expected=0.95, verdict="fail"),
+                ],
+            ),
+            Section(
+                name="table1", title="Table I", kind="table",
+                points=[DataPoint(id="table1/p", label="bits", value=752.0,
+                                  expected=752.0, verdict="pass",
+                                  error=0.0)],
+            ),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        report = sample_report()
+        payload = report_to_dict(report)
+        rebuilt = report_from_dict(payload)
+        assert report_to_dict(rebuilt) == payload
+
+    def test_json_text_round_trip(self):
+        report = sample_report()
+        text = emit_json(report)
+        assert json.loads(text) == report_to_dict(report)
+        # Emitting the rebuilt report reproduces the bytes exactly.
+        assert emit_json(report_from_dict(json.loads(text))) == text
+
+    def test_schema_tag_present(self):
+        assert report_to_dict(sample_report())["schema"] == REPORT_SCHEMA
+
+    def test_from_dict_rejects_wrong_schema(self):
+        payload = report_to_dict(sample_report())
+        payload["schema"] = "something-else/9"
+        with pytest.raises(ValueError):
+            report_from_dict(payload)
+
+    def test_verdict_counts_survive(self):
+        payload = report_to_dict(sample_report())
+        assert payload["verdicts"] == {"pass": 2, "warn": 0, "fail": 1}
+        assert payload["sections"][0]["verdicts"]["fail"] == 1
+
+
+class TestValidation:
+    def test_valid_report_has_no_problems(self):
+        assert validate_report_dict(report_to_dict(sample_report())) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_report_dict([]) != []
+
+    def test_wrong_schema_rejected(self):
+        assert any("schema" in p
+                   for p in validate_report_dict({"schema": "x"}))
+
+    def test_empty_sections_rejected(self):
+        payload = report_to_dict(sample_report())
+        payload["sections"] = []
+        assert any("no sections" in p for p in validate_report_dict(payload))
+
+    def test_point_without_verdict_flagged(self):
+        payload = report_to_dict(sample_report())
+        payload["sections"][0]["points"][0]["verdict"] = None
+        problems = validate_report_dict(payload)
+        assert any("no verdict" in p for p in problems)
+
+    def test_ungraded_informational_point_is_allowed(self):
+        # grade_points passes reference-less points through with verdict
+        # None; validation must accept them as long as the section still
+        # grades something.
+        payload = report_to_dict(sample_report())
+        payload["sections"][0]["points"].append(
+            {"id": "fig6/extra", "label": "extra", "value": 3.0,
+             "unit": "", "expected": None, "verdict": None,
+             "error": None, "source": ""})
+        assert validate_report_dict(payload) == []
+
+    def test_section_with_only_ungraded_points_flagged(self):
+        payload = report_to_dict(sample_report())
+        for p in payload["sections"][1]["points"]:
+            p["expected"] = None
+            p["verdict"] = None
+        assert any("no graded points" in p
+                   for p in validate_report_dict(payload))
+
+    def test_section_without_points_flagged(self):
+        payload = report_to_dict(sample_report())
+        payload["sections"][1]["points"] = []
+        assert any("no graded points" in p
+                   for p in validate_report_dict(payload))
+
+    def test_missing_aggregate_counts_flagged(self):
+        payload = report_to_dict(sample_report())
+        del payload["verdicts"]["warn"]
+        assert any("warn" in p for p in validate_report_dict(payload))

@@ -1,0 +1,115 @@
+"""SVG renderer: golden files, structural invariants, validation errors.
+
+The golden files under ``golden/`` pin the exact bytes of one bar chart
+and one line chart.  The renderer promises deterministic output (stable
+float formatting, no timestamps), so any drift is a real behaviour change:
+regenerate with ``python tests/test_reporting/regen_golden.py`` and review
+the diff.
+"""
+
+import xml.dom.minidom
+from pathlib import Path
+
+import pytest
+
+from repro.reporting.model import BarChart, LineChart
+from repro.reporting.svg import (
+    render_bar_chart,
+    render_chart,
+    render_line_chart,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+
+#: The specs the golden files were rendered from (regen_golden.py imports
+#: these — keep them in sync with the checked-in SVGs).
+BAR_SPEC = BarChart(
+    title="Figure 6 (throughput): relative to LRU",
+    groups=("1 core", "2 cores", "4 cores", "8 cores"),
+    series=(
+        ("LRU", (1.0, 1.0, 1.0, 1.0)),
+        ("NRU", (0.994, 0.995, 0.985, 0.979)),
+        ("BT", (0.978, 0.984, 0.981, 0.947)),
+    ),
+    y_label="throughput vs LRU",
+    baseline=1.0,
+)
+
+LINE_SPEC = LineChart(
+    title="Figure 8 (M-L vs LRU): capacity sweep",
+    series=(
+        ("2T_05", ((512.0, 1.08), (1024.0, 1.024), (2048.0, 1.002))),
+        ("AVG", ((512.0, 1.065), (1024.0, 1.02), (2048.0, 1.001))),
+    ),
+    x_label="L2 capacity (KB)",
+    y_label="relative throughput",
+    baseline=1.0,
+)
+
+
+class TestGoldenFiles:
+    def test_bar_chart_matches_golden(self):
+        expected = (GOLDEN / "bar_chart.svg").read_text(encoding="utf-8")
+        assert render_bar_chart(BAR_SPEC) == expected
+
+    def test_line_chart_matches_golden(self):
+        expected = (GOLDEN / "line_chart.svg").read_text(encoding="utf-8")
+        assert render_line_chart(LINE_SPEC) == expected
+
+    def test_rendering_is_deterministic(self):
+        assert render_bar_chart(BAR_SPEC) == render_bar_chart(BAR_SPEC)
+        assert render_line_chart(LINE_SPEC) == render_line_chart(LINE_SPEC)
+
+
+class TestStructure:
+    def test_bar_chart_is_well_formed_xml(self):
+        xml.dom.minidom.parseString(render_bar_chart(BAR_SPEC))
+
+    def test_line_chart_is_well_formed_xml(self):
+        xml.dom.minidom.parseString(render_line_chart(LINE_SPEC))
+
+    def test_bar_count_matches_spec(self):
+        svg = render_bar_chart(BAR_SPEC)
+        # Background + one legend swatch per series + one bar per value.
+        bars = svg.count("<rect")
+        values = sum(len(v) for _, v in BAR_SPEC.series)
+        assert bars == 1 + len(BAR_SPEC.series) + values
+
+    def test_line_chart_has_marker_per_point(self):
+        svg = render_line_chart(LINE_SPEC)
+        points = sum(len(pts) for _, pts in LINE_SPEC.series)
+        assert svg.count("<circle") == points
+        assert svg.count("<path") == len(LINE_SPEC.series)
+
+    def test_titles_and_labels_are_escaped(self):
+        spec = BarChart(title="a < b & c", groups=("g",),
+                        series=(("s<1>", (1.0,)),))
+        svg = render_bar_chart(spec)
+        assert "a &lt; b &amp; c" in svg
+        xml.dom.minidom.parseString(svg)
+
+    def test_render_chart_dispatches(self):
+        assert render_chart(BAR_SPEC) == render_bar_chart(BAR_SPEC)
+        assert render_chart(LINE_SPEC) == render_line_chart(LINE_SPEC)
+        with pytest.raises(TypeError):
+            render_chart(object())
+
+
+class TestValidation:
+    def test_empty_bar_chart_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(BarChart(title="t", groups=(), series=()))
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BarChart(title="t", groups=("a", "b"), series=(("s", (1.0,)),))
+
+    def test_empty_line_chart_rejected(self):
+        with pytest.raises(ValueError):
+            render_line_chart(LineChart(title="t", series=(("s", ()),)))
+
+    def test_single_point_series_renders(self):
+        svg = render_line_chart(
+            LineChart(title="t", series=(("s", ((1.0, 2.0),)),)))
+        xml.dom.minidom.parseString(svg)
+        assert svg.count("<circle") == 1

@@ -1,0 +1,136 @@
+"""Tolerance-band verdicts: exact matches, boundaries, NaN/missing points."""
+
+import math
+
+import pytest
+
+from repro.reporting.model import (
+    DataPoint,
+    Reference,
+    grade_points,
+    relative_error,
+    verdict_for,
+)
+
+REF = Reference(point="p", expected=1.0, rel_warn=0.02, rel_fail=0.05)
+
+
+class TestVerdictFor:
+    def test_exact_match_passes(self):
+        assert verdict_for(1.0, REF) == "pass"
+
+    def test_exact_match_with_zero_tolerance(self):
+        exact = Reference(point="p", expected=752.0, rel_warn=0.0,
+                          rel_fail=0.0)
+        assert verdict_for(752.0, exact) == "pass"
+        assert verdict_for(753.0, exact) == "fail"
+
+    def test_boundary_values_are_inclusive(self):
+        # Exactly on the pass band edge -> pass; exactly on the warn band
+        # edge -> warn (both inclusive by contract).
+        assert verdict_for(1.02, REF) == "pass"
+        assert verdict_for(1.05, REF) == "warn"
+        assert verdict_for(1.0500001, REF) == "fail"
+
+    def test_bands_are_symmetric(self):
+        assert verdict_for(0.98, REF) == "pass"
+        assert verdict_for(0.95, REF) == "warn"
+        assert verdict_for(0.94, REF) == "fail"
+
+    def test_nan_fails(self):
+        assert verdict_for(float("nan"), REF) == "fail"
+
+    def test_missing_fails(self):
+        assert verdict_for(None, REF) == "fail"
+
+    def test_zero_expected_uses_absolute_error(self):
+        # The Figure 9 profiling-share references: expected 0 means the
+        # bands read as absolute errors.
+        share = Reference(point="s", expected=0.0, rel_warn=0.003,
+                          rel_fail=0.006)
+        assert verdict_for(0.0, share) == "pass"
+        assert verdict_for(0.0029, share) == "pass"
+        assert verdict_for(0.004, share) == "warn"
+        assert verdict_for(0.02, share) == "fail"
+
+
+class TestRelativeError:
+    def test_relative(self):
+        assert relative_error(1.05, 1.0) == pytest.approx(0.05)
+
+    def test_absolute_fallback_at_zero(self):
+        assert relative_error(0.25, 0.0) == pytest.approx(0.25)
+
+
+class TestReferenceValidation:
+    def test_rejects_inverted_bands(self):
+        with pytest.raises(ValueError):
+            Reference(point="p", expected=1.0, rel_warn=0.1, rel_fail=0.05)
+
+    def test_rejects_negative_bands(self):
+        with pytest.raises(ValueError):
+            Reference(point="p", expected=1.0, rel_warn=-0.1, rel_fail=0.1)
+
+
+class TestGradePoints:
+    def test_grades_matching_points(self):
+        graded = grade_points(
+            [DataPoint(id="p", label="x", value=1.01)], [REF])
+        assert len(graded) == 1
+        assert graded[0].verdict == "pass"
+        assert graded[0].expected == 1.0
+        assert graded[0].error == pytest.approx(0.01)
+
+    def test_unreferenced_points_pass_through_ungraded(self):
+        graded = grade_points(
+            [DataPoint(id="other", label="x", value=2.0)], [REF])
+        assert graded[0].verdict is None
+        assert graded[0].error is None
+
+    def test_missing_point_becomes_synthetic_fail(self):
+        graded = grade_points([], [REF])
+        assert len(graded) == 1
+        assert graded[0].id == "p"
+        assert graded[0].value is None
+        assert graded[0].verdict == "fail"
+
+    def test_nan_value_becomes_missing_fail(self):
+        graded = grade_points(
+            [DataPoint(id="p", label="x", value=float("nan"))], [REF])
+        assert graded[0].verdict == "fail"
+        assert graded[0].value is None
+        assert graded[0].error is None
+
+    def test_none_value_fails_without_error(self):
+        graded = grade_points(
+            [DataPoint(id="p", label="x", value=None)], [REF])
+        assert graded[0].verdict == "fail"
+        assert graded[0].error is None
+
+
+class TestCheckedInReferences:
+    def test_every_section_declares_references(self):
+        from repro.reporting.sections import all_references
+
+        refs = all_references()
+        assert len(refs) >= 40
+        prefixes = {r.point.split("/", 1)[0] for r in refs}
+        assert prefixes == {"fig6", "fig7", "fig8", "fig9",
+                            "table1", "table2"}
+
+    def test_reference_ids_are_unique(self):
+        from repro.reporting.sections import all_references
+
+        ids = [r.point for r in all_references()]
+        assert len(ids) == len(set(ids))
+
+    def test_table_references_are_exact(self):
+        from repro.experiments import table1, table2
+
+        for ref in table1.references() + table2.references():
+            assert ref.rel_warn == 0.0 and ref.rel_fail == 0.0
+
+    def test_no_reference_expects_nan(self):
+        from repro.reporting.sections import all_references
+
+        assert not any(math.isnan(r.expected) for r in all_references())
