@@ -3,6 +3,13 @@
 These measure raw operation rates of the building blocks (cache accesses
 under each replacement policy, ATD observation, the partition selectors and
 the trace generator), independent of any figure.
+``benchmarks/record.py core`` runs the same setups without the
+pytest-benchmark harness and records them to ``BENCH_core.json``.
+
+``TestTagStateRepresentation`` holds the microbenches behind the array
+core's representation choices (``repro.cache.state.TagStore``): one
+process-wide open-addressed dict vs a dict per set for the tag lookup, and
+Python-list vs numpy scalar element access for the flat state arrays.
 """
 
 import numpy as np
@@ -22,8 +29,15 @@ GEOMETRY = CacheGeometry(128 * 16 * 128, 16, 128)  # 128 sets x 16 ways
 STREAM = [int(x) for x in
           np.random.default_rng(0).integers(0, 4096, size=20_000)]
 
+#: Every line lands in a sampled ATD set (multiples of the sampling ratio):
+#: measures the directory/profiler machinery, not the sampling filter.
+SAMPLED_STREAM = [int(x) * 8 for x in
+                  np.random.default_rng(7).integers(0, 512, size=20_000)]
 
-@pytest.mark.parametrize("policy", ["lru", "nru", "bt", "random"])
+
+@pytest.mark.parametrize("policy",
+                         ["lru", "nru", "bt", "fifo", "dip", "srrip",
+                          "random"])
 def test_cache_access_rate(benchmark, policy):
     cache = SetAssociativeCache(GEOMETRY, policy,
                                 rng=np.random.default_rng(1))
@@ -74,6 +88,23 @@ def test_cache_bulk_access_rate(benchmark):
 
 @pytest.mark.parametrize("policy", ["lru", "nru", "bt"])
 def test_atd_observe_rate(benchmark, policy):
+    """Fully-sampled stream: the ATD directory + profiler machinery."""
+    atd = ATD(GEOMETRY, 8, policy, make_profiler(policy),
+              rng=np.random.default_rng(2))
+
+    def run():
+        observe = atd.observe
+        for line in SAMPLED_STREAM:
+            observe(line)
+
+    benchmark(run)
+    assert atd.sampled_accesses > 0
+    assert atd.skipped_accesses == 0
+
+
+@pytest.mark.parametrize("policy", ["lru", "nru", "bt"])
+def test_atd_observe_mixed_rate(benchmark, policy):
+    """Natural 1-in-8 stream: 7/8 of the calls only hit the skip filter."""
     atd = ATD(GEOMETRY, 8, policy, make_profiler(policy),
               rng=np.random.default_rng(2))
 
@@ -84,6 +115,62 @@ def test_atd_observe_rate(benchmark, policy):
 
     benchmark(run)
     assert atd.sampled_accesses > 0
+
+
+class TestTagStateRepresentation:
+    """The benchmarks behind the TagStore representation choices.
+
+    Each case performs the per-access lookup + reindex work of the tag
+    path in isolation so the representations compare head-to-head; the
+    winners (single open-addressed dict, Python-list scalar state) are
+    what ``repro.cache.state`` implements.
+    """
+
+    SETS, ASSOC = 128, 16
+
+    def test_lookup_single_dict(self, benchmark):
+        table = {line: line & 15 for line in range(0, 4096, 2)}
+
+        def run():
+            get = table.get
+            for line in STREAM:
+                get(line)
+
+        benchmark(run)
+
+    def test_lookup_dict_per_set(self, benchmark):
+        maps = [dict() for _ in range(self.SETS)]
+        for line in range(0, 4096, 2):
+            maps[line & (self.SETS - 1)][line] = line & 15
+        mask = self.SETS - 1
+
+        def run():
+            for line in STREAM:
+                maps[line & mask].get(line)
+
+        benchmark(run)
+
+    def test_scalar_state_python_list(self, benchmark):
+        state = [0] * (self.SETS * self.ASSOC)
+        mask = self.SETS - 1
+
+        def run():
+            for line in STREAM:
+                i = (line & mask) * 16 + (line & 15)
+                state[i] = state[i] + 1
+
+        benchmark(run)
+
+    def test_scalar_state_numpy_array(self, benchmark):
+        state = np.zeros(self.SETS * self.ASSOC, dtype=np.int64)
+        mask = self.SETS - 1
+
+        def run():
+            for line in STREAM:
+                i = (line & mask) * 16 + (line & 15)
+                state[i] = state[i] + 1
+
+        benchmark(run)
 
 
 def test_minmisses_dp_rate(benchmark):

@@ -16,6 +16,12 @@ FCFS memory with progressively tighter service intervals and shows that
 Run:  python examples/bandwidth_study.py
 """
 
+from repro.util import example_scale
+
+#: Laptop-scale divisor for CI smoke runs: REPRO_EXAMPLE_SCALE=N divides
+#: every trace length and instruction budget by N (default 1 = full size).
+EXAMPLE_SCALE = example_scale()
+
 from repro import (
     PartitioningConfig,
     ProcessorConfig,
@@ -31,7 +37,7 @@ INTERVALS = (0.0, 30.0, 90.0)   # cycles between memory service starts
 def main() -> None:
     processor = ProcessorConfig(num_cores=2).scaled(16)
     traces = generate_workload_traces(
-        ("parser", "mcf"), 120_000, processor.l2.num_lines, seed=13)
+        ("parser", "mcf"), 120_000 // EXAMPLE_SCALE, processor.l2.num_lines, seed=13)
     shared_cfg = PartitioningConfig(policy="lru", enforcement="none")
     part_cfg = config_M_L(atd_sampling=4)
 
@@ -40,7 +46,7 @@ def main() -> None:
           f"{'gain':>7s} {'avg queue delay':>16s}")
 
     for interval in INTERVALS:
-        sim = SimulationConfig(instructions_per_thread=300_000, seed=13,
+        sim = SimulationConfig(instructions_per_thread=300_000 // EXAMPLE_SCALE, seed=13,
                                memory_service_interval=interval)
         shared = run_workload(processor, shared_cfg, traces, sim)
         part = run_workload(processor, part_cfg, traces, sim)

@@ -9,6 +9,12 @@ partitioned vs non-partitioned throughput per size.
 Run:  python examples/capacity_contention.py
 """
 
+from repro.util import example_scale
+
+#: Laptop-scale divisor for CI smoke runs: REPRO_EXAMPLE_SCALE=N divides
+#: every trace length and instruction budget by N (default 1 = full size).
+EXAMPLE_SCALE = example_scale()
+
 from repro import (
     CacheGeometry,
     ProcessorConfig,
@@ -28,10 +34,12 @@ def main() -> None:
     base = ProcessorConfig(num_cores=2).scaled(SCALE)
     # Footprints are calibrated against the 2 MB (scaled) baseline and held
     # constant while the actual L2 shrinks — exactly the paper's protocol.
-    traces = generate_workload_traces(WORKLOAD, 120_000,
+    traces = generate_workload_traces(WORKLOAD, 120_000 // EXAMPLE_SCALE,
                                       (2 * 1024 * 1024 // SCALE) // 128,
                                       seed=5)
-    sim = SimulationConfig(per_thread_instructions=(120_000, 300_000), seed=5)
+    sim = SimulationConfig(
+        per_thread_instructions=(120_000 // EXAMPLE_SCALE,
+                                 300_000 // EXAMPLE_SCALE), seed=5)
 
     print(f"Workload: {' + '.join(WORKLOAD)} (footprints fixed)\n")
     print(f"{'L2 size':>9s} {'unpartitioned':>14s} {'M-L partitioned':>16s} "

@@ -12,6 +12,12 @@ under-estimating 0.5.
 Run:  python examples/profiling_accuracy.py
 """
 
+from repro.util import example_scale
+
+#: Laptop-scale divisor for CI smoke runs: REPRO_EXAMPLE_SCALE=N divides
+#: every trace length and instruction budget by N (default 1 = full size).
+EXAMPLE_SCALE = example_scale()
+
 import numpy as np
 
 from repro import CacheGeometry, generate_trace
@@ -26,7 +32,7 @@ def build_atd(geometry, policy, scaling=1.0):
 
 def main() -> None:
     geometry = CacheGeometry(64 * 16 * 128, 16, 128)  # 64 sets x 16 ways
-    trace = generate_trace("twolf", 150_000, geometry.num_lines, seed=11)
+    trace = generate_trace("twolf", 150_000 // EXAMPLE_SCALE, geometry.num_lines, seed=11)
 
     atds = {
         "LRU (exact)": build_atd(geometry, "lru"),

@@ -17,6 +17,12 @@ the full loop the FlexDCP-style extension enables:
 Run:  python examples/qos_guarantee.py
 """
 
+from repro.util import example_scale
+
+#: Laptop-scale divisor for CI smoke runs: REPRO_EXAMPLE_SCALE=N divides
+#: every trace length and instruction budget by N (default 1 = full size).
+EXAMPLE_SCALE = example_scale()
+
 import numpy as np
 
 from repro import (
@@ -39,8 +45,8 @@ def main() -> None:
     processor = ProcessorConfig(num_cores=2).scaled(16)
     assoc = processor.l2.assoc
     traces = generate_workload_traces(
-        (VICTIM, STREAMER), 120_000, processor.l2.num_lines, seed=11)
-    sim = SimulationConfig(instructions_per_thread=400_000, seed=11)
+        (VICTIM, STREAMER), 120_000 // EXAMPLE_SCALE, processor.l2.num_lines, seed=11)
+    sim = SimulationConfig(instructions_per_thread=400_000 // EXAMPLE_SCALE, seed=11)
 
     # Reference point: the victim's IPC owning the entire L2.
     iso = IsolationRunner(ProcessorConfig(num_cores=1).scaled(16),

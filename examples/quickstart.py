@@ -10,6 +10,12 @@ decided and what it bought.
 Run:  python examples/quickstart.py
 """
 
+from repro.util import example_scale
+
+#: Laptop-scale divisor for CI smoke runs: REPRO_EXAMPLE_SCALE=N divides
+#: every trace length and instruction budget by N (default 1 = full size).
+EXAMPLE_SCALE = example_scale()
+
 from repro import (
     ProcessorConfig,
     SimulationConfig,
@@ -29,10 +35,10 @@ def main() -> None:
     # mcf is a cache-hostile streamer, twolf a partition-sensitive
     # mid-size working set — the classic pairing the paper motivates.
     traces = generate_workload_traces(
-        ("mcf", "twolf"), num_accesses=120_000,
+        ("mcf", "twolf"), num_accesses=120_000 // EXAMPLE_SCALE,
         l2_lines=processor.l2.num_lines, seed=42,
     )
-    sim = SimulationConfig(per_thread_instructions=(120_000, 400_000), seed=42)
+    sim = SimulationConfig(per_thread_instructions=(120_000 // EXAMPLE_SCALE, 400_000 // EXAMPLE_SCALE), seed=42)
 
     partitioned = config_M_N(0.75, atd_sampling=8)
     baseline = config_unpartitioned("nru")

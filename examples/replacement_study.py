@@ -9,6 +9,12 @@ across the set, both trailing true LRU slightly.
 Run:  python examples/replacement_study.py
 """
 
+from repro.util import example_scale
+
+#: Laptop-scale divisor for CI smoke runs: REPRO_EXAMPLE_SCALE=N divides
+#: every trace length and instruction budget by N (default 1 = full size).
+EXAMPLE_SCALE = example_scale()
+
 from repro import (
     ProcessorConfig,
     SimulationConfig,
@@ -25,9 +31,9 @@ WORKLOAD = ("twolf", "vpr", "parser", "gcc")
 
 def main() -> None:
     processor = ProcessorConfig(num_cores=4).scaled(8)
-    traces = generate_workload_traces(WORKLOAD, 120_000,
+    traces = generate_workload_traces(WORKLOAD, 120_000 // EXAMPLE_SCALE,
                                       processor.l2.num_lines, seed=7)
-    sim = SimulationConfig(per_thread_instructions=(250_000,) * 4, seed=7)
+    sim = SimulationConfig(per_thread_instructions=(250_000 // EXAMPLE_SCALE,) * 4, seed=7)
 
     print(f"Workload: {' + '.join(WORKLOAD)}   L2: {processor.l2}\n")
     print(f"{'policy':8s} {'throughput':>11s} {'L2 miss ratio':>14s} "

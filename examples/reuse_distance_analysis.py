@@ -14,6 +14,12 @@ to show what the paper's profiling hardware is estimating:
 Run:  python examples/reuse_distance_analysis.py
 """
 
+from repro.util import example_scale
+
+#: Laptop-scale divisor for CI smoke runs: REPRO_EXAMPLE_SCALE=N divides
+#: every trace length and instruction budget by N (default 1 = full size).
+EXAMPLE_SCALE = example_scale()
+
 import numpy as np
 
 from repro import ProcessorConfig, generate_trace
@@ -22,7 +28,7 @@ from repro.profiling import ATD, MissCurve, NRUDistanceProfiler, exact_miss_curv
 from repro.util.ascii_plot import bar_chart, sparkline
 
 BENCHMARKS = ("crafty", "twolf", "parser", "mcf")
-ACCESSES = 60_000
+ACCESSES = 60_000 // EXAMPLE_SCALE
 
 
 def esdh_curve(trace, geometry, scaling):

@@ -14,6 +14,12 @@ for a (parser, gzip) pair with a 30 % store ratio overlaid on both threads.
 Run:  python examples/writeback_traffic.py
 """
 
+from repro.util import example_scale
+
+#: Laptop-scale divisor for CI smoke runs: REPRO_EXAMPLE_SCALE=N divides
+#: every trace length and instruction budget by N (default 1 = full size).
+EXAMPLE_SCALE = example_scale()
+
 from repro import (
     PartitioningConfig,
     ProcessorConfig,
@@ -31,13 +37,13 @@ WRITE_FRACTION = 0.30
 def main() -> None:
     processor = ProcessorConfig(num_cores=2).scaled(8)
     traces = generate_workload_traces(
-        ("parser", "gzip"), 120_000, processor.l2.num_lines, seed=31)
+        ("parser", "gzip"), 120_000 // EXAMPLE_SCALE, processor.l2.num_lines, seed=31)
     traces = overlay_workload_writes(traces, WRITE_FRACTION, seed=31)
     for t in traces:
         print(f"{t.name:8s} write fraction {t.write_fraction:.1%}")
     print()
 
-    sim = SimulationConfig(instructions_per_thread=400_000, seed=31)
+    sim = SimulationConfig(instructions_per_thread=400_000 // EXAMPLE_SCALE, seed=31)
     model = PowerModel()
 
     shared_cfg = PartitioningConfig(policy="lru", enforcement="none")

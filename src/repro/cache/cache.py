@@ -1,15 +1,22 @@
 """Set-associative cache with pluggable replacement and partitioning.
 
-The tag store keeps, per set, a ``dict`` from line address to way (O(1)
-lookup — the behavioural equivalent of the parallel tag comparison) plus the
-reverse way -> line array needed on eviction.  Fills prefer invalid ways
-within the candidate mask before consulting the replacement policy, and a
-miss never refuses: the candidate mask supplied by the enforcement scheme is
-always nonzero.
+Tag state lives in a :class:`~repro.cache.state.TagStore` — the flat
+struct-of-arrays core shared with the ATDs: way-indexed ``lines`` at
+``set * assoc + way``, per-set ``invalid``/``dirty`` bitmasks, and one
+open-addressed line -> way lookup (the behavioural equivalent of the
+parallel tag comparison).  Fills prefer invalid ways within the candidate
+mask before consulting the replacement policy, and a miss never refuses:
+the candidate mask supplied by the enforcement scheme is always nonzero.
+
+The hot entry point :meth:`access_line_hit` is bound at construction to a
+policy-specialised *kernel* (see :mod:`repro.cache.state`) that inlines the
+policy's flat-state transitions with locals-bound array operations; the
+generic object-protocol path remains for unregistered policies (and is the
+reference the kernels are pinned against in ``tests/test_cache``).
 
 The cache works in *line address* space (byte address >> line_shift);
-:meth:`access` accepts byte addresses, :meth:`access_line` is the hot path
-used by the simulators.
+:meth:`access` accepts byte addresses, :meth:`access_line` /
+:meth:`access_line_hit` are the hot paths used by the simulators.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.cache.geometry import CacheGeometry
 from repro.cache.partition.base import PartitionScheme
 from repro.cache.replacement.base import ReplacementPolicy, make_policy
 from repro.cache.replacement.nru import NRUPolicy
+from repro.cache.state import TagStore, build_hit_kernel
 
 
 class AccessResult(NamedTuple):
@@ -37,27 +45,42 @@ class AccessResult(NamedTuple):
 class CacheStats:
     """Per-core access/hit/miss/eviction counters.
 
-    ``write_accesses`` and ``writebacks`` (dirty evictions) stay zero for
-    read-only workloads — the paper's methodology — and are populated by the
-    write-back extension.
+    Only three counters are maintained on the access paths — ``accesses``
+    (every access), ``misses`` (miss path) and ``fills_invalid`` (fills
+    that consumed an invalid way, i.e. only during warm-up and after
+    invalidations) — so the steady-state hot paths touch at most two.
+    ``hits`` (``accesses − misses``) and ``evictions`` (``misses −
+    fills_invalid``: every miss either fills an invalid way or evicts) are
+    derived.  ``write_accesses`` and ``writebacks`` (dirty evictions) stay
+    zero for read-only workloads — the paper's methodology — and are
+    populated by the write-back extension.
     """
 
-    __slots__ = ("accesses", "hits", "misses", "evictions",
+    __slots__ = ("accesses", "misses", "fills_invalid",
                  "write_accesses", "writebacks")
 
     def __init__(self, num_cores: int) -> None:
         self.accesses = [0] * num_cores
-        self.hits = [0] * num_cores
         self.misses = [0] * num_cores
-        self.evictions = [0] * num_cores
+        self.fills_invalid = [0] * num_cores
         self.write_accesses = [0] * num_cores
         self.writebacks = [0] * num_cores
 
     def reset(self) -> None:
-        for field in (self.accesses, self.hits, self.misses, self.evictions,
+        for field in (self.accesses, self.misses, self.fills_invalid,
                       self.write_accesses, self.writebacks):
             for i in range(len(field)):
                 field[i] = 0
+
+    @property
+    def hits(self) -> List[int]:
+        """Per-core hit counts (derived: accesses − misses)."""
+        return [a - m for a, m in zip(self.accesses, self.misses)]
+
+    @property
+    def evictions(self) -> List[int]:
+        """Per-core evictions (derived: misses − invalid-way fills)."""
+        return [m - f for m, f in zip(self.misses, self.fills_invalid)]
 
     @property
     def total_accesses(self) -> int:
@@ -65,7 +88,7 @@ class CacheStats:
 
     @property
     def total_hits(self) -> int:
-        return sum(self.hits)
+        return self.total_accesses - self.total_misses
 
     @property
     def total_misses(self) -> int:
@@ -100,6 +123,9 @@ class SetAssociativeCache:
     num_cores:
         Number of distinct cores that will access the cache (statistics and
         ownership arrays are sized accordingly).
+    kernels:
+        When False, skip binding the policy-specialised access kernel and
+        run the generic object-protocol path (equivalence tests).
     """
 
     def __init__(self, geometry: CacheGeometry,
@@ -107,7 +133,8 @@ class SetAssociativeCache:
                  partition: Optional[PartitionScheme] = None,
                  num_cores: int = 1,
                  rng: Optional[np.random.Generator] = None,
-                 name: str = "cache") -> None:
+                 name: str = "cache",
+                 kernels: bool = True) -> None:
         self.geometry = geometry
         self.name = name
         self.num_cores = num_cores
@@ -127,14 +154,16 @@ class SetAssociativeCache:
         self.partition = partition
         self._nru = policy if isinstance(policy, NRUPolicy) else None
 
-        nsets = geometry.num_sets
-        self._set_mask = nsets - 1
+        self._set_mask = geometry.num_sets - 1
         self._full_mask = (1 << geometry.assoc) - 1
-        self._maps: List[dict] = [dict() for _ in range(nsets)]
-        self._lines: List[List[int]] = [[-1] * geometry.assoc for _ in range(nsets)]
-        self._invalid: List[int] = [self._full_mask] * nsets
-        self._dirty: List[int] = [0] * nsets
+        self.state = TagStore(geometry.num_sets, geometry.assoc)
         self.stats = CacheStats(num_cores)
+        if kernels:
+            kernel = build_hit_kernel(self)
+            if kernel is not None:
+                # Shadow the method: every caller (engines, benches, bulk
+                # paths) gets the locals-bound kernel transparently.
+                self.access_line_hit = kernel
 
     # ------------------------------------------------------------------
     def access(self, addr: int, core: int = 0) -> AccessResult:
@@ -142,39 +171,45 @@ class SetAssociativeCache:
         return self.access_line(addr >> self.geometry.line_shift, core)
 
     def access_line(self, line: int, core: int = 0) -> AccessResult:
-        """Access a line address (hot path)."""
+        """Access a line address, reporting way/eviction detail.
+
+        Same state transitions as :meth:`access_line_hit` (the kernelised
+        hot path) — kept generic because its callers want the full
+        :class:`AccessResult`, not just the hit flag.
+        """
+        state = self.state
         s = line & self._set_mask
-        tag_map = self._maps[s]
         stats = self.stats
         stats.accesses[core] += 1
-        way = tag_map.get(line)
+        way = state.map.get(line)
         partition = self.partition
         if way is not None:
             # Hits are unrestricted (paper §II-B); only the NRU reset domain
             # depends on the partition.
             domain = partition.reset_domain(core) if partition else None
             self.policy.touch(s, way, core, domain)
-            stats.hits[core] += 1
             return AccessResult(True, way, s, None)
 
         stats.misses[core] += 1
         mask = partition.candidate_mask(s, core) if partition else self._full_mask
-        invalid = self._invalid[s] & mask
+        invalid = state.invalid[s] & mask
         evicted = None
+        base = s * self.geometry.assoc
         if invalid:
             way = (invalid & -invalid).bit_length() - 1
-            self._invalid[s] &= ~(1 << way)
+            state.invalid[s] &= ~(1 << way)
+            stats.fills_invalid[core] += 1
         else:
             way = self.policy.victim(s, core, mask)
-            old = self._lines[s][way]
+            old = state.lines[base + way]
             if old >= 0:
-                del tag_map[old]
+                del state.map[old]
                 evicted = old
-                stats.evictions[core] += 1
             else:
-                self._invalid[s] &= ~(1 << way)
-        self._lines[s][way] = line
-        tag_map[line] = way
+                state.invalid[s] &= ~(1 << way)
+                stats.fills_invalid[core] += 1
+        state.lines[base + way] = line
+        state.map[line] = way
         if partition:
             partition.on_fill(s, way, core)
             domain = partition.reset_domain(core)
@@ -190,36 +225,39 @@ class SetAssociativeCache:
 
         Same state transitions as :meth:`access_line` but without building
         an :class:`AccessResult` — the simulator hot path (millions of
-        calls) only needs the level outcome.  Kept in sync by the
-        ``test_cache_fast_path`` equivalence tests.
+        calls).  Instances with a registered policy shadow this method with
+        a policy-specialised kernel (:func:`repro.cache.state.build_hit_kernel`)
+        at construction; this generic body is the fallback and the
+        reference the kernels are pinned against (``test_state.py``).
         """
+        state = self.state
         s = line & self._set_mask
-        tag_map = self._maps[s]
         stats = self.stats
         stats.accesses[core] += 1
-        way = tag_map.get(line)
+        way = state.map.get(line)
         partition = self.partition
         if way is not None:
             domain = partition.reset_domain(core) if partition else None
             self.policy.touch(s, way, core, domain)
-            stats.hits[core] += 1
             return True
         stats.misses[core] += 1
         mask = partition.candidate_mask(s, core) if partition else self._full_mask
-        invalid = self._invalid[s] & mask
+        invalid = state.invalid[s] & mask
+        base = s * self.geometry.assoc
         if invalid:
             way = (invalid & -invalid).bit_length() - 1
-            self._invalid[s] &= ~(1 << way)
+            state.invalid[s] &= ~(1 << way)
+            stats.fills_invalid[core] += 1
         else:
             way = self.policy.victim(s, core, mask)
-            old = self._lines[s][way]
+            old = state.lines[base + way]
             if old >= 0:
-                del tag_map[old]
-                stats.evictions[core] += 1
+                del state.map[old]
             else:
-                self._invalid[s] &= ~(1 << way)
-        self._lines[s][way] = line
-        tag_map[line] = way
+                state.invalid[s] &= ~(1 << way)
+                stats.fills_invalid[core] += 1
+        state.lines[base + way] = line
+        state.map[line] = way
         if partition:
             partition.on_fill(s, way, core)
             domain = partition.reset_domain(core)
@@ -239,43 +277,44 @@ class SetAssociativeCache:
         core.  Identical hit/miss/replacement behaviour to
         :meth:`access_line_hit` (the equivalence tests pin this).
         """
+        state = self.state
         s = line & self._set_mask
-        tag_map = self._maps[s]
         stats = self.stats
         stats.accesses[core] += 1
         if write:
             stats.write_accesses[core] += 1
-        way = tag_map.get(line)
+        way = state.map.get(line)
         partition = self.partition
         if way is not None:
             domain = partition.reset_domain(core) if partition else None
             self.policy.touch(s, way, core, domain)
-            stats.hits[core] += 1
             if write:
-                self._dirty[s] |= 1 << way
+                state.dirty[s] |= 1 << way
             return True
         stats.misses[core] += 1
         mask = partition.candidate_mask(s, core) if partition else self._full_mask
-        invalid = self._invalid[s] & mask
+        invalid = state.invalid[s] & mask
+        base = s * self.geometry.assoc
         if invalid:
             way = (invalid & -invalid).bit_length() - 1
-            self._invalid[s] &= ~(1 << way)
+            state.invalid[s] &= ~(1 << way)
+            stats.fills_invalid[core] += 1
         else:
             way = self.policy.victim(s, core, mask)
-            old = self._lines[s][way]
+            old = state.lines[base + way]
             if old >= 0:
-                del tag_map[old]
-                stats.evictions[core] += 1
-                if (self._dirty[s] >> way) & 1:
+                del state.map[old]
+                if (state.dirty[s] >> way) & 1:
                     stats.writebacks[core] += 1
             else:
-                self._invalid[s] &= ~(1 << way)
-        self._lines[s][way] = line
-        tag_map[line] = way
+                state.invalid[s] &= ~(1 << way)
+                stats.fills_invalid[core] += 1
+        state.lines[base + way] = line
+        state.map[line] = way
         if write:
-            self._dirty[s] |= 1 << way
+            state.dirty[s] |= 1 << way
         else:
-            self._dirty[s] &= ~(1 << way)
+            state.dirty[s] &= ~(1 << way)
         if partition:
             partition.on_fill(s, way, core)
             domain = partition.reset_domain(core)
@@ -290,10 +329,11 @@ class SetAssociativeCache:
         """Bulk access of many line addresses by one core.
 
         Returns the per-access hit flags.  State transitions are identical
-        to calling :meth:`access_line_hit` per element — the shared L2 has
-        cross-core interleaving on the simulator's hot path, so this entry
-        point serves profiling sweeps, warm-up, and benchmarks rather than
-        the engines themselves.
+        to calling :meth:`access_line_hit` per element (the loop binds the
+        policy-specialised kernel once) — the shared L2 has cross-core
+        interleaving on the simulator's hot path, so this entry point
+        serves profiling sweeps, warm-up, and benchmarks rather than the
+        engines themselves.
         """
         lines = np.ascontiguousarray(lines, dtype=np.int64)
         flags = np.empty(len(lines), dtype=bool)
@@ -311,31 +351,28 @@ class SetAssociativeCache:
         already left the L2; the writeback then bypasses to memory and the
         caller counts the memory write (returns False).
         """
-        s = line & self._set_mask
-        way = self._maps[s].get(line)
+        way = self.state.map.get(line)
         if way is None:
             return False
-        self._dirty[s] |= 1 << way
+        self.state.dirty[line & self._set_mask] |= 1 << way
         return True
 
     # ------------------------------------------------------------------
     def probe_line(self, line: int) -> Optional[int]:
         """Way holding ``line`` without updating any state, or None."""
-        return self._maps[line & self._set_mask].get(line)
+        return self.state.map.get(line)
 
     def contains_line(self, line: int) -> bool:
         """True when the line is currently cached (no state change)."""
-        return line in self._maps[line & self._set_mask]
+        return line in self.state.map
 
     def invalidate_line(self, line: int) -> bool:
         """Drop a line if present; returns True when something was dropped."""
-        s = line & self._set_mask
-        way = self._maps[s].pop(line, None)
+        way = self.state.map.get(line)
         if way is None:
             return False
-        self._lines[s][way] = -1
-        self._invalid[s] |= 1 << way
-        self._dirty[s] &= ~(1 << way)
+        s = line & self._set_mask
+        self.state.invalidate_way(s, way)
         self.policy.invalidate(s, way)
         if self.partition is not None:
             self.partition.on_invalidate(s, way)
@@ -343,36 +380,31 @@ class SetAssociativeCache:
 
     def is_dirty(self, line: int) -> bool:
         """True when the line is resident and dirty (no state change)."""
-        s = line & self._set_mask
-        way = self._maps[s].get(line)
-        return way is not None and bool((self._dirty[s] >> way) & 1)
+        way = self.state.map.get(line)
+        return way is not None and bool(
+            (self.state.dirty[line & self._set_mask] >> way) & 1)
 
     def dirty_lines(self) -> int:
         """Number of resident dirty lines."""
-        return sum(d.bit_count() for d in self._dirty)
+        return self.state.dirty_count()
 
     def resident_lines(self, set_index: int) -> List[int]:
         """Valid line addresses of one set (way order)."""
-        return [line for line in self._lines[set_index] if line >= 0]
+        return self.state.resident_lines(set_index)
 
     def occupancy(self) -> int:
         """Total number of valid lines."""
-        return sum(len(m) for m in self._maps)
+        return self.state.occupancy()
 
     def flush(self) -> None:
         """Invalidate everything and reset replacement state (not stats).
 
         The partition scheme is told as well (:meth:`PartitionScheme.on_flush`)
         so per-line ownership state — owner counters, BT-vector occupancy —
-        does not go stale relative to the now-empty tag store.
+        does not go stale relative to the now-empty tag store.  All three
+        resets mutate in place, so the bound access kernel stays valid.
         """
-        for s in range(self.geometry.num_sets):
-            self._maps[s].clear()
-            lines = self._lines[s]
-            for w in range(self.geometry.assoc):
-                lines[w] = -1
-            self._invalid[s] = self._full_mask
-            self._dirty[s] = 0
+        self.state.flush()
         self.policy.reset()
         if self.partition is not None:
             self.partition.on_flush()

@@ -47,9 +47,9 @@ class SmallLRUCache:
             ways.insert(0, line)
             if len(ways) > self._assoc:
                 ways.pop()
-                stats.evictions[0] += 1
+            else:
+                stats.fills_invalid[0] += 1
             return False
-        stats.hits[0] += 1
         if index:
             ways.insert(0, ways.pop(index))
         return True
@@ -73,9 +73,10 @@ class SmallLRUCache:
             stats.misses[0] += 1
             ways.insert(0, line)
             dirty_victim = None
-            if len(ways) > self._assoc:
+            if len(ways) <= self._assoc:
+                stats.fills_invalid[0] += 1
+            else:
                 victim = ways.pop()
-                stats.evictions[0] += 1
                 if victim in self._dirty:
                     self._dirty.discard(victim)
                     stats.writebacks[0] += 1
@@ -83,7 +84,6 @@ class SmallLRUCache:
             if write:
                 self._dirty.add(line)
             return False, dirty_victim
-        stats.hits[0] += 1
         if index:
             ways.insert(0, ways.pop(index))
         if write:
@@ -214,20 +214,19 @@ class SmallLRUCache:
         flags_ext = np.empty(m, dtype=bool)
         flags_ext[order] = hit
         flags = flags_ext[nc:]
-        # Statistics (hits / misses / evictions).
+        # Statistics (misses / invalid fills; hits and evictions are
+        # derived by CacheStats).
         hits = int(np.count_nonzero(flags))
         misses = n - hits
-        stats.hits[0] += hits
         stats.misses[0] += misses
         if misses:
             miss_sets = sets[~flags]
             uniq, per_set_misses = np.unique(miss_sets, return_counts=True)
-            evictions = 0
+            fills_invalid = 0
             for s, cnt in zip(uniq.tolist(), per_set_misses.tolist()):
                 spare = assoc - occ0[s]
-                if cnt > spare:
-                    evictions += cnt - spare
-            stats.evictions[0] += evictions
+                fills_invalid += min(cnt, spare)
+            stats.fills_invalid[0] += fills_invalid
         # Final per-set state: MRU = last grouped value, LRU = previous
         # distinct value when the set ever held two lines.
         ends = np.flatnonzero(np.append(boundary[1:], True))

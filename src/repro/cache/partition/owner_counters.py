@@ -8,6 +8,11 @@ On a miss by core ``c``:
   line among the lines **not** owned by ``c`` (growing its share);
 * otherwise the victim is the LRU line among ``c``'s **own** lines.
 
+State follows the array-core layout: a flat ``_owner`` array indexed
+``set * assoc + way`` (the per-line owner-core bits) and a flat ``_owned``
+array indexed ``set * num_cores + core`` (the per-set per-core owned-way
+bitmasks the counters derive from).
+
 Storage cost: ``A × log2(N) + N × log2(A)`` bits per set (Table I(a)
 footnote), the most expensive of the three schemes — which is why the paper
 adopts global masks for all pseudo-LRU configurations after showing masks
@@ -32,10 +37,10 @@ class OwnerCountersPartition(PartitionScheme):
         super().__init__(num_cores, num_sets, assoc)
         # Quotas default to "no constraint" until the first apply().
         self._quota: List[int] = [assoc] * num_cores
-        # owner[s][w]: core that filled the line, -1 when invalid/unowned.
-        self._owner: List[List[int]] = [[-1] * assoc for _ in range(num_sets)]
-        # owned_mask[s][c]: bitmask of ways owned by core c in set s.
-        self._owned: List[List[int]] = [[0] * num_cores for _ in range(num_sets)]
+        # owner[s*assoc+w]: core that filled the line, -1 when invalid/unowned.
+        self._owner: List[int] = [-1] * (num_sets * assoc)
+        # owned[s*num_cores+c]: bitmask of ways owned by core c in set s.
+        self._owned: List[int] = [0] * (num_sets * num_cores)
 
     # ------------------------------------------------------------------
     def apply(self, allocation) -> None:
@@ -55,7 +60,7 @@ class OwnerCountersPartition(PartitionScheme):
         self._quota = list(allocation.counts)
 
     def candidate_mask(self, set_index: int, core: int) -> int:
-        owned = self._owned[set_index][core]
+        owned = self._owned[set_index * self.num_cores + core]
         if owned.bit_count() < self._quota[core]:
             # Below quota: evict a foreign (or invalid) line if any exists.
             foreign = self.full_mask & ~owned
@@ -64,42 +69,44 @@ class OwnerCountersPartition(PartitionScheme):
         return owned if owned else self.full_mask
 
     def on_fill(self, set_index: int, way: int, core: int) -> None:
-        previous = self._owner[set_index][way]
+        previous = self._owner[set_index * self.assoc + way]
         if previous == core:
             return
         bit = 1 << way
+        row = set_index * self.num_cores
         if previous >= 0:
-            self._owned[set_index][previous] &= ~bit
-        self._owner[set_index][way] = core
-        self._owned[set_index][core] |= bit
+            self._owned[row + previous] &= ~bit
+        self._owner[set_index * self.assoc + way] = core
+        self._owned[row + core] |= bit
 
     def on_invalidate(self, set_index: int, way: int) -> None:
-        previous = self._owner[set_index][way]
+        previous = self._owner[set_index * self.assoc + way]
         if previous >= 0:
-            self._owned[set_index][previous] &= ~(1 << way)
-            self._owner[set_index][way] = -1
+            self._owned[set_index * self.num_cores + previous] &= ~(1 << way)
+            self._owner[set_index * self.assoc + way] = -1
 
     def on_flush(self) -> None:
         """A flushed cache owns nothing: clear every owner and counter.
 
         Quotas (the enforced allocation) survive — only the per-line
-        ownership mirror of the now-empty tag store is discarded.
+        ownership mirror of the now-empty tag store is discarded.  Mutates
+        in place (the arrays may be bound by access kernels).
         """
-        for owner_row in self._owner:
-            for way in range(self.assoc):
-                owner_row[way] = -1
-        for owned_row in self._owned:
-            for core in range(self.num_cores):
-                owned_row[core] = 0
+        owner = self._owner
+        for i in range(len(owner)):
+            owner[i] = -1
+        owned = self._owned
+        for i in range(len(owned)):
+            owned[i] = 0
 
     # ------------------------------------------------------------------
     def owned_count(self, set_index: int, core: int) -> int:
         """Number of lines ``core`` owns in ``set_index``."""
-        return self._owned[set_index][core].bit_count()
+        return self._owned[set_index * self.num_cores + core].bit_count()
 
     def owner_of(self, set_index: int, way: int) -> int:
         """Owning core of a way (-1 when unowned)."""
-        return self._owner[set_index][way]
+        return self._owner[set_index * self.assoc + way]
 
     def quota(self, core: int) -> int:
         """Current way quota of ``core``."""

@@ -22,10 +22,30 @@ import numpy as np
 
 
 class ReplacementPolicy(ABC):
-    """Per-cache replacement state for ``num_sets`` sets of ``assoc`` ways."""
+    """Per-cache replacement state for ``num_sets`` sets of ``assoc`` ways.
+
+    **PolicyState contract (the flat-array core).**  Every registered policy
+    stores its per-set state in preallocated flat integer arrays (Python
+    lists indexed ``set * assoc + way`` or one word per set) and advertises
+    the layout through :attr:`kernel_kind`, which the access-kernel
+    factories in :mod:`repro.cache.state` dispatch on to build specialised
+    ``access_line_hit`` / ``ATD.observe`` closures that bind those arrays as
+    locals.  Two rules keep the kernels valid:
+
+    * :meth:`reset` (and every other mutator) must update the arrays **in
+      place** — never rebind them — because kernels capture the objects at
+      cache construction;
+    * a subclass that changes ``touch``/``touch_fill``/``victim`` semantics
+      must override ``kernel_kind`` (with ``""`` to opt out), otherwise the
+      inherited kernel would silently bypass its overrides on the hot path.
+    """
 
     #: Short registry name ("lru", "nru", "bt", "random").
     name: str = "abstract"
+
+    #: Flat-state layout tag for the access kernels ("" = no kernel; the
+    #: cache and ATD then use the generic object-protocol path).
+    kernel_kind: str = ""
 
     def __init__(self, num_sets: int, assoc: int,
                  rng: Optional[np.random.Generator] = None) -> None:

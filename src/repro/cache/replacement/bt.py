@@ -1,4 +1,4 @@
-"""Binary Tree (BT) pseudo-LRU replacement — the IBM scheme.
+"""Binary Tree (BT) pseudo-LRU replacement — the IBM scheme, flat-array core.
 
 Paper §III-B.  Each set keeps ``A − 1`` bits arranged as a complete binary
 tree stored in heap order (root at index 1, children of ``i`` at ``2i`` and
@@ -15,12 +15,23 @@ Hence during a victim search the traversal direction bit at each node equals
 the stored node bit (1 = go lower), and promoting way ``w`` to MRU writes
 the *complement* of ``w``'s identifier bits along its path.
 
+State layout: one integer per set (``_tree``, bit ``n - 1`` holding heap
+node ``n``) — precisely the ``A − 1`` hardware bits as a machine word.  The
+promote for way ``w`` is then two precomputed mask operations
+(``tree & _touch_keep[w] | _touch_set[w]``), and the unforced victim
+traversal becomes a single lookup in a per-associativity table indexed by
+the whole tree word (``2^(A-1)`` entries, shared process-wide, built for
+``A <= 16``).  Bit values are identical to the seed list-of-lists
+representation; ``tests/test_cache/test_flat_equivalence.py`` pins the
+decision sequence.
+
 The *identifier bits* (ID) of way ``w`` — "what would be the BT bits values
 if this line held the LRU position" — are simply the bits of the way index,
 most significant first (the paper's Figure 4(c) decoder is this wiring).
 The profiling logic XORs the ID with the actual path bits and subtracts from
-``A`` to estimate the stack position; see
-:class:`repro.profiling.bt_profiler.BTProfiler`.
+``A`` to estimate the stack position (``_path_spec`` precomputes each way's
+path-node bit positions so the extraction is a short shift/mask loop); see
+:class:`repro.profiling.profilers.BTDistanceProfiler`.
 
 Partition enforcement (paper Figure 5) overrides the traversal per level with
 per-core ``up``/``down`` force vectors of ``log2(A)`` bits each, installed by
@@ -35,61 +46,113 @@ from typing import Dict, List, Optional, Tuple
 from repro.cache.replacement.base import ReplacementPolicy, register_policy
 from repro.util.bitops import ilog2
 
+#: Unforced-victim lookup tables keyed by associativity (shared by every
+#: policy instance in the process; a 16-way table is 2^15 entries).
+_VICTIM_TABLES: Dict[int, List[int]] = {}
+
+#: Largest associativity for which a full-tree victim table is built.
+_MAX_TABLE_ASSOC = 16
+
+
+def _traverse(tree: int, levels: int) -> int:
+    """Victim way of one tree word: follow the stored bits root-down."""
+    node = 1
+    way = 0
+    for _ in range(levels):
+        direction = (tree >> (node - 1)) & 1   # 1 -> pseudo-LRU in lower
+        node = (node << 1) | direction
+        way = (way << 1) | direction
+    return way
+
+
+def _victim_table(assoc: int) -> Optional[List[int]]:
+    """``table[tree_word] -> victim way``; None above the size cut-off."""
+    if assoc > _MAX_TABLE_ASSOC:
+        return None
+    table = _VICTIM_TABLES.get(assoc)
+    if table is None:
+        levels = ilog2(assoc)
+        table = [_traverse(tree, levels) for tree in range(1 << (assoc - 1))]
+        _VICTIM_TABLES[assoc] = table
+    return table
+
 
 @register_policy("bt")
 class BTPolicy(ReplacementPolicy):
     """Tree pseudo-LRU with optional per-core per-level forced directions."""
+
+    kernel_kind = "bt"
 
     def __init__(self, num_sets: int, assoc: int, rng=None) -> None:
         super().__init__(num_sets, assoc, rng=rng)
         if assoc < 2 or assoc & (assoc - 1):
             raise ValueError(f"BT requires a power-of-two associativity >= 2, got {assoc}")
         self.levels = ilog2(assoc)
-        # Heap-ordered tree bits per set; index 0 unused, root at 1.
-        self._bits: List[List[int]] = [[0] * (assoc) for _ in range(num_sets)]
+        #: One tree word per set; bit ``n - 1`` is heap node ``n``.
+        self._tree: List[int] = [0] * num_sets
         # Per-core forced traversal directions: core -> tuple of length
         # `levels`, entries in {0: force upper, 1: force lower, None: free}.
         # Paper: per-level `up`/`down` global vectors (up[l]=1 <=> entry 0,
         # down[l]=1 <=> entry 1, both 0 <=> None).
         self._force: Dict[int, Tuple[Optional[int], ...]] = {}
+        # Precomputed per-way promote masks and path-bit extraction specs.
+        keep: List[int] = []
+        setb: List[int] = []
+        path_spec: List[Tuple[Tuple[int, int], ...]] = []
+        for way in range(assoc):
+            clear = 0
+            ones = 0
+            spec = []
+            node = 1
+            for level in range(self.levels - 1, -1, -1):
+                direction = (way >> level) & 1     # 0 = upper, 1 = lower
+                bit = 1 << (node - 1)
+                clear |= bit
+                if direction == 0:                 # store 1 <=> MRU in upper
+                    ones |= bit
+                spec.append((node - 1, level))     # path bit -> output shift
+                node = (node << 1) | direction
+            keep.append(~clear)
+            setb.append(ones)
+            path_spec.append(tuple(spec))
+        self._touch_keep: List[int] = keep
+        self._touch_set: List[int] = setb
+        self._path_spec: List[Tuple[Tuple[int, int], ...]] = path_spec
+        self._victim_table = _victim_table(assoc)
 
     # ------------------------------------------------------------------
     def touch(self, set_index: int, way: int, core: int,
               reset_domain: Optional[int] = None) -> None:
         # Promote `way` to MRU: at each node of its path store the bit that
         # points the MRU side toward `way` (complement of the ID bit).
-        bits = self._bits[set_index]
-        node = 1
-        for level in range(self.levels - 1, -1, -1):
-            direction = (way >> level) & 1        # 0 = upper, 1 = lower
-            bits[node] = 1 - direction            # 1 <=> MRU in upper
-            node = (node << 1) | direction
+        self._tree[set_index] = ((self._tree[set_index]
+                                  & self._touch_keep[way])
+                                 | self._touch_set[way])
 
     def victim(self, set_index: int, core: int, mask: int) -> int:
         if mask == 0:
             raise ValueError("victim mask must be nonzero")
-        bits = self._bits[set_index]
         force = self._force.get(core)
+        tree = self._tree[set_index]
+        if force is None:
+            table = self._victim_table
+            if table is not None:
+                return table[tree]
+            return _traverse(tree, self.levels)
         node = 1
         way = 0
-        if force is None:
-            for _ in range(self.levels):
-                direction = bits[node]            # 1 -> pseudo-LRU in lower
-                node = (node << 1) | direction
-                way = (way << 1) | direction
-        else:
-            for level_index in range(self.levels):
-                forced = force[level_index]
-                direction = bits[node] if forced is None else forced
-                node = (node << 1) | direction
-                way = (way << 1) | direction
+        for level_index in range(self.levels):
+            forced = force[level_index]
+            direction = ((tree >> (node - 1)) & 1 if forced is None
+                         else forced)
+            node = (node << 1) | direction
+            way = (way << 1) | direction
         return way
 
     def reset(self) -> None:
+        tree = self._tree
         for s in range(self.num_sets):
-            bits = self._bits[s]
-            for i in range(len(bits)):
-                bits[i] = 0
+            tree[s] = 0
         self._force.clear()
 
     # ------------------------------------------------------------------
@@ -126,12 +189,10 @@ class BTPolicy(ReplacementPolicy):
         Read *before* :meth:`touch` promotes the line.
         """
         self._check_way(way)
-        bits = self._bits[set_index]
-        node = 1
+        tree = self._tree[set_index]
         value = 0
-        for level in range(self.levels - 1, -1, -1):
-            value = (value << 1) | bits[node]
-            node = (node << 1) | ((way >> level) & 1)
+        for bit_index, out_shift in self._path_spec[way]:
+            value |= ((tree >> bit_index) & 1) << out_shift
         return value
 
     def id_bits(self, way: int) -> int:

@@ -4,7 +4,7 @@ Qureshi et al. (ISCA 2007, and the paper's reference [20] for the
 set-dueling monitor) observed that LRU's weakness is *insertion*, not
 eviction: thrashing working sets stream through the MRU position without
 ever being re-referenced.  Three variants, all built on the exact-LRU
-recency stack:
+recency order:
 
 * **LIP** (LRU Insertion Policy) — fills insert at the *LRU* position, so a
   line must earn a hit before it displaces anything useful.
@@ -17,6 +17,16 @@ recency stack:
   less; follower sets adopt the winner.  The monitor costs tens of bits —
   this is the "dozens of bytes" monitoring alternative the paper cites when
   arguing the ATD is no longer the CPA bottleneck.
+
+On the flat-array core, LRU-position insertions live in a per-set *below*
+block (``_below``/``_below_size``/``_below_mask``, flat like the order
+arrays): ways below the recency order, ordered so the **newest** insertion
+is the next victim — the exact behaviour of the seed implementation's
+strictly-decreasing stamp floor (each LRU-insertion took a stamp below
+every valid line and below all previous LRU-insertions).  The full victim
+priority is therefore: below block (newest first) -> never-touched ways
+(lowest index) -> recency order (LRU end).  Pinned against the seed stamp
+implementation by ``tests/test_cache/test_flat_equivalence.py``.
 
 All three inherit exact-LRU victim selection (works with victim-from-subset
 and therefore with every partition-enforcement scheme) and exact stack
@@ -42,27 +52,102 @@ PSEL_BITS = 10
 class LIPPolicy(LRUPolicy):
     """LRU with fills inserted at the LRU position."""
 
+    kernel_kind = "lru_ins"
+
     def __init__(self, num_sets: int, assoc: int, rng=None) -> None:
         super().__init__(num_sets, assoc, rng=rng)
-        # Strictly decreasing per-set floor: each LRU-insertion takes a stamp
-        # below every valid line, and below previous LRU-insertions — the
-        # newest unpromoted insertion is the next victim, exactly the stack
-        # behaviour of inserting at the LRU position.
-        self._floor: List[int] = [0] * num_sets
+        self._below: List[int] = [0] * (num_sets * assoc)
+        self._below_size: List[int] = [0] * num_sets
+        self._below_mask: List[int] = [0] * num_sets
 
     def _insert_lru(self, set_index: int, way: int) -> None:
-        floor = self._floor[set_index] - 1
-        self._floor[set_index] = floor
-        self._stamp[set_index][way] = floor
+        """(Re-)insert ``way`` below everything, newest insertion deepest."""
+        below = self._below
+        base = set_index * self.assoc
+        sz = self._below_size[set_index]
+        if (self._below_mask[set_index] >> way) & 1:
+            if sz and below[base + sz - 1] == way:
+                return          # already the newest insertion (the common
+                                # refill-the-victim case): nothing moves
+            self._remove_from_below(set_index, way)
+            sz -= 1
+        elif (self._present[set_index] >> way) & 1:
+            self._remove_from_order(set_index, way)
+        below[base + sz] = way
+        self._below_size[set_index] = sz + 1
+        self._below_mask[set_index] |= 1 << way
+
+    def _remove_from_below(self, set_index: int, way: int) -> None:
+        below = self._below
+        base = set_index * self.assoc
+        sz = self._below_size[set_index]
+        pos = below.index(way, base, base + sz)
+        below[pos:base + sz - 1] = below[pos + 1:base + sz]
+        self._below_size[set_index] = sz - 1
+        self._below_mask[set_index] &= ~(1 << way)
+
+    # ------------------------------------------------------------------
+    def touch(self, set_index: int, way: int, core: int,
+              reset_domain: Optional[int] = None) -> None:
+        if (self._below_mask[set_index] >> way) & 1:
+            self._remove_from_below(set_index, way)
+        super().touch(set_index, way, core, reset_domain)
 
     def touch_fill(self, set_index: int, way: int, core: int,
                    reset_domain: Optional[int] = None) -> None:
         self._insert_lru(set_index, way)
 
+    def victim(self, set_index: int, core: int, mask: int) -> int:
+        if mask == 0:
+            raise ValueError("victim mask must be nonzero")
+        bmask = self._below_mask[set_index]
+        if bmask & mask:
+            # Newest LRU-insertion first (deepest below the stack).
+            below = self._below
+            base = set_index * self.assoc
+            i = base + self._below_size[set_index] - 1
+            way = below[i]
+            while not (mask >> way) & 1:
+                i -= 1
+                way = below[i]
+            return way
+        untouched = mask & ~self._present[set_index] & ~bmask
+        if untouched:
+            return (untouched & -untouched).bit_length() - 1
+        return super().victim(set_index, core, mask)
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        if (self._below_mask[set_index] >> way) & 1:
+            self._remove_from_below(set_index, way)
+        else:
+            super().invalidate(set_index, way)
+
     def reset(self) -> None:
         super().reset()
         for s in range(self.num_sets):
-            self._floor[s] = 0
+            self._below_size[s] = 0
+            self._below_mask[s] = 0
+
+    # ------------------------------------------------------------------
+    def stack_position(self, set_index: int, way: int) -> int:
+        """Stack position with the below block deepest (newest last)."""
+        self._check_way(way)
+        if (self._below_mask[set_index] >> way) & 1:
+            base = set_index * self.assoc
+            sz = self._below_size[set_index]
+            idx = self._below.index(way, base, base + sz) - base
+            return self.assoc - sz + idx + 1
+        return super().stack_position(set_index, way)
+
+    def stack_order(self, set_index: int) -> List[int]:
+        base = set_index * self.assoc
+        touched = self._order[base:base + self._size[set_index]]
+        present = self._present[set_index]
+        bmask = self._below_mask[set_index]
+        untouched = [w for w in range(self.assoc)
+                     if not ((present | bmask) >> w) & 1]
+        below = self._below[base:base + self._below_size[set_index]]
+        return touched + untouched + below
 
 
 @register_policy("bip")
@@ -122,20 +207,25 @@ class DIPPolicy(BIPPolicy):
     # ------------------------------------------------------------------
     def touch_fill(self, set_index: int, way: int, core: int,
                    reset_domain: Optional[int] = None) -> None:
-        # A fill *is* a miss in this set: leader fills steer PSEL.
+        # A fill *is* a miss in this set: leader fills steer PSEL.  The
+        # BIP arm is inlined (identical decision/RNG sequence) to keep the
+        # fill path one call deep — it runs on every L2 miss.
         role = self._role[set_index]
         if role > 0:                                  # LRU leader missed
             if self.psel < self.psel_max:
                 self.psel += 1
             self.touch(set_index, way, core, reset_domain)
-        elif role < 0:                                # BIP leader missed
+            return
+        if role < 0:                                  # BIP leader missed
             if self.psel > 0:
                 self.psel -= 1
-            super().touch_fill(set_index, way, core, reset_domain)
-        elif self.bip_selected:
-            super().touch_fill(set_index, way, core, reset_domain)
-        else:
+        elif self.psel <= self.psel_max // 2:         # followers on LRU
             self.touch(set_index, way, core, reset_domain)
+            return
+        if self.rng.random() < 1.0 / self.throttle:
+            self.touch(set_index, way, core, reset_domain)   # MRU insertion
+        else:
+            self._insert_lru(set_index, way)
 
     @property
     def bip_selected(self) -> bool:

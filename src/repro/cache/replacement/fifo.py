@@ -1,14 +1,19 @@
-"""First-In First-Out (FIFO / round-robin) replacement.
+"""First-In First-Out (FIFO / round-robin) replacement — flat-array core.
 
 A reference baseline that, like NRU, abandons exact recency: each line is
-stamped once, at *fill* time, and the victim is the oldest fill among the
+promoted once, at *fill* time, and the victim is the oldest fill among the
 candidate ways.  Hits do not move a line ("no promotion"), which is what
 separates FIFO from LRU and makes it vulnerable to cyclic working sets that
 slightly exceed the cache.
 
+State is the same flat MRU-first order layout as :class:`LRUPolicy`
+(``_order``/``_size``/``_present`` indexed ``set * assoc + slot``), except
+only :meth:`touch_fill` rotates — behaviourally identical to the previous
+fill-timestamp lists (never-filled ways oldest, ties toward lower way).
+
 Hardware equivalent: one ``log2(A)``-bit insertion pointer per set (the
-classical round-robin implementation).  The timestamp representation used
-here behaves identically while also supporting victim-from-subset, which the
+classical round-robin implementation).  The order representation used here
+behaves identically while also supporting victim-from-subset, which the
 per-set pointer cannot express directly; ``state_bits_per_set`` reports the
 hardware pointer cost.
 """
@@ -17,64 +22,32 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.cache.replacement.base import ReplacementPolicy, register_policy
+from repro.cache.replacement.base import register_policy
+from repro.cache.replacement.lru import LRUPolicy
 from repro.util.bitops import bit_length_exact
 
 
 @register_policy("fifo")
-class FIFOPolicy(ReplacementPolicy):
+class FIFOPolicy(LRUPolicy):
     """Oldest-fill-first replacement; hits never reorder."""
 
-    def __init__(self, num_sets: int, assoc: int, rng=None) -> None:
-        super().__init__(num_sets, assoc, rng=rng)
-        # _stamp[s][w] == 0 means "never filled" (treated as oldest).
-        self._stamp: List[List[int]] = [[0] * assoc for _ in range(num_sets)]
-        self._clock: List[int] = [0] * num_sets
+    kernel_kind = "fifo"
 
-    # ------------------------------------------------------------------
     def touch(self, set_index: int, way: int, core: int,
               reset_domain: Optional[int] = None) -> None:
         """Hits leave the FIFO order untouched."""
 
     def touch_fill(self, set_index: int, way: int, core: int,
                    reset_domain: Optional[int] = None) -> None:
-        clock = self._clock[set_index] + 1
-        self._clock[set_index] = clock
-        self._stamp[set_index][way] = clock
-
-    def victim(self, set_index: int, core: int, mask: int) -> int:
-        if mask == 0:
-            raise ValueError("victim mask must be nonzero")
-        stamps = self._stamp[set_index]
-        low = mask & -mask
-        best_way = low.bit_length() - 1
-        best_stamp = stamps[best_way]
-        mask ^= low
-        while mask:
-            low = mask & -mask
-            way = low.bit_length() - 1
-            stamp = stamps[way]
-            if stamp < best_stamp:
-                best_stamp = stamp
-                best_way = way
-            mask ^= low
-        return best_way
-
-    def reset(self) -> None:
-        for s in range(self.num_sets):
-            stamps = self._stamp[s]
-            for w in range(self.assoc):
-                stamps[w] = 0
-            self._clock[s] = 0
-
-    def invalidate(self, set_index: int, way: int) -> None:
-        self._stamp[set_index][way] = 0
+        LRUPolicy.touch(self, set_index, way, core, reset_domain)
 
     # ------------------------------------------------------------------
     def fill_order(self, set_index: int) -> List[int]:
         """Ways ordered newest fill first (ties: lower way first)."""
-        stamps = self._stamp[set_index]
-        return sorted(range(self.assoc), key=lambda w: (-stamps[w], w))
+        return self.stack_order(set_index)
+
+    def stack_position(self, set_index: int, way: int) -> int:
+        raise NotImplementedError("FIFO has no stack property")
 
     def state_bits_per_set(self) -> int:
         """``log2(A)`` bits: the per-set round-robin insertion pointer."""

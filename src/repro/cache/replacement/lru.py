@@ -1,17 +1,29 @@
-"""True LRU replacement with exact stack positions.
+"""True LRU replacement with exact stack positions — flat-array core.
 
-Implemented with per-line monotonically increasing timestamps: a hit or fill
-stamps the line with the set's access counter.  The LRU line is the valid
-line with the smallest stamp; the *stack position* of a line (1 = MRU,
-A = LRU) is one plus the number of lines with a larger stamp.
+State is a struct of preallocated flat arrays (the ``PolicyState`` layout
+the access kernels in :mod:`repro.cache.state` bind directly):
 
-This representation is behaviourally identical to the ``A x log2(A)``-bit
-hardware LRU the paper describes (§II-B) and supports the two operations the
-partitioning system needs:
+* ``_order`` — one flat list indexed ``set * assoc + slot`` holding, per
+  set, the *touched* ways in MRU-first recency order (only the first
+  ``_size[s]`` slots of a segment are live);
+* ``_size``  — per-set count of touched ways;
+* ``_present`` — per-set bitmask of the ways in the order.
 
-* victim restricted to an arbitrary subset of ways (global masks and owner
-  counters both reduce to "LRU among these ways");
-* exact stack distance of a hit for the SDH profiling logic (§II-A).
+This is behaviourally identical to the previous per-set timestamp lists
+(and to the ``A x log2(A)``-bit hardware LRU of the paper, §II-B): a hit or
+fill rotates the way to the front; the LRU way is the segment's last entry;
+never-touched (or invalidated) ways are older than every touched way, ties
+breaking toward the lower way index — exactly the ordering the timestamp
+representation produced with its 0 = "never touched" sentinel.  The
+pin against the seed timestamp implementation is
+``tests/test_cache/test_flat_equivalence.py``.
+
+The two operations the partitioning system needs survive unchanged:
+
+* victim restricted to an arbitrary subset of ways (untouched candidates
+  first, lowest index; else the order's deepest member of the mask);
+* exact stack distance of a hit for the SDH profiling logic (§II-A): the
+  way's index in the order segment, now a C-speed ``list.index``.
 """
 
 from __future__ import annotations
@@ -24,50 +36,74 @@ from repro.util.bitops import bit_length_exact
 
 @register_policy("lru")
 class LRUPolicy(ReplacementPolicy):
-    """Timestamp-based true LRU."""
+    """Exact LRU over flat MRU-first order arrays."""
+
+    kernel_kind = "lru"
 
     def __init__(self, num_sets: int, assoc: int, rng=None) -> None:
         super().__init__(num_sets, assoc, rng=rng)
-        # _stamp[s][w] == 0 means "never touched" (treated as oldest).
-        self._stamp: List[List[int]] = [[0] * assoc for _ in range(num_sets)]
-        self._clock: List[int] = [0] * num_sets
+        # Segment invariant the hit kernels rely on: the live entries of a
+        # set's segment are its first ``_size[s]`` slots, and a present way
+        # appears exactly once, in the live prefix.  Searching a *whole*
+        # segment for a present way is therefore safe without reading
+        # ``_size`` — ``list.index`` returns the first occurrence, and any
+        # stale slot beyond the prefix (left by ``_remove_from_order``, or
+        # the initial -1 fill) comes after the live copy.
+        self._order: List[int] = [-1] * (num_sets * assoc)
+        self._size: List[int] = [0] * num_sets
+        self._present: List[int] = [0] * num_sets
 
     # ------------------------------------------------------------------
     def touch(self, set_index: int, way: int, core: int,
               reset_domain: Optional[int] = None) -> None:
-        clock = self._clock[set_index] + 1
-        self._clock[set_index] = clock
-        self._stamp[set_index][way] = clock
+        order = self._order
+        base = set_index * self.assoc
+        if (self._present[set_index] >> way) & 1:
+            pos = order.index(way, base, base + self._size[set_index])
+            if pos != base:
+                order[base + 1:pos + 1] = order[base:pos]
+                order[base] = way
+        else:
+            sz = self._size[set_index]
+            order[base + 1:base + sz + 1] = order[base:base + sz]
+            order[base] = way
+            self._size[set_index] = sz + 1
+            self._present[set_index] |= 1 << way
 
     def victim(self, set_index: int, core: int, mask: int) -> int:
         if mask == 0:
             raise ValueError("victim mask must be nonzero")
-        stamps = self._stamp[set_index]
-        # Inline lowest-set-bit iteration: this runs on every miss.
-        low = mask & -mask
-        best_way = low.bit_length() - 1
-        best_stamp = stamps[best_way]
-        mask ^= low
-        while mask:
-            low = mask & -mask
-            way = low.bit_length() - 1
-            stamp = stamps[way]
-            if stamp < best_stamp:
-                best_stamp = stamp
-                best_way = way
-            mask ^= low
-        return best_way
+        untouched = mask & ~self._present[set_index]
+        if untouched:
+            # Never-touched ways are the oldest; lowest index breaks ties.
+            return (untouched & -untouched).bit_length() - 1
+        order = self._order
+        base = set_index * self.assoc
+        i = base + self._size[set_index] - 1
+        way = order[i]
+        while not (mask >> way) & 1:
+            i -= 1
+            way = order[i]
+        return way
 
     def reset(self) -> None:
         for s in range(self.num_sets):
-            stamps = self._stamp[s]
-            for w in range(self.assoc):
-                stamps[w] = 0
-            self._clock[s] = 0
+            self._size[s] = 0
+            self._present[s] = 0
 
     def invalidate(self, set_index: int, way: int) -> None:
-        # An invalidated line becomes the oldest in its set.
-        self._stamp[set_index][way] = 0
+        # An invalidated line rejoins the "never touched" (oldest) pool.
+        if (self._present[set_index] >> way) & 1:
+            self._remove_from_order(set_index, way)
+
+    def _remove_from_order(self, set_index: int, way: int) -> None:
+        order = self._order
+        base = set_index * self.assoc
+        sz = self._size[set_index]
+        pos = order.index(way, base, base + sz)
+        order[pos:base + sz - 1] = order[pos + 1:base + sz]
+        self._size[set_index] = sz - 1
+        self._present[set_index] &= ~(1 << way)
 
     # ------------------------------------------------------------------
     # Profiling support (exact stack property)
@@ -78,14 +114,19 @@ class LRUPolicy(ReplacementPolicy):
         Must be read *before* :meth:`touch` promotes the line.
         """
         self._check_way(way)
-        stamps = self._stamp[set_index]
-        mine = stamps[way]
-        return 1 + sum(1 for other in stamps if other > mine)
+        base = set_index * self.assoc
+        if (self._present[set_index] >> way) & 1:
+            return self._order.index(way, base,
+                                     base + self._size[set_index]) - base + 1
+        return self._size[set_index] + 1
 
     def stack_order(self, set_index: int) -> List[int]:
         """Ways of ``set_index`` ordered MRU first (ties: lower way first)."""
-        stamps = self._stamp[set_index]
-        return sorted(range(self.assoc), key=lambda w: (-stamps[w], w))
+        base = set_index * self.assoc
+        touched = self._order[base:base + self._size[set_index]]
+        present = self._present[set_index]
+        return touched + [w for w in range(self.assoc)
+                          if not (present >> w) & 1]
 
     def state_bits_per_set(self) -> int:
         """``A x log2(A)`` bits per set (paper Table I(a))."""

@@ -33,13 +33,31 @@ from repro.util.bitops import bit_length_exact
 
 @register_policy("nru")
 class NRUPolicy(ReplacementPolicy):
-    """Used-bit NRU with a cache-global rotating replacement pointer."""
+    """Used-bit NRU with a cache-global rotating replacement pointer.
+
+    The state was already flat — ``_used`` is one per-set bitmask word plus
+    the scalar cache-global ``pointer`` — so the array-core refactor only
+    declares the layout (``kernel_kind``) for the access kernels in
+    :mod:`repro.cache.state` to inline.
+    """
+
+    kernel_kind = "nru"
 
     def __init__(self, num_sets: int, assoc: int, rng=None) -> None:
         super().__init__(num_sets, assoc, rng=rng)
         self._used: List[int] = [0] * num_sets
-        #: Cache-global replacement pointer (one for all sets and threads).
-        self.pointer: int = 0
+        # Cache-global replacement pointer, boxed in a 1-slot list so the
+        # access kernels rotate it with locals-bound writes.
+        self._pointer_box: List[int] = [0]
+
+    @property
+    def pointer(self) -> int:
+        """Cache-global replacement pointer (one for all sets and threads)."""
+        return self._pointer_box[0]
+
+    @pointer.setter
+    def pointer(self, value: int) -> None:
+        self._pointer_box[0] = value
 
     # ------------------------------------------------------------------
     def touch(self, set_index: int, way: int, core: int,

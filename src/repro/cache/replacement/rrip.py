@@ -7,6 +7,9 @@ adaptive insertion" reference [20] comes from the same line of work, so the
 RRIP family is the natural modern baseline to compare the 2010 pseudo-LRU
 schemes against.
 
+State is one flat RRPV array indexed ``set * assoc + way`` (the array-core
+layout the access kernels in :mod:`repro.cache.state` bind directly).
+
 Semantics (hit priority, ``RRPV_MAX = 2**M - 1``):
 
 * **Victim**: scan the candidate ways for ``RRPV == RRPV_MAX`` (distant
@@ -52,6 +55,8 @@ class SRRIPPolicy(ReplacementPolicy):
     #: re-reference prediction; 1.0 for SRRIP, 1/32 for BRRIP.
     long_insert_probability = 1.0
 
+    kernel_kind = "rrip"
+
     def __init__(self, num_sets: int, assoc: int, rng=None,
                  m_bits: int = 2) -> None:
         super().__init__(num_sets, assoc, rng=rng)
@@ -59,11 +64,10 @@ class SRRIPPolicy(ReplacementPolicy):
             raise ValueError(f"m_bits must be >= 1, got {m_bits}")
         self.m_bits = m_bits
         self.rrpv_max = (1 << m_bits) - 1
-        # Cold lines predict distant re-reference so invalid-way fills and
-        # early victims behave like the hardware's reset state.
-        self._rrpv: List[List[int]] = [
-            [self.rrpv_max] * assoc for _ in range(num_sets)
-        ]
+        # One flat RRPV array indexed ``set * assoc + way``.  Cold lines
+        # predict distant re-reference so invalid-way fills and early
+        # victims behave like the hardware's reset state.
+        self._rrpv: List[int] = [self.rrpv_max] * (num_sets * assoc)
         if rng is None and self.long_insert_probability < 1.0:
             self.rng = make_rng(0, "brrip")
 
@@ -71,21 +75,22 @@ class SRRIPPolicy(ReplacementPolicy):
     def touch(self, set_index: int, way: int, core: int,
               reset_domain: Optional[int] = None) -> None:
         """Hit: promote to near-immediate re-reference (RRPV = 0)."""
-        self._rrpv[set_index][way] = 0
+        self._rrpv[set_index * self.assoc + way] = 0
 
     def touch_fill(self, set_index: int, way: int, core: int,
                    reset_domain: Optional[int] = None) -> None:
         """Fill: insert with long / distant re-reference prediction."""
         p = self.long_insert_probability
         if p >= 1.0 or self.rng.random() < p:
-            self._rrpv[set_index][way] = self.rrpv_max - 1
+            self._rrpv[set_index * self.assoc + way] = self.rrpv_max - 1
         else:
-            self._rrpv[set_index][way] = self.rrpv_max
+            self._rrpv[set_index * self.assoc + way] = self.rrpv_max
 
     def victim(self, set_index: int, core: int, mask: int) -> int:
         if mask == 0:
             raise ValueError("victim mask must be nonzero")
-        rrpv = self._rrpv[set_index]
+        rrpv = self._rrpv
+        base = set_index * self.assoc
         rrpv_max = self.rrpv_max
         # At most rrpv_max aging rounds before some candidate saturates.
         while True:
@@ -93,30 +98,29 @@ class SRRIPPolicy(ReplacementPolicy):
             while m:
                 low = m & -m
                 way = low.bit_length() - 1
-                if rrpv[way] == rrpv_max:
+                if rrpv[base + way] == rrpv_max:
                     return way
                 m ^= low
             m = mask
             while m:
                 low = m & -m
-                way = low.bit_length() - 1
-                rrpv[way] += 1
+                rrpv[base + low.bit_length() - 1] += 1
                 m ^= low
 
     def reset(self) -> None:
-        for s in range(self.num_sets):
-            row = self._rrpv[s]
-            for w in range(self.assoc):
-                row[w] = self.rrpv_max
+        rrpv = self._rrpv
+        rrpv_max = self.rrpv_max
+        for i in range(len(rrpv)):
+            rrpv[i] = rrpv_max
 
     def invalidate(self, set_index: int, way: int) -> None:
-        self._rrpv[set_index][way] = self.rrpv_max
+        self._rrpv[set_index * self.assoc + way] = self.rrpv_max
 
     # ------------------------------------------------------------------
     def rrpv_value(self, set_index: int, way: int) -> int:
         """Current RRPV of a line (test/diagnostic hook)."""
         self._check_way(way)
-        return self._rrpv[set_index][way]
+        return self._rrpv[set_index * self.assoc + way]
 
     def state_bits_per_set(self) -> int:
         """``A × M`` RRPV bits per set."""

@@ -113,6 +113,12 @@ class BatchedEngine(EngineBase):
         hierarchy = sim.hierarchy
         l2 = hierarchy.l2
         l2_stats = l2.stats
+        # Slow-path kernel: ``l2.access_line_hit`` is the policy-specialised
+        # closure the flat core bound at construction (repro.cache.state) —
+        # every L2-reaching reference runs locals-bound array operations,
+        # no per-access attribute chases or policy method dispatch.  The
+        # observer likewise resolves to the ATD observe kernels through
+        # ``ProfilingSystem.observe``.
         l2_access_hit = l2.access_line_hit
         l2_access_rw = l2.access_line_rw
         l2_write_back = l2.write_back_line

@@ -61,10 +61,17 @@ class ReferenceEngine(EngineBase):
         controller = sim.controller
         interval = self.interval
         next_boundary = interval
-        access = sim.hierarchy.access_line
-        access_rw = sim.hierarchy.access_line_rw
-        l1_caches = sim.hierarchy.l1
-        l2_stats = sim.hierarchy.l2.stats
+        # Slow-path kernel: the hierarchy routing is inlined against the
+        # flat core — per-thread L1 probes, the L2 observer, and the L2's
+        # policy-specialised access kernel are all locals-bound, replacing
+        # the per-access ``hierarchy.access_line`` attribute chase.
+        hierarchy = sim.hierarchy
+        l1_hit = [l1.access_line_hit for l1 in hierarchy.l1]
+        l2_hit = hierarchy.l2.access_line_hit
+        observer = hierarchy.l2_observer
+        access_rw = hierarchy.access_line_rw
+        l1_caches = hierarchy.l1
+        l2_stats = hierarchy.l2.stats
 
         anchor = [0.0] * n
         count = [0] * n
@@ -88,7 +95,13 @@ class ReferenceEngine(EngineBase):
             line = lines_per_thread[t][pos]
             positions[t] = pos + 1 if pos + 1 < lengths[t] else 0
             if writes_per_thread is None:
-                level = access(t, line)
+                # Inline CacheHierarchy.access_line (levels 0/1/2).
+                if l1_hit[t](line, 0):
+                    level = 0
+                else:
+                    if observer is not None:
+                        observer(t, line)
+                    level = 1 if l2_hit(line, t) else 2
             else:
                 level = access_rw(t, line, writes_per_thread[t][pos])
             if level == 0:

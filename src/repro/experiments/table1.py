@@ -70,6 +70,37 @@ def run(geometry: CacheGeometry = PAPER_GEOMETRY,
     )
 
 
+def policy_state_bits(geometry: CacheGeometry = PAPER_GEOMETRY):
+    """Replacement-state storage for **every** registered policy.
+
+    The paper's hardware-cost argument (Table I(a)) compares LRU, NRU and
+    BT; this extends the same accounting to the extension policies so the
+    report can rank them all.  Returns a list of dicts with ``policy``,
+    ``per_set`` (bits per set, :meth:`ReplacementPolicy.state_bits_per_set`),
+    ``per_cache`` (state shared by all sets: the NRU pointer, DIP's PSEL)
+    and ``total`` (``per_set × num_sets + per_cache``), sorted by total.
+    """
+    from repro.cache.replacement.base import POLICY_REGISTRY, make_policy
+
+    rows = []
+    for name in sorted(POLICY_REGISTRY):
+        policy = make_policy(name, geometry.num_sets, geometry.assoc)
+        per_set = policy.state_bits_per_set()
+        per_cache = 0
+        if hasattr(policy, "pointer_bits"):
+            per_cache += policy.pointer_bits()
+        if hasattr(policy, "monitor_bits"):
+            per_cache += policy.monitor_bits()
+        rows.append({
+            "policy": name,
+            "per_set": per_set,
+            "per_cache": per_cache,
+            "total": per_set * geometry.num_sets + per_cache,
+        })
+    rows.sort(key=lambda r: (r["total"], r["policy"]))
+    return rows
+
+
 def matrix(scale=None) -> list:
     """Table I's campaign matrix: empty — it is closed-form arithmetic.
 

@@ -9,17 +9,26 @@ scale); an L2 access to a non-sampled set does not touch the ATD.
 The ATD runs the *same replacement policy family as the L2* (the paper
 applies NRU/BT "to both the L2 cache and ATDs") and feeds the thread's SDH
 through a :class:`~repro.profiling.profilers.DistanceProfiler`.
+
+Tag state is the same flat :class:`~repro.cache.state.TagStore` the L2
+uses — the ATD no longer carries its own directory implementation — and
+:meth:`observe` is bound at construction to a policy-specialised kernel
+(:func:`repro.cache.state.build_observe_kernel`) that inlines the
+profiler's interpretation of the flat replacement state; the generic
+object-protocol body below is the fallback and the reference the kernels
+are pinned against (``tests/test_profiling/test_atd.py``).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.replacement.base import make_policy
 from repro.cache.replacement.nru import NRUPolicy
+from repro.cache.state import TagStore, build_observe_kernel
 from repro.profiling.profilers import DistanceProfiler
 from repro.profiling.sdh import SDH
 from repro.util.bitops import bit_length_exact
@@ -31,7 +40,8 @@ class ATD:
     def __init__(self, l2_geometry: CacheGeometry, sampling: int,
                  policy_name: str, profiler: DistanceProfiler,
                  sdh: Optional[SDH] = None,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 kernels: bool = True) -> None:
         """Build the directory for one thread.
 
         ``sampling`` is the 1-in-N set-sampling ratio (a power of two
@@ -40,7 +50,8 @@ class ATD:
         the ATD shadows the cache and the profiler interprets its state.
         ``sdh`` and ``rng`` default to a fresh register file and the
         policy's own stream (pass explicit ones to share or to pin
-        determinism across runs).
+        determinism across runs).  ``kernels=False`` keeps the generic
+        observe path (equivalence tests).
         """
         if sampling <= 0 or sampling & (sampling - 1):
             raise ValueError(
@@ -70,24 +81,48 @@ class ATD:
         # A set is sampled iff the low log2(sampling) index bits are zero.
         self._skip_mask = sampling - 1
         self._full_mask = (1 << self.assoc) - 1
-        self._maps: List[dict] = [dict() for _ in range(self.num_sets)]
-        self._lines: List[List[int]] = [
-            [-1] * self.assoc for _ in range(self.num_sets)
-        ]
-        self._invalid: List[int] = [self._full_mask] * self.num_sets
-        self.sampled_accesses = 0
-        self.skipped_accesses = 0
+        self.state = TagStore(self.num_sets, self.assoc)
+        #: [sampled, skipped] — a list so the observe kernels bump the
+        #: counters as locals-bound writes; read via the properties below.
+        self._counts = [0, 0]
+        if kernels:
+            kernel = build_observe_kernel(self)
+            if kernel is not None:
+                self.observe = kernel
+
+    # ------------------------------------------------------------------
+    @property
+    def sampled_accesses(self) -> int:
+        """Accesses that landed in a sampled set (and touched the ATD)."""
+        return self._counts[0]
+
+    @sampled_accesses.setter
+    def sampled_accesses(self, value: int) -> None:
+        self._counts[0] = value
+
+    @property
+    def skipped_accesses(self) -> int:
+        """Accesses filtered out by the 1-in-N set sampling."""
+        return self._counts[1]
+
+    @skipped_accesses.setter
+    def skipped_accesses(self, value: int) -> None:
+        self._counts[1] = value
 
     # ------------------------------------------------------------------
     def observe(self, line: int) -> bool:
-        """Feed one L2 access by the owning thread; True when sampled."""
+        """Feed one L2 access by the owning thread; True when sampled.
+
+        Generic object-protocol body; instances with a kernelised policy
+        shadow it with the specialised closure at construction.
+        """
         if line & self._skip_mask:
-            self.skipped_accesses += 1
+            self._counts[1] += 1
             return False
-        self.sampled_accesses += 1
+        self._counts[0] += 1
         s = (line & self._l2_set_mask) >> (self.sampling.bit_length() - 1)
-        tag_map = self._maps[s]
-        way = tag_map.get(line)
+        state = self.state
+        way = state.map.get(line)
         if way is not None:
             # Estimate first (pre-access state), then promote.
             self.profiler.on_hit(self.policy, s, way, self.sdh)
@@ -95,17 +130,18 @@ class ATD:
             return True
         # ATD miss: the thread would miss even with the whole cache.
         self.sdh.record_miss()
-        invalid = self._invalid[s]
+        base = s * self.assoc
+        invalid = state.invalid[s]
         if invalid:
             way = (invalid & -invalid).bit_length() - 1
-            self._invalid[s] &= ~(1 << way)
+            state.invalid[s] &= ~(1 << way)
         else:
             way = self.policy.victim(s, 0, self._full_mask)
-            old = self._lines[s][way]
+            old = state.lines[base + way]
             if old >= 0:
-                del tag_map[old]
-        self._lines[s][way] = line
-        tag_map[line] = way
+                del state.map[old]
+        state.lines[base + way] = line
+        state.map[line] = way
         # Fill promotion must mirror the L2's miss path (``touch_fill``, not
         # ``touch``): insertion-controlled policies place incoming lines
         # elsewhere in the recency order, and the ATD shadows the cache.
@@ -117,10 +153,9 @@ class ATD:
     # ------------------------------------------------------------------
     def contains_line(self, line: int) -> bool:
         """True when the line is resident in the (sampled) ATD."""
-        l2_set = line & self._l2_set_mask
-        if l2_set % self.sampling:
+        if (line & self._l2_set_mask) % self.sampling:
             return False
-        return line in self._maps[l2_set // self.sampling]
+        return line in self.state.map
 
     def storage_bits(self) -> int:
         """ATD storage: tag + valid bit per entry plus replacement state.
@@ -137,14 +172,10 @@ class ATD:
         return bits
 
     def reset(self) -> None:
-        """Cold-start the directory and the SDH."""
-        for s in range(self.num_sets):
-            self._maps[s].clear()
-            lines = self._lines[s]
-            for w in range(self.assoc):
-                lines[w] = -1
-            self._invalid[s] = self._full_mask
+        """Cold-start the directory and the SDH (in place — the bound
+        observe kernel keeps working)."""
+        self.state.flush()
         self.policy.reset()
         self.sdh.reset()
-        self.sampled_accesses = 0
-        self.skipped_accesses = 0
+        self._counts[0] = 0
+        self._counts[1] = 0

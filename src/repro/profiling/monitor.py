@@ -78,7 +78,7 @@ class ProfilingSystem:
         ]
         # Bound per-core ATD observers: one indirection on the hot path.
         self._observe = [m.atd.observe for m in self.monitors]
-        self._atds = [m.atd for m in self.monitors]
+        self._counts = [m.atd._counts for m in self.monitors]
         # Sampling filter hoisted out of the ATD: a set is sampled iff the
         # low log2(sampling) index bits of the line are zero.
         self._skip_mask = sampling - 1
@@ -92,7 +92,7 @@ class ProfilingSystem:
     def observe(self, core: int, line: int) -> None:
         """Hierarchy L2-observer hook: route the access to the core's ATD."""
         if line & self._skip_mask:
-            self._atds[core].skipped_accesses += 1
+            self._counts[core][1] += 1
             return
         self._observe[core](line)
 

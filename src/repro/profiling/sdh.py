@@ -8,9 +8,16 @@ owning ``w`` ways misses ``sum(r[w+1] .. r[A+1])`` times (Figure 2(c)).
 At every interval boundary all registers are halved ("right bit shift in
 each counter") so past behaviour decays while the ratio between stack
 positions is preserved.
+
+The register file is a flat Python list (part of the array core: the ATD
+observe kernels increment registers as locals-bound list writes — a numpy
+scalar ``+= 1`` costs several times more than a list store on this path);
+the read-side API still hands out numpy arrays for the selectors.
 """
 
 from __future__ import annotations
+
+from typing import List
 
 import numpy as np
 
@@ -24,7 +31,7 @@ class SDH:
             raise ValueError("assoc must be positive")
         self.assoc = assoc
         # Index 0 unused; 1..assoc are stack positions; assoc + 1 is misses.
-        self._r = np.zeros(assoc + 2, dtype=np.int64)
+        self._r: List[int] = [0] * (assoc + 2)
 
     # ------------------------------------------------------------------
     def record(self, distance: int) -> None:
@@ -50,42 +57,51 @@ class SDH:
             raise ValueError(
                 f"stack distance {distance} out of range 1..{self.assoc}"
             )
-        self._r[1:distance + 1] += 1
+        r = self._r
+        for i in range(1, distance + 1):
+            r[i] += 1
 
     def halve(self) -> None:
-        """Interval-boundary decay: every register is right-shifted by one."""
-        self._r >>= 1
+        """Interval-boundary decay: every register is right-shifted by one.
+
+        In place — the observe kernels bind the register list.
+        """
+        r = self._r
+        for i in range(len(r)):
+            r[i] >>= 1
 
     def reset(self) -> None:
-        """Zero every register (cold start)."""
-        self._r[:] = 0
+        """Zero every register (cold start, in place)."""
+        r = self._r
+        for i in range(len(r)):
+            r[i] = 0
 
     # ------------------------------------------------------------------
     @property
     def registers(self) -> np.ndarray:
         """Copy of ``r[1] .. r[A+1]`` (length ``A + 1``)."""
-        return self._r[1:].copy()
+        return np.asarray(self._r[1:], dtype=np.int64)
 
     def register(self, index: int) -> int:
         """Value of ``r[index]`` (1..A+1)."""
         if not 1 <= index <= self.assoc + 1:
             raise ValueError(f"register index {index} out of range")
-        return int(self._r[index])
+        return self._r[index]
 
     @property
     def total(self) -> int:
         """Total recorded accesses (including misses)."""
-        return int(self._r.sum())
+        return sum(self._r)
 
     def misses_with_ways(self, ways: int) -> int:
         """Predicted misses when the thread owns ``ways`` ways (Fig. 2(c))."""
         if not 0 <= ways <= self.assoc:
             raise ValueError(f"ways {ways} out of range 0..{self.assoc}")
-        return int(self._r[ways + 1:].sum())
+        return sum(self._r[ways + 1:])
 
     def hits_with_ways(self, ways: int) -> int:
         """Predicted hits when the thread owns ``ways`` ways."""
-        return int(self._r[1:ways + 1].sum())
+        return sum(self._r[1:ways + 1])
 
     def miss_curve(self) -> np.ndarray:
         """Predicted misses for every allocation ``w = 0 .. A``.
@@ -93,6 +109,7 @@ class SDH:
         ``curve[w] == misses_with_ways(w)``; non-increasing in ``w`` by
         construction (it is a suffix sum of non-negative registers).
         """
-        suffix = np.cumsum(self._r[::-1])[::-1]
+        r = np.asarray(self._r, dtype=np.int64)
+        suffix = np.cumsum(r[::-1])[::-1]
         # suffix[i] = sum(r[i:]); curve[w] = sum(r[w+1:]) = suffix[w+1]
         return suffix[1:].copy()

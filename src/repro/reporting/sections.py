@@ -124,6 +124,11 @@ def _table1_tables(data: table1.Table1Data) -> List[TableBlock]:
         (event,) + tuple(str(per_policy[p]) for p in ("lru", "nru", "bt"))
         for event, per_policy in data.events.items()
     )
+    state_rows = tuple(
+        (row["policy"], str(row["per_set"]), str(row["per_cache"]),
+         str(row["total"]), format_area(row["total"]))
+        for row in table1.policy_state_bits()
+    )
     return [
         TableBlock(
             title=("Table I(a): replacement + partitioning storage "
@@ -135,6 +140,14 @@ def _table1_tables(data: table1.Table1Data) -> List[TableBlock]:
             title="Table I(b): bits read/updated per event",
             headers=("event (bits touched)", "LRU", "NRU", "BT"),
             rows=event_rows,
+        ),
+        TableBlock(
+            title=("Replacement state storage, all registered policies "
+                   f"({table1.PAPER_GEOMETRY}; per-cache = NRU pointer / "
+                   "DIP PSEL)"),
+            headers=("policy", "bits/set", "per-cache bits", "total bits",
+                     "area"),
+            rows=state_rows,
         ),
     ]
 

@@ -15,6 +15,7 @@ from repro.util.bitops import (
     contiguous_mask,
 )
 from repro.util.rng import make_rng, spawn_rngs, derive_seed
+from repro.util.scaling import example_scale
 from repro.util.validation import (
     check_positive,
     check_power_of_two,
@@ -31,6 +32,7 @@ __all__ = [
     "lowest_set_bit",
     "mask_of",
     "contiguous_mask",
+    "example_scale",
     "make_rng",
     "spawn_rngs",
     "derive_seed",

@@ -1,0 +1,23 @@
+"""Shared size knobs for the runnable examples.
+
+``examples/*.py`` are standalone scripts with hard-coded laptop-scale
+sizes; CI's examples-smoke job shrinks them uniformly through one
+environment variable instead of eight copies of the parsing logic.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["example_scale"]
+
+
+def example_scale(default: int = 1) -> int:
+    """Divisor for example trace lengths and instruction budgets.
+
+    Reads ``REPRO_EXAMPLE_SCALE`` (clamped to >= 1); every example divides
+    its per-thread access counts and budgets by this, so
+    ``REPRO_EXAMPLE_SCALE=8`` turns the whole ``examples/`` sweep into a
+    seconds-long smoke run without touching cache geometry.
+    """
+    return max(1, int(os.environ.get("REPRO_EXAMPLE_SCALE", str(default))))

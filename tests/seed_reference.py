@@ -1,0 +1,1124 @@
+"""Frozen seed (pre-array-core) implementations, for differential tests.
+
+Verbatim copies — modulo class renames and registry decorator removal — of
+the per-object replacement policies and the dict/list-of-lists tag stores
+as they stood before the flat-array refactor (git tag: PR 3 head).  The
+flat implementations must reproduce these decision sequences bit for bit;
+``test_flat_equivalence.py`` drives randomized op sequences through both.
+
+Do not "fix" or modernise this module: it is the reference.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.util.bitops import bit_length_exact, ilog2, iter_set_bits
+from repro.util.rng import make_rng
+
+BIP_THROTTLE = 32
+PSEL_BITS = 10
+BRRIP_THROTTLE = 32
+
+
+
+class SeedLRUPolicy(ReplacementPolicy):
+    """Timestamp-based true LRU."""
+
+    name = "lru"
+
+    def __init__(self, num_sets: int, assoc: int, rng=None) -> None:
+        super().__init__(num_sets, assoc, rng=rng)
+        # _stamp[s][w] == 0 means "never touched" (treated as oldest).
+        self._stamp: List[List[int]] = [[0] * assoc for _ in range(num_sets)]
+        self._clock: List[int] = [0] * num_sets
+
+    # ------------------------------------------------------------------
+    def touch(self, set_index: int, way: int, core: int,
+              reset_domain: Optional[int] = None) -> None:
+        clock = self._clock[set_index] + 1
+        self._clock[set_index] = clock
+        self._stamp[set_index][way] = clock
+
+    def victim(self, set_index: int, core: int, mask: int) -> int:
+        if mask == 0:
+            raise ValueError("victim mask must be nonzero")
+        stamps = self._stamp[set_index]
+        # Inline lowest-set-bit iteration: this runs on every miss.
+        low = mask & -mask
+        best_way = low.bit_length() - 1
+        best_stamp = stamps[best_way]
+        mask ^= low
+        while mask:
+            low = mask & -mask
+            way = low.bit_length() - 1
+            stamp = stamps[way]
+            if stamp < best_stamp:
+                best_stamp = stamp
+                best_way = way
+            mask ^= low
+        return best_way
+
+    def reset(self) -> None:
+        for s in range(self.num_sets):
+            stamps = self._stamp[s]
+            for w in range(self.assoc):
+                stamps[w] = 0
+            self._clock[s] = 0
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        # An invalidated line becomes the oldest in its set.
+        self._stamp[set_index][way] = 0
+
+    # ------------------------------------------------------------------
+    # Profiling support (exact stack property)
+    # ------------------------------------------------------------------
+    def stack_position(self, set_index: int, way: int) -> int:
+        """Exact LRU stack position of ``way`` (1 = MRU .. A = LRU).
+
+        Must be read *before* :meth:`touch` promotes the line.
+        """
+        self._check_way(way)
+        stamps = self._stamp[set_index]
+        mine = stamps[way]
+        return 1 + sum(1 for other in stamps if other > mine)
+
+    def stack_order(self, set_index: int) -> List[int]:
+        """Ways of ``set_index`` ordered MRU first (ties: lower way first)."""
+        stamps = self._stamp[set_index]
+        return sorted(range(self.assoc), key=lambda w: (-stamps[w], w))
+
+    def state_bits_per_set(self) -> int:
+        """``A x log2(A)`` bits per set (paper Table I(a))."""
+        return self.assoc * bit_length_exact(self.assoc)
+
+
+class SeedFIFOPolicy(ReplacementPolicy):
+    """Oldest-fill-first replacement; hits never reorder."""
+
+    name = "fifo"
+
+    def __init__(self, num_sets: int, assoc: int, rng=None) -> None:
+        super().__init__(num_sets, assoc, rng=rng)
+        # _stamp[s][w] == 0 means "never filled" (treated as oldest).
+        self._stamp: List[List[int]] = [[0] * assoc for _ in range(num_sets)]
+        self._clock: List[int] = [0] * num_sets
+
+    # ------------------------------------------------------------------
+    def touch(self, set_index: int, way: int, core: int,
+              reset_domain: Optional[int] = None) -> None:
+        """Hits leave the FIFO order untouched."""
+
+    def touch_fill(self, set_index: int, way: int, core: int,
+                   reset_domain: Optional[int] = None) -> None:
+        clock = self._clock[set_index] + 1
+        self._clock[set_index] = clock
+        self._stamp[set_index][way] = clock
+
+    def victim(self, set_index: int, core: int, mask: int) -> int:
+        if mask == 0:
+            raise ValueError("victim mask must be nonzero")
+        stamps = self._stamp[set_index]
+        low = mask & -mask
+        best_way = low.bit_length() - 1
+        best_stamp = stamps[best_way]
+        mask ^= low
+        while mask:
+            low = mask & -mask
+            way = low.bit_length() - 1
+            stamp = stamps[way]
+            if stamp < best_stamp:
+                best_stamp = stamp
+                best_way = way
+            mask ^= low
+        return best_way
+
+    def reset(self) -> None:
+        for s in range(self.num_sets):
+            stamps = self._stamp[s]
+            for w in range(self.assoc):
+                stamps[w] = 0
+            self._clock[s] = 0
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        self._stamp[set_index][way] = 0
+
+    # ------------------------------------------------------------------
+    def fill_order(self, set_index: int) -> List[int]:
+        """Ways ordered newest fill first (ties: lower way first)."""
+        stamps = self._stamp[set_index]
+        return sorted(range(self.assoc), key=lambda w: (-stamps[w], w))
+
+    def state_bits_per_set(self) -> int:
+        """``log2(A)`` bits: the per-set round-robin insertion pointer."""
+        return bit_length_exact(self.assoc)
+
+
+class SeedNRUPolicy(ReplacementPolicy):
+    """Used-bit NRU with a cache-global rotating replacement pointer."""
+
+    name = "nru"
+
+    def __init__(self, num_sets: int, assoc: int, rng=None) -> None:
+        super().__init__(num_sets, assoc, rng=rng)
+        self._used: List[int] = [0] * num_sets
+        #: Cache-global replacement pointer (one for all sets and threads).
+        self.pointer: int = 0
+
+    # ------------------------------------------------------------------
+    def touch(self, set_index: int, way: int, core: int,
+              reset_domain: Optional[int] = None) -> None:
+        domain = self.full_mask if reset_domain is None else reset_domain
+        used = self._used[set_index] | (1 << way)
+        # Reset rule: when every used bit in the domain is set, clear the
+        # domain except the line just accessed (paper §III-A).
+        if domain and (used & domain) == domain:
+            used &= ~domain
+            used |= 1 << way
+        self._used[set_index] = used
+
+    def victim(self, set_index: int, core: int, mask: int) -> int:
+        if mask == 0:
+            raise ValueError("victim mask must be nonzero")
+        used = self._used[set_index]
+        if (used & mask) == mask:
+            # Every candidate is recently used; hardware would have reset on
+            # the access that set the last bit.  Clear the candidates now.
+            used &= ~mask
+            self._used[set_index] = used
+        assoc = self.assoc
+        way = self.pointer
+        # At most one full rotation is needed: mask has a zero used bit.
+        for _ in range(assoc):
+            if (mask >> way) & 1 and not (used >> way) & 1:
+                break
+            way = way + 1 if way + 1 < assoc else 0
+        return way
+
+    def fill_done(self) -> None:
+        """Rotate the global pointer forward one way after a replacement."""
+        self.pointer = self.pointer + 1 if self.pointer + 1 < self.assoc else 0
+
+    def reset(self) -> None:
+        for s in range(self.num_sets):
+            self._used[s] = 0
+        self.pointer = 0
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        self._used[set_index] &= ~(1 << way)
+
+    # ------------------------------------------------------------------
+    # Profiling support (paper §III-A: eSDH inputs)
+    # ------------------------------------------------------------------
+    def used_bit(self, set_index: int, way: int) -> bool:
+        """Used bit of ``way`` (read *before* :meth:`touch`)."""
+        self._check_way(way)
+        return bool((self._used[set_index] >> way) & 1)
+
+    def used_count(self, set_index: int, domain: Optional[int] = None) -> int:
+        """Number of used bits set in ``domain`` (default: whole set).
+
+        This is the quantity ``U`` of the paper's eSDH estimate.  Note that
+        the paper counts the accessed line's bit as part of ``U`` ("there are
+        U = 8 lines in a given set with used bits set to 1, *including the
+        line that is accessed*"), so callers evaluate ``U`` *after* observing
+        the access — equivalently ``used_count`` on the pre-access state plus
+        one when the accessed line's bit was clear.
+        """
+        used = self._used[set_index]
+        if domain is not None:
+            used &= domain
+        return used.bit_count()
+
+    def used_mask(self, set_index: int) -> int:
+        """Raw used-bit bitmask of a set."""
+        return self._used[set_index]
+
+    def state_bits_per_set(self) -> int:
+        """``A`` used bits per set (the pointer is per cache; Table I(a))."""
+        return self.assoc
+
+    def pointer_bits(self) -> int:
+        """``log2(A)`` bits for the cache-global replacement pointer."""
+        return bit_length_exact(self.assoc)
+
+
+class SeedBTPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU with optional per-core per-level forced directions."""
+
+    name = "bt"
+
+    def __init__(self, num_sets: int, assoc: int, rng=None) -> None:
+        super().__init__(num_sets, assoc, rng=rng)
+        if assoc < 2 or assoc & (assoc - 1):
+            raise ValueError(f"BT requires a power-of-two associativity >= 2, got {assoc}")
+        self.levels = ilog2(assoc)
+        # Heap-ordered tree bits per set; index 0 unused, root at 1.
+        self._bits: List[List[int]] = [[0] * (assoc) for _ in range(num_sets)]
+        # Per-core forced traversal directions: core -> tuple of length
+        # `levels`, entries in {0: force upper, 1: force lower, None: free}.
+        # Paper: per-level `up`/`down` global vectors (up[l]=1 <=> entry 0,
+        # down[l]=1 <=> entry 1, both 0 <=> None).
+        self._force: Dict[int, Tuple[Optional[int], ...]] = {}
+
+    # ------------------------------------------------------------------
+    def touch(self, set_index: int, way: int, core: int,
+              reset_domain: Optional[int] = None) -> None:
+        # Promote `way` to MRU: at each node of its path store the bit that
+        # points the MRU side toward `way` (complement of the ID bit).
+        bits = self._bits[set_index]
+        node = 1
+        for level in range(self.levels - 1, -1, -1):
+            direction = (way >> level) & 1        # 0 = upper, 1 = lower
+            bits[node] = 1 - direction            # 1 <=> MRU in upper
+            node = (node << 1) | direction
+
+    def victim(self, set_index: int, core: int, mask: int) -> int:
+        if mask == 0:
+            raise ValueError("victim mask must be nonzero")
+        bits = self._bits[set_index]
+        force = self._force.get(core)
+        node = 1
+        way = 0
+        if force is None:
+            for _ in range(self.levels):
+                direction = bits[node]            # 1 -> pseudo-LRU in lower
+                node = (node << 1) | direction
+                way = (way << 1) | direction
+        else:
+            for level_index in range(self.levels):
+                forced = force[level_index]
+                direction = bits[node] if forced is None else forced
+                node = (node << 1) | direction
+                way = (way << 1) | direction
+        return way
+
+    def reset(self) -> None:
+        for s in range(self.num_sets):
+            bits = self._bits[s]
+            for i in range(len(bits)):
+                bits[i] = 0
+        self._force.clear()
+
+    # ------------------------------------------------------------------
+    # Partition enforcement support (paper Figure 5)
+    # ------------------------------------------------------------------
+    def set_force(self, core: int,
+                  force: Optional[Tuple[Optional[int], ...]]) -> None:
+        """Install the per-level forced directions for ``core``.
+
+        ``force`` is a tuple of ``levels`` entries: ``0`` forces the upper
+        sub-tree (the paper's ``up`` vector bit), ``1`` forces the lower
+        sub-tree (``down`` bit), ``None`` leaves the stored BT bit in charge.
+        ``None`` for the whole argument removes any forcing.
+        """
+        if force is None:
+            self._force.pop(core, None)
+            return
+        if len(force) != self.levels:
+            raise ValueError(
+                f"force vector must have {self.levels} entries, got {len(force)}"
+            )
+        self._force[core] = tuple(force)
+
+    def get_force(self, core: int) -> Optional[Tuple[Optional[int], ...]]:
+        """Current forced directions for ``core`` (None when unrestricted)."""
+        return self._force.get(core)
+
+    # ------------------------------------------------------------------
+    # Profiling support (paper §III-B)
+    # ------------------------------------------------------------------
+    def path_bits(self, set_index: int, way: int) -> int:
+        """Actual BT bits along the path to ``way``, MSB (root) first.
+
+        Read *before* :meth:`touch` promotes the line.
+        """
+        self._check_way(way)
+        bits = self._bits[set_index]
+        node = 1
+        value = 0
+        for level in range(self.levels - 1, -1, -1):
+            value = (value << 1) | bits[node]
+            node = (node << 1) | ((way >> level) & 1)
+        return value
+
+    def id_bits(self, way: int) -> int:
+        """Identifier bits of ``way`` — its index bits, MSB first.
+
+        These are "the BT bits values if a given line held the LRU position"
+        (paper Figure 4(b)); the decoder of Figure 4(c) is the identity
+        wiring on the way-number bits.
+        """
+        self._check_way(way)
+        return way
+
+    def state_bits_per_set(self) -> int:
+        """``A − 1`` tree bits per set (paper Table I(a))."""
+        return self.assoc - 1
+
+
+class SeedLIPPolicy(SeedLRUPolicy):
+    """LRU with fills inserted at the LRU position."""
+
+    name = "lip"
+
+    def __init__(self, num_sets: int, assoc: int, rng=None) -> None:
+        super().__init__(num_sets, assoc, rng=rng)
+        # Strictly decreasing per-set floor: each LRU-insertion takes a stamp
+        # below every valid line, and below previous LRU-insertions — the
+        # newest unpromoted insertion is the next victim, exactly the stack
+        # behaviour of inserting at the LRU position.
+        self._floor: List[int] = [0] * num_sets
+
+    def _insert_lru(self, set_index: int, way: int) -> None:
+        floor = self._floor[set_index] - 1
+        self._floor[set_index] = floor
+        self._stamp[set_index][way] = floor
+
+    def touch_fill(self, set_index: int, way: int, core: int,
+                   reset_domain: Optional[int] = None) -> None:
+        self._insert_lru(set_index, way)
+
+    def reset(self) -> None:
+        super().reset()
+        for s in range(self.num_sets):
+            self._floor[s] = 0
+
+
+class SeedBIPPolicy(SeedLIPPolicy):
+    """Bimodal insertion: mostly LIP, 1/32 of fills at MRU."""
+
+    name = "bip"
+
+    def __init__(self, num_sets: int, assoc: int, rng=None,
+                 throttle: int = BIP_THROTTLE) -> None:
+        super().__init__(num_sets, assoc, rng=rng)
+        if throttle < 1:
+            raise ValueError(f"throttle must be >= 1, got {throttle}")
+        self.throttle = throttle
+        if self.rng is None:
+            self.rng = make_rng(0, "bip")
+
+    def touch_fill(self, set_index: int, way: int, core: int,
+                   reset_domain: Optional[int] = None) -> None:
+        if self.rng.random() < 1.0 / self.throttle:
+            self.touch(set_index, way, core, reset_domain)   # MRU insertion
+        else:
+            self._insert_lru(set_index, way)
+
+
+class SeedDIPPolicy(SeedBIPPolicy):
+    """Set-dueling DIP: leader sets arbitrate LRU- vs BIP-insertion.
+
+    Parameters
+    ----------
+    leader_stride:
+        One LRU-leader and one BIP-leader per ``leader_stride`` consecutive
+        sets (32 in the original paper).  Automatically reduced for tiny
+        caches so both leader groups are non-empty.
+    """
+
+    name = "dip"
+
+    def __init__(self, num_sets: int, assoc: int, rng=None,
+                 throttle: int = BIP_THROTTLE,
+                 leader_stride: int = 32) -> None:
+        super().__init__(num_sets, assoc, rng=rng, throttle=throttle)
+        if leader_stride < 2:
+            raise ValueError(f"leader_stride must be >= 2, got {leader_stride}")
+        if num_sets < 2:
+            raise ValueError("DIP set dueling needs at least 2 sets")
+        self.leader_stride = min(leader_stride, num_sets)
+        self.psel_max = (1 << PSEL_BITS) - 1
+        self.psel = (self.psel_max + 1) // 2
+        # Leader-set roles: +1 LRU leader, -1 BIP leader, 0 follower.
+        stride = self.leader_stride
+        self._role: List[int] = [0] * num_sets
+        for s in range(num_sets):
+            offset = s % stride
+            if offset == 0:
+                self._role[s] = 1
+            elif offset == stride // 2:
+                self._role[s] = -1
+
+    # ------------------------------------------------------------------
+    def touch_fill(self, set_index: int, way: int, core: int,
+                   reset_domain: Optional[int] = None) -> None:
+        # A fill *is* a miss in this set: leader fills steer PSEL.
+        role = self._role[set_index]
+        if role > 0:                                  # LRU leader missed
+            if self.psel < self.psel_max:
+                self.psel += 1
+            self.touch(set_index, way, core, reset_domain)
+        elif role < 0:                                # BIP leader missed
+            if self.psel > 0:
+                self.psel -= 1
+            super().touch_fill(set_index, way, core, reset_domain)
+        elif self.bip_selected:
+            super().touch_fill(set_index, way, core, reset_domain)
+        else:
+            self.touch(set_index, way, core, reset_domain)
+
+    @property
+    def bip_selected(self) -> bool:
+        """True when followers currently use BIP insertion (PSEL MSB set)."""
+        return self.psel > self.psel_max // 2
+
+    def set_role(self, set_index: int) -> int:
+        """Dueling role of a set: +1 LRU leader, -1 BIP leader, 0 follower."""
+        return self._role[set_index]
+
+    def reset(self) -> None:
+        super().reset()
+        self.psel = (self.psel_max + 1) // 2
+
+    def state_bits_per_set(self) -> int:
+        """LRU bits per set; PSEL and roles are per cache (see monitor_bits)."""
+        return super().state_bits_per_set()
+
+    def monitor_bits(self) -> int:
+        """Per-cache dueling cost: the PSEL counter (roles are wired)."""
+        return PSEL_BITS
+
+
+class SeedSRRIPPolicy(ReplacementPolicy):
+    """Static RRIP with hit-priority promotion.
+
+    Parameters
+    ----------
+    m_bits:
+        Width of the per-line RRPV counter (2 in the original paper;
+        ``m_bits=1`` reduces to a pointer-free NRU).
+    """
+
+    name = "srrip"
+
+    #: Fraction of fills inserted with *long* (rather than distant)
+    #: re-reference prediction; 1.0 for SRRIP, 1/32 for BRRIP.
+    long_insert_probability = 1.0
+
+    def __init__(self, num_sets: int, assoc: int, rng=None,
+                 m_bits: int = 2) -> None:
+        super().__init__(num_sets, assoc, rng=rng)
+        if m_bits < 1:
+            raise ValueError(f"m_bits must be >= 1, got {m_bits}")
+        self.m_bits = m_bits
+        self.rrpv_max = (1 << m_bits) - 1
+        # Cold lines predict distant re-reference so invalid-way fills and
+        # early victims behave like the hardware's reset state.
+        self._rrpv: List[List[int]] = [
+            [self.rrpv_max] * assoc for _ in range(num_sets)
+        ]
+        if rng is None and self.long_insert_probability < 1.0:
+            self.rng = make_rng(0, "brrip")
+
+    # ------------------------------------------------------------------
+    def touch(self, set_index: int, way: int, core: int,
+              reset_domain: Optional[int] = None) -> None:
+        """Hit: promote to near-immediate re-reference (RRPV = 0)."""
+        self._rrpv[set_index][way] = 0
+
+    def touch_fill(self, set_index: int, way: int, core: int,
+                   reset_domain: Optional[int] = None) -> None:
+        """Fill: insert with long / distant re-reference prediction."""
+        p = self.long_insert_probability
+        if p >= 1.0 or self.rng.random() < p:
+            self._rrpv[set_index][way] = self.rrpv_max - 1
+        else:
+            self._rrpv[set_index][way] = self.rrpv_max
+
+    def victim(self, set_index: int, core: int, mask: int) -> int:
+        if mask == 0:
+            raise ValueError("victim mask must be nonzero")
+        rrpv = self._rrpv[set_index]
+        rrpv_max = self.rrpv_max
+        # At most rrpv_max aging rounds before some candidate saturates.
+        while True:
+            m = mask
+            while m:
+                low = m & -m
+                way = low.bit_length() - 1
+                if rrpv[way] == rrpv_max:
+                    return way
+                m ^= low
+            m = mask
+            while m:
+                low = m & -m
+                way = low.bit_length() - 1
+                rrpv[way] += 1
+                m ^= low
+
+    def reset(self) -> None:
+        for s in range(self.num_sets):
+            row = self._rrpv[s]
+            for w in range(self.assoc):
+                row[w] = self.rrpv_max
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        self._rrpv[set_index][way] = self.rrpv_max
+
+    # ------------------------------------------------------------------
+    def rrpv_value(self, set_index: int, way: int) -> int:
+        """Current RRPV of a line (test/diagnostic hook)."""
+        self._check_way(way)
+        return self._rrpv[set_index][way]
+
+    def state_bits_per_set(self) -> int:
+        """``A × M`` RRPV bits per set."""
+        return self.assoc * self.m_bits
+
+
+class SeedBRRIPPolicy(SeedSRRIPPolicy):
+    """Bimodal RRIP: thrash-resistant insertion (1/32 long, else distant)."""
+
+    name = "brrip"
+
+    long_insert_probability = 1.0 / BRRIP_THROTTLE
+
+
+class SeedRandomPolicy(ReplacementPolicy):
+    """Victims drawn uniformly from the candidate mask."""
+
+    name = "random"
+
+    def __init__(self, num_sets: int, assoc: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(num_sets, assoc, rng=rng)
+        if rng is None:
+            self.rng = np.random.default_rng(0)
+
+    def touch(self, set_index: int, way: int, core: int,
+              reset_domain: Optional[int] = None) -> None:
+        pass  # stateless
+
+    def victim(self, set_index: int, core: int, mask: int) -> int:
+        if mask == 0:
+            raise ValueError("victim mask must be nonzero")
+        ways = list(iter_set_bits(mask))
+        if len(ways) == 1:
+            return ways[0]
+        return ways[int(self.rng.integers(len(ways)))]
+
+    def reset(self) -> None:
+        pass
+
+    def state_bits_per_set(self) -> int:
+        return 0
+
+
+SEED_POLICIES = {
+    "lru": SeedLRUPolicy,
+    "fifo": SeedFIFOPolicy,
+    "nru": SeedNRUPolicy,
+    "bt": SeedBTPolicy,
+    "lip": SeedLIPPolicy,
+    "bip": SeedBIPPolicy,
+    "dip": SeedDIPPolicy,
+    "srrip": SeedSRRIPPolicy,
+    "brrip": SeedBRRIPPolicy,
+    "random": SeedRandomPolicy,
+}
+
+
+def make_seed_policy(name, num_sets, assoc, rng=None, **kwargs):
+    """Instantiate a frozen seed policy by registry name."""
+    return SEED_POLICIES[name](num_sets, assoc, rng=rng, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Seed cache (dict-per-set tag maps, list-of-lists way state)
+# ----------------------------------------------------------------------
+from typing import NamedTuple, Union
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.partition.base import PartitionScheme
+from repro.cache.replacement.base import make_policy
+
+
+class SeedAccessResult(NamedTuple):
+    hit: bool
+    way: int
+    set_index: int
+    evicted_line: Optional[int]
+
+
+class SeedCacheStats:
+    """Per-core access/hit/miss/eviction counters.
+
+    ``write_accesses`` and ``writebacks`` (dirty evictions) stay zero for
+    read-only workloads — the paper's methodology — and are populated by the
+    write-back extension.
+    """
+
+    __slots__ = ("accesses", "hits", "misses", "evictions",
+                 "write_accesses", "writebacks")
+
+    def __init__(self, num_cores: int) -> None:
+        self.accesses = [0] * num_cores
+        self.hits = [0] * num_cores
+        self.misses = [0] * num_cores
+        self.evictions = [0] * num_cores
+        self.write_accesses = [0] * num_cores
+        self.writebacks = [0] * num_cores
+
+    def reset(self) -> None:
+        for field in (self.accesses, self.hits, self.misses, self.evictions,
+                      self.write_accesses, self.writebacks):
+            for i in range(len(field)):
+                field[i] = 0
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(self.accesses)
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits)
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses)
+
+    @property
+    def total_writebacks(self) -> int:
+        return sum(self.writebacks)
+
+    def miss_ratio(self, core: Optional[int] = None) -> float:
+        """Miss ratio of one core (or aggregate when ``core`` is None)."""
+        if core is None:
+            acc, miss = self.total_accesses, self.total_misses
+        else:
+            acc, miss = self.accesses[core], self.misses[core]
+        return miss / acc if acc else 0.0
+
+
+class SeedSetAssociativeCache:
+    """One cache level.
+
+    Parameters
+    ----------
+    geometry:
+        Capacity/associativity/line-size description.
+    policy:
+        A :class:`ReplacementPolicy` instance sized for this geometry, or a
+        registry name ("lru", "nru", "bt", "random").
+    partition:
+        Optional :class:`PartitionScheme`; ``None`` leaves the cache
+        unpartitioned.
+    num_cores:
+        Number of distinct cores that will access the cache (statistics and
+        ownership arrays are sized accordingly).
+    """
+
+    def __init__(self, geometry: CacheGeometry,
+                 policy: Union[ReplacementPolicy, str],
+                 partition: Optional[PartitionScheme] = None,
+                 num_cores: int = 1,
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "cache") -> None:
+        self.geometry = geometry
+        self.name = name
+        self.num_cores = num_cores
+        if isinstance(policy, str):
+            policy = make_seed_policy(policy, geometry.num_sets,
+                                      geometry.assoc, rng=rng)
+        if policy.num_sets != geometry.num_sets or policy.assoc != geometry.assoc:
+            raise ValueError(
+                f"policy sized {policy.num_sets}x{policy.assoc} does not match "
+                f"geometry {geometry.num_sets}x{geometry.assoc}"
+            )
+        if partition is not None and (
+            partition.num_sets != geometry.num_sets
+            or partition.assoc != geometry.assoc
+        ):
+            raise ValueError("partition scheme does not match the geometry")
+        self.policy = policy
+        self.partition = partition
+        self._nru = policy if getattr(policy, "name", "") == "nru" else None
+
+        nsets = geometry.num_sets
+        self._set_mask = nsets - 1
+        self._full_mask = (1 << geometry.assoc) - 1
+        self._maps: List[dict] = [dict() for _ in range(nsets)]
+        self._lines: List[List[int]] = [[-1] * geometry.assoc for _ in range(nsets)]
+        self._invalid: List[int] = [self._full_mask] * nsets
+        self._dirty: List[int] = [0] * nsets
+        self.stats = SeedCacheStats(num_cores)
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int, core: int = 0) -> SeedAccessResult:
+        """Access a byte address."""
+        return self.access_line(addr >> self.geometry.line_shift, core)
+
+    def access_line(self, line: int, core: int = 0) -> SeedAccessResult:
+        """Access a line address (hot path)."""
+        s = line & self._set_mask
+        tag_map = self._maps[s]
+        stats = self.stats
+        stats.accesses[core] += 1
+        way = tag_map.get(line)
+        partition = self.partition
+        if way is not None:
+            # Hits are unrestricted (paper §II-B); only the NRU reset domain
+            # depends on the partition.
+            domain = partition.reset_domain(core) if partition else None
+            self.policy.touch(s, way, core, domain)
+            stats.hits[core] += 1
+            return SeedAccessResult(True, way, s, None)
+
+        stats.misses[core] += 1
+        mask = partition.candidate_mask(s, core) if partition else self._full_mask
+        invalid = self._invalid[s] & mask
+        evicted = None
+        if invalid:
+            way = (invalid & -invalid).bit_length() - 1
+            self._invalid[s] &= ~(1 << way)
+        else:
+            way = self.policy.victim(s, core, mask)
+            old = self._lines[s][way]
+            if old >= 0:
+                del tag_map[old]
+                evicted = old
+                stats.evictions[core] += 1
+            else:
+                self._invalid[s] &= ~(1 << way)
+        self._lines[s][way] = line
+        tag_map[line] = way
+        if partition:
+            partition.on_fill(s, way, core)
+            domain = partition.reset_domain(core)
+        else:
+            domain = None
+        self.policy.touch_fill(s, way, core, domain)
+        if self._nru is not None:
+            self._nru.fill_done()
+        return SeedAccessResult(False, way, s, evicted)
+
+    def access_line_hit(self, line: int, core: int = 0) -> bool:
+        """Access a line and report only hit/miss.
+
+        Same state transitions as :meth:`access_line` but without building
+        an :class:`SeedAccessResult` — the simulator hot path (millions of
+        calls) only needs the level outcome.  Kept in sync by the
+        ``test_cache_fast_path`` equivalence tests.
+        """
+        s = line & self._set_mask
+        tag_map = self._maps[s]
+        stats = self.stats
+        stats.accesses[core] += 1
+        way = tag_map.get(line)
+        partition = self.partition
+        if way is not None:
+            domain = partition.reset_domain(core) if partition else None
+            self.policy.touch(s, way, core, domain)
+            stats.hits[core] += 1
+            return True
+        stats.misses[core] += 1
+        mask = partition.candidate_mask(s, core) if partition else self._full_mask
+        invalid = self._invalid[s] & mask
+        if invalid:
+            way = (invalid & -invalid).bit_length() - 1
+            self._invalid[s] &= ~(1 << way)
+        else:
+            way = self.policy.victim(s, core, mask)
+            old = self._lines[s][way]
+            if old >= 0:
+                del tag_map[old]
+                stats.evictions[core] += 1
+            else:
+                self._invalid[s] &= ~(1 << way)
+        self._lines[s][way] = line
+        tag_map[line] = way
+        if partition:
+            partition.on_fill(s, way, core)
+            domain = partition.reset_domain(core)
+        else:
+            domain = None
+        self.policy.touch_fill(s, way, core, domain)
+        if self._nru is not None:
+            self._nru.fill_done()
+        return False
+
+    def access_line_rw(self, line: int, core: int = 0,
+                       write: bool = False) -> bool:
+        """Read/write access with dirty-bit bookkeeping; True on a hit.
+
+        The write-back extension path: a write (hit or fill) marks the line
+        dirty; evicting a dirty line counts a writeback against the evicting
+        core.  Identical hit/miss/replacement behaviour to
+        :meth:`access_line_hit` (the equivalence tests pin this).
+        """
+        s = line & self._set_mask
+        tag_map = self._maps[s]
+        stats = self.stats
+        stats.accesses[core] += 1
+        if write:
+            stats.write_accesses[core] += 1
+        way = tag_map.get(line)
+        partition = self.partition
+        if way is not None:
+            domain = partition.reset_domain(core) if partition else None
+            self.policy.touch(s, way, core, domain)
+            stats.hits[core] += 1
+            if write:
+                self._dirty[s] |= 1 << way
+            return True
+        stats.misses[core] += 1
+        mask = partition.candidate_mask(s, core) if partition else self._full_mask
+        invalid = self._invalid[s] & mask
+        if invalid:
+            way = (invalid & -invalid).bit_length() - 1
+            self._invalid[s] &= ~(1 << way)
+        else:
+            way = self.policy.victim(s, core, mask)
+            old = self._lines[s][way]
+            if old >= 0:
+                del tag_map[old]
+                stats.evictions[core] += 1
+                if (self._dirty[s] >> way) & 1:
+                    stats.writebacks[core] += 1
+            else:
+                self._invalid[s] &= ~(1 << way)
+        self._lines[s][way] = line
+        tag_map[line] = way
+        if write:
+            self._dirty[s] |= 1 << way
+        else:
+            self._dirty[s] &= ~(1 << way)
+        if partition:
+            partition.on_fill(s, way, core)
+            domain = partition.reset_domain(core)
+        else:
+            domain = None
+        self.policy.touch_fill(s, way, core, domain)
+        if self._nru is not None:
+            self._nru.fill_done()
+        return False
+
+    def access_lines(self, lines, core: int = 0) -> np.ndarray:
+        """Bulk access of many line addresses by one core.
+
+        Returns the per-access hit flags.  State transitions are identical
+        to calling :meth:`access_line_hit` per element — the shared L2 has
+        cross-core interleaving on the simulator's hot path, so this entry
+        point serves profiling sweeps, warm-up, and benchmarks rather than
+        the engines themselves.
+        """
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        flags = np.empty(len(lines), dtype=bool)
+        step = self.access_line_hit
+        for i, line in enumerate(lines.tolist()):
+            flags[i] = step(line, core)
+        return flags
+
+    def write_back_line(self, line: int, core: int = 0) -> bool:
+        """Absorb a write-back from a private upper level.
+
+        If the line is resident it is marked dirty (no recency update — the
+        victim buffer drains without touching the replacement state) and
+        True is returned.  In this non-inclusive hierarchy the line may have
+        already left the L2; the writeback then bypasses to memory and the
+        caller counts the memory write (returns False).
+        """
+        s = line & self._set_mask
+        way = self._maps[s].get(line)
+        if way is None:
+            return False
+        self._dirty[s] |= 1 << way
+        return True
+
+    # ------------------------------------------------------------------
+    def probe_line(self, line: int) -> Optional[int]:
+        """Way holding ``line`` without updating any state, or None."""
+        return self._maps[line & self._set_mask].get(line)
+
+    def contains_line(self, line: int) -> bool:
+        """True when the line is currently cached (no state change)."""
+        return line in self._maps[line & self._set_mask]
+
+    def invalidate_line(self, line: int) -> bool:
+        """Drop a line if present; returns True when something was dropped."""
+        s = line & self._set_mask
+        way = self._maps[s].pop(line, None)
+        if way is None:
+            return False
+        self._lines[s][way] = -1
+        self._invalid[s] |= 1 << way
+        self._dirty[s] &= ~(1 << way)
+        self.policy.invalidate(s, way)
+        if self.partition is not None:
+            self.partition.on_invalidate(s, way)
+        return True
+
+    def is_dirty(self, line: int) -> bool:
+        """True when the line is resident and dirty (no state change)."""
+        s = line & self._set_mask
+        way = self._maps[s].get(line)
+        return way is not None and bool((self._dirty[s] >> way) & 1)
+
+    def dirty_lines(self) -> int:
+        """Number of resident dirty lines."""
+        return sum(d.bit_count() for d in self._dirty)
+
+    def resident_lines(self, set_index: int) -> List[int]:
+        """Valid line addresses of one set (way order)."""
+        return [line for line in self._lines[set_index] if line >= 0]
+
+    def occupancy(self) -> int:
+        """Total number of valid lines."""
+        return sum(len(m) for m in self._maps)
+
+    def flush(self) -> None:
+        """Invalidate everything and reset replacement state (not stats).
+
+        The partition scheme is told as well (:meth:`PartitionScheme.on_flush`)
+        so per-line ownership state — owner counters, BT-vector occupancy —
+        does not go stale relative to the now-empty tag store.
+        """
+        for s in range(self.geometry.num_sets):
+            self._maps[s].clear()
+            lines = self._lines[s]
+            for w in range(self.geometry.assoc):
+                lines[w] = -1
+            self._invalid[s] = self._full_mask
+            self._dirty[s] = 0
+        self.policy.reset()
+        if self.partition is not None:
+            self.partition.on_flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SeedSetAssociativeCache({self.geometry}, policy={self.policy.name}, "
+                f"partition={self.partition.name if self.partition else None})")
+
+
+# ----------------------------------------------------------------------
+# Seed ATD (its own dict/list tag directory, per-object policies)
+# ----------------------------------------------------------------------
+from repro.profiling.profilers import DistanceProfiler
+from repro.profiling.sdh import SDH
+
+
+class SeedATD:
+    """Sampled tag-only directory feeding an SDH for one thread."""
+
+    def __init__(self, l2_geometry: CacheGeometry, sampling: int,
+                 policy_name: str, profiler: DistanceProfiler,
+                 sdh: Optional[SDH] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        """Build the directory for one thread.
+
+        ``sampling`` is the 1-in-N set-sampling ratio (a power of two
+        dividing the L2 set count; the paper uses 32).  ``policy_name``
+        must match the L2's replacement policy *and* the profiler's —
+        the ATD shadows the cache and the profiler interprets its state.
+        ``sdh`` and ``rng`` default to a fresh register file and the
+        policy's own stream (pass explicit ones to share or to pin
+        determinism across runs).
+        """
+        if sampling <= 0 or sampling & (sampling - 1):
+            raise ValueError(
+                f"sampling must be a positive power of two (hardware decodes "
+                f"it from index bits), got {sampling}"
+            )
+        if l2_geometry.num_sets % sampling:
+            raise ValueError(
+                f"sampling {sampling} must divide the L2 set count "
+                f"{l2_geometry.num_sets}"
+            )
+        if profiler.policy_name != policy_name:
+            raise ValueError(
+                f"profiler for {profiler.policy_name!r} cannot interpret "
+                f"{policy_name!r} ATD state"
+            )
+        self.l2_geometry = l2_geometry
+        self.sampling = sampling
+        self.assoc = l2_geometry.assoc
+        self.num_sets = l2_geometry.num_sets // sampling
+        self.policy = make_seed_policy(policy_name, self.num_sets, self.assoc, rng=rng)
+        self.profiler = profiler
+        self.sdh = sdh if sdh is not None else SDH(self.assoc)
+        self._nru = self.policy if getattr(self.policy, "name", "") == "nru" else None
+
+        self._l2_set_mask = l2_geometry.num_sets - 1
+        # A set is sampled iff the low log2(sampling) index bits are zero.
+        self._skip_mask = sampling - 1
+        self._full_mask = (1 << self.assoc) - 1
+        self._maps: List[dict] = [dict() for _ in range(self.num_sets)]
+        self._lines: List[List[int]] = [
+            [-1] * self.assoc for _ in range(self.num_sets)
+        ]
+        self._invalid: List[int] = [self._full_mask] * self.num_sets
+        self.sampled_accesses = 0
+        self.skipped_accesses = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, line: int) -> bool:
+        """Feed one L2 access by the owning thread; True when sampled."""
+        if line & self._skip_mask:
+            self.skipped_accesses += 1
+            return False
+        self.sampled_accesses += 1
+        s = (line & self._l2_set_mask) >> (self.sampling.bit_length() - 1)
+        tag_map = self._maps[s]
+        way = tag_map.get(line)
+        if way is not None:
+            # Estimate first (pre-access state), then promote.
+            self.profiler.on_hit(self.policy, s, way, self.sdh)
+            self.policy.touch(s, way, 0, None)
+            return True
+        # ATD miss: the thread would miss even with the whole cache.
+        self.sdh.record_miss()
+        invalid = self._invalid[s]
+        if invalid:
+            way = (invalid & -invalid).bit_length() - 1
+            self._invalid[s] &= ~(1 << way)
+        else:
+            way = self.policy.victim(s, 0, self._full_mask)
+            old = self._lines[s][way]
+            if old >= 0:
+                del tag_map[old]
+        self._lines[s][way] = line
+        tag_map[line] = way
+        # Fill promotion must mirror the L2's miss path (``touch_fill``, not
+        # ``touch``): insertion-controlled policies place incoming lines
+        # elsewhere in the recency order, and the ATD shadows the cache.
+        self.policy.touch_fill(s, way, 0, None)
+        if self._nru is not None:
+            self._nru.fill_done()
+        return True
+
+    # ------------------------------------------------------------------
+    def contains_line(self, line: int) -> bool:
+        """True when the line is resident in the (sampled) ATD."""
+        l2_set = line & self._l2_set_mask
+        if l2_set % self.sampling:
+            return False
+        return line in self._maps[l2_set // self.sampling]
+
+    def storage_bits(self) -> int:
+        """ATD storage: tag + valid bit per entry plus replacement state.
+
+        For the paper's full-scale setup (1-in-32 sampling of a 2 MB 16-way
+        L2, 47 tag bits, LRU) this evaluates to exactly the quoted
+        3.25 KB/core: 32 sets × 16 × (47 tag + 1 valid) + 32 × 64 LRU bits.
+        """
+        tag_bits = self.l2_geometry.tag_bits
+        bits = self.num_sets * self.assoc * (tag_bits + 1)
+        bits += self.num_sets * self.policy.state_bits_per_set()
+        if self._nru is not None:
+            bits += bit_length_exact(self.assoc)
+        return bits
+
+    def reset(self) -> None:
+        """Cold-start the directory and the SDH."""
+        for s in range(self.num_sets):
+            self._maps[s].clear()
+            lines = self._lines[s]
+            for w in range(self.assoc):
+                lines[w] = -1
+            self._invalid[s] = self._full_mask
+        self.policy.reset()
+        self.sdh.reset()
+        self.sampled_accesses = 0
+        self.skipped_accesses = 0

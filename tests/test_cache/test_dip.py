@@ -55,11 +55,14 @@ class TestLIP:
         assert lru_hits == 0
         assert lip_hits > 0
 
-    def test_reset_restores_floor(self):
+    def test_reset_restores_cold_insertion_state(self):
         p = LIPPolicy(1, 4)
         p.touch_fill(0, 2, 0)
         p.reset()
-        assert p._floor[0] == 0
+        # The below-floor block is empty again: a cold victim search falls
+        # back to the never-touched pool (lowest way first).
+        assert p._below_size[0] == 0 and p._below_mask[0] == 0
+        assert p.victim(0, 0, 0b1111) == 0
 
 
 class TestBIP:

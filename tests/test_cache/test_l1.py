@@ -137,3 +137,27 @@ class TestBulkAccess:
         expected = np.array([seq.access_line_hit(int(x)) for x in lines])
         got = bulk.access_lines_hit(lines)
         assert np.array_equal(expected, got)
+
+
+class TestDerivedEvictionStats:
+    """hits/evictions are derived (accesses-misses / misses-fills_invalid);
+    the hit and rw paths must account invalid fills identically."""
+
+    def test_rw_path_counts_cold_fills_like_hit_path(self, rng):
+        g = geometry(num_sets=2, assoc=2)
+        ro = SmallLRUCache(g)
+        rw = SmallLRUCache(g)
+        lines = [0, 4, 8, 0, 12]   # one set: 2 cold fills, 3 evictions
+        for line in lines:
+            ro.access_line_hit(line)
+            rw.access_line_rw(line, False)
+        assert ro.stats.fills_invalid == rw.stats.fills_invalid
+        assert ro.stats.evictions == rw.stats.evictions
+        assert ro.stats.fills_invalid[0] == 2
+        assert ro.stats.evictions[0] == 3
+        more = rng.integers(0, 16, size=800)
+        for line in more.tolist():
+            ro.access_line_hit(int(line))
+            rw.access_line_rw(int(line), bool(line & 1))
+        assert ro.stats.evictions == rw.stats.evictions
+        assert ro.stats.hits == rw.stats.hits

@@ -60,7 +60,7 @@ class TestSRRIP:
             p.touch_fill(0, way, 0)       # all long = RRPV 0 (max-1 = 0)
         p.touch(0, 2, 0)
         for way in (0, 1, 3):
-            p._rrpv[0][way] = 1           # mark others distant
+            p._rrpv[0 * p.assoc + way] = 1   # mark others distant (flat)
         assert p.victim(0, 0, 0b1111) == 0
 
     def test_state_bits(self):

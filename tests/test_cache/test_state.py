@@ -1,0 +1,226 @@
+"""Unit tests for the flat array core: TagStore and the access kernels.
+
+The kernels (policy-specialised ``access_line_hit`` / ``ATD.observe``
+closures) must be *observably identical* to the generic object-protocol
+paths they shadow — same hit/miss outcomes, same statistics, same resident
+lines, same policy state — for every registered policy and partition
+scheme.  ``kernels=False`` builds the generic twin.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.partition.allocation import (
+    WayAllocation,
+    even_subcube_allocation,
+)
+from repro.cache.partition.base import make_partition
+from repro.cache.partition.btvectors import BTVectorPartition
+from repro.cache.replacement.base import POLICY_REGISTRY, make_policy
+from repro.cache.state import TagStore, build_hit_kernel
+from repro.profiling.atd import ATD
+from repro.profiling.profilers import make_profiler
+
+ALL_POLICIES = sorted(POLICY_REGISTRY)
+
+
+class TestTagStore:
+    def test_install_lookup_evict(self):
+        store = TagStore(4, 2)
+        assert store.lookup(100) is None
+        store.install(0, 1, 100)
+        assert store.lookup(100) == 1
+        assert store.occupancy() == 1
+        assert store.evict(0, 1) == 100
+        assert store.lookup(100) is None
+        store.install(0, 1, 104)         # evict-then-refill contract
+        assert store.lookup(104) == 1
+        assert store.evict(1, 0) == -1   # empty way: nothing to unbind
+
+    def test_invalidate_way_clears_dirty_and_map(self):
+        store = TagStore(4, 2)
+        store.install(2, 0, 50)
+        store.invalid[2] &= ~1
+        store.dirty[2] |= 1
+        store.invalidate_way(2, 0)
+        assert store.lookup(50) is None
+        assert store.invalid[2] & 1
+        assert store.dirty[2] == 0
+
+    def test_flush_in_place(self):
+        store = TagStore(2, 2)
+        lines_obj, invalid_obj = store.lines, store.invalid
+        store.install(0, 0, 7)
+        store.flush()
+        assert store.occupancy() == 0
+        assert store.lines is lines_obj and store.invalid is invalid_obj
+        assert all(line == -1 for line in store.lines)
+        assert all(inv == store.full_mask for inv in store.invalid)
+
+    def test_resident_lines_and_array_view(self):
+        store = TagStore(2, 2)
+        store.install(1, 0, 11)
+        store.install(1, 1, 3)
+        assert store.resident_lines(1) == [11, 3]
+        view = store.lines_array()
+        assert view.shape == (2, 2)
+        assert view[1, 0] == 11 and view[0, 0] == -1
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            TagStore(0, 4)
+
+
+def scheme_for(scheme, policy, cores, num_sets, assoc):
+    if scheme == "none":
+        return None
+    if scheme == "btvectors":
+        part = BTVectorPartition(cores, num_sets, assoc, policy)
+        part.apply(even_subcube_allocation(cores, assoc))
+        return part
+    part = make_partition(scheme, cores, num_sets, assoc)
+    part.apply(WayAllocation.from_counts((5, 3), assoc))
+    return part
+
+
+KERNEL_CASES = [(p, s) for p in ALL_POLICIES for s in ("none", "masks")] + [
+    ("lru", "counters"), ("nru", "counters"), ("srrip", "counters"),
+    ("bt", "btvectors"),
+]
+
+
+@pytest.mark.parametrize("policy_name,scheme", KERNEL_CASES,
+                         ids=lambda v: str(v))
+def test_kernel_matches_generic_path(policy_name, scheme):
+    """kernels=True and kernels=False caches evolve identically."""
+    num_sets, assoc, cores = 8, 8, 2
+    geometry = CacheGeometry(num_sets * assoc * 128, assoc, 128)
+
+    def build(kernels):
+        policy = make_policy(policy_name, num_sets, assoc,
+                             rng=np.random.default_rng(3))
+        part = scheme_for(scheme, policy, cores, num_sets, assoc)
+        return SetAssociativeCache(geometry, policy, partition=part,
+                                   num_cores=cores, kernels=kernels)
+
+    fast = build(True)
+    slow = build(False)
+    if policy_name in ("lru", "nru", "bt", "fifo", "lip", "bip", "dip",
+                       "srrip", "brrip", "random"):
+        assert "access_line_hit" in fast.__dict__, "kernel not bound"
+    assert "access_line_hit" not in slow.__dict__
+
+    rng = np.random.default_rng(23)
+    lines = rng.integers(0, 300, size=6000).tolist()
+    ops = rng.integers(0, 100, size=6000).tolist()
+    cores_seq = rng.integers(0, cores, size=6000).tolist()
+    for line, op, core in zip(lines, ops, cores_seq):
+        if op < 96:
+            assert (fast.access_line_hit(line, core)
+                    == slow.access_line_hit(line, core))
+        elif op < 99:
+            assert fast.invalidate_line(line) == slow.invalidate_line(line)
+        else:
+            fast.flush()
+            slow.flush()
+    for s in range(num_sets):
+        assert fast.resident_lines(s) == slow.resident_lines(s)
+    for field in ("accesses", "misses", "fills_invalid"):
+        assert getattr(fast.stats, field) == getattr(slow.stats, field)
+    assert fast.stats.hits == slow.stats.hits
+    assert fast.stats.evictions == slow.stats.evictions
+
+
+def test_kernel_survives_flush():
+    """The bound kernel keeps working after flush (in-place resets)."""
+    geometry = CacheGeometry(8 * 4 * 128, 4, 128)
+    cache = SetAssociativeCache(geometry, "lru")
+    kernel = cache.access_line_hit
+    for line in range(64):
+        kernel(line)
+    cache.flush()
+    assert cache.occupancy() == 0
+    assert kernel is cache.access_line_hit   # not rebound
+    for line in range(64):
+        assert kernel(line) is False         # everything misses again
+    assert cache.occupancy() == 32
+
+
+def test_unknown_policy_falls_back_to_generic():
+    """A policy without kernel_kind gets no kernel and still works."""
+    policy = make_policy("lru", 4, 4)
+
+    class Weird(type(policy)):
+        kernel_kind = ""
+
+    weird = Weird(4, 4)
+    geometry = CacheGeometry(4 * 4 * 128, 4, 128)
+    cache = SetAssociativeCache(geometry, weird)
+    assert build_hit_kernel(cache) is None
+    assert "access_line_hit" not in cache.__dict__
+    assert cache.access_line_hit(5) is False
+    assert cache.access_line_hit(5) is True
+
+
+def test_mixed_entry_points_share_state():
+    """access_line / access_line_rw / kernelised hit path interleave."""
+    geometry = CacheGeometry(8 * 4 * 128, 4, 128)
+    fast = SetAssociativeCache(geometry, "lru")
+    slow = SetAssociativeCache(geometry, "lru", kernels=False)
+    rng = np.random.default_rng(5)
+    for line in rng.integers(0, 100, size=2000).tolist():
+        kind = line % 3
+        if kind == 0:
+            assert (fast.access_line_hit(line)
+                    == slow.access_line_hit(line))
+        elif kind == 1:
+            assert fast.access_line(line) == slow.access_line(line)
+        else:
+            assert (fast.access_line_rw(line, write=True)
+                    == slow.access_line_rw(line, write=True))
+    assert fast.dirty_lines() == slow.dirty_lines()
+    for s in range(8):
+        assert fast.resident_lines(s) == slow.resident_lines(s)
+
+
+@pytest.mark.parametrize("policy_name", ["lru", "nru", "bt"])
+def test_observe_kernel_matches_generic(policy_name):
+    geometry = CacheGeometry(32 * 8 * 128, 8, 128)
+
+    def build(kernels):
+        return ATD(geometry, 4, policy_name, make_profiler(policy_name),
+                   rng=np.random.default_rng(9), kernels=kernels)
+
+    fast = build(True)
+    slow = build(False)
+    assert "observe" in fast.__dict__
+    assert "observe" not in slow.__dict__
+    rng = np.random.default_rng(1)
+    for line in rng.integers(0, 3000, size=8000).tolist():
+        assert fast.observe(line) == slow.observe(line)
+    assert fast.sampled_accesses == slow.sampled_accesses
+    assert fast.skipped_accesses == slow.skipped_accesses
+    assert list(fast.sdh.registers) == list(slow.sdh.registers)
+
+    fast.reset()
+    assert fast.sampled_accesses == 0
+    assert fast.observe(0) is True           # kernel alive after reset
+    assert fast.sampled_accesses == 1
+
+
+def test_observe_kernel_skipped_for_custom_profiler():
+    """Non-stock profilers must keep the generic observe path."""
+    from repro.profiling.profilers import LRUDistanceProfiler
+
+    class Custom(LRUDistanceProfiler):
+        pass
+
+    geometry = CacheGeometry(32 * 8 * 128, 8, 128)
+    atd = ATD(geometry, 4, "lru", Custom())
+    assert "observe" not in atd.__dict__
+
+    spread = ATD(geometry, 4, "nru",
+                 make_profiler("nru", spread_update=True))
+    assert "observe" not in spread.__dict__

@@ -74,3 +74,36 @@ class TestExtensionPolicies:
         assert policy_bits("bt") < policy_bits("nru")
         # and the modern NRU generalisation sits in between.
         assert policy_bits("nru") < policy_bits("srrip") < lru
+
+
+class TestReportStateBitsTable:
+    """``repro report`` surfaces the totals alongside Table I."""
+
+    def test_covers_every_registered_policy(self):
+        from repro.cache.replacement.base import POLICY_REGISTRY
+        from repro.experiments.table1 import policy_state_bits
+
+        rows = {r["policy"]: r for r in policy_state_bits(GEOMETRY)}
+        assert set(rows) == set(POLICY_REGISTRY)
+        # Totals = per_set x num_sets + per-cache extras.
+        for name, row in rows.items():
+            assert row["total"] == (row["per_set"] * GEOMETRY.num_sets
+                                    + row["per_cache"])
+        # Paper geometry spot checks: LRU 8 KB, NRU A bits/set + pointer,
+        # BT (A-1) bits/set, DIP adds only the 10-bit PSEL over LRU.
+        assert rows["lru"]["total"] == 8 * 8 * 1024
+        assert rows["nru"]["per_cache"] == 4
+        assert rows["bt"]["per_set"] == 15
+        assert rows["dip"]["total"] == rows["lru"]["total"] + 10
+
+    def test_rendered_in_table1_section(self):
+        from repro.experiments import table1
+        from repro.reporting.sections import _table1_tables
+
+        tables = _table1_tables(table1.run())
+        titles = [t.title for t in tables]
+        assert any("all registered policies" in t for t in titles)
+        block = next(t for t in tables
+                     if "all registered policies" in t.title)
+        policies = {row[0] for row in block.rows}
+        assert {"lru", "nru", "bt", "fifo", "dip", "srrip"} <= policies

@@ -1,0 +1,21 @@
+"""The shared example-scale knob (REPRO_EXAMPLE_SCALE)."""
+
+from repro.util import example_scale
+
+
+def test_defaults_to_full_size(monkeypatch):
+    monkeypatch.delenv("REPRO_EXAMPLE_SCALE", raising=False)
+    assert example_scale() == 1
+    assert example_scale(default=4) == 4
+
+
+def test_reads_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_EXAMPLE_SCALE", "8")
+    assert example_scale() == 8
+
+
+def test_clamped_to_at_least_one(monkeypatch):
+    monkeypatch.setenv("REPRO_EXAMPLE_SCALE", "0")
+    assert example_scale() == 1
+    monkeypatch.setenv("REPRO_EXAMPLE_SCALE", "-3")
+    assert example_scale() == 1
