@@ -1,0 +1,153 @@
+"""Campaign stage-1 (isolation) wall-clock benchmark: solo vs batched.
+
+Stage 1 of every campaign executes the deduplicated union of the outcome
+jobs' isolation dependencies — single-thread unpartitioned runs whose IPCs
+define the cycle-matched budgets and the weighted-speedup / harmonic-mean
+denominators.  This file measures that stage end to end with a selectable
+engine, which is exactly the workload the solo engine exists for.
+
+Run directly for the acceptance measurement (the Figure 7 isolation stage
+over the default 2T + 4T mixes)::
+
+    PYTHONPATH=src python benchmarks/bench_isolation.py            # full
+    PYTHONPATH=src python benchmarks/bench_isolation.py --smoke    # ~15 s
+
+Both modes print the trace-generation time once and the per-engine
+simulation wall clock, and fail loudly when the solo engine's speedup over
+the batched engine drops below the floor.  ``record.py engine`` imports
+:func:`run_stage_once` to record the ``isolation_stage_*`` rates the CI
+perf gate floors.
+"""
+
+import sys
+import time
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.campaign.jobs import Job, isolation_deps, outcome_job
+from repro.cmp.isolation import IsolationRunner
+from repro.config import SimulationConfig, paper_figure7_configs
+from repro.experiments.common import ExperimentScale
+from repro.workloads.generator import generate_trace
+from repro.workloads.trace import Trace
+
+#: Solo must stay at least this much faster than the *current* batched
+#: engine on the stage.  This in-process guard is deliberately looser than
+#: the acceptance floor: the post-drain batched engine is itself faster
+#: than the pre-solo baseline, and the strict >=1.5x-vs-pre-solo gate is
+#: enforced by the CI perf-smoke job's cross-recording comparison
+#: (``record.py engine --baseline`` against a seed-worktree recording).
+SPEEDUP_FLOOR = 1.3
+
+
+def stage_jobs(scale: ExperimentScale) -> List[Job]:
+    """The deduplicated isolation stage of a Figure-7-style campaign."""
+    jobs: Dict[Tuple[str, int, str], Job] = {}
+    for mixes in (scale.mixes_2t, scale.mixes_4t):
+        for mix in mixes:
+            for config in paper_figure7_configs():
+                outcome = outcome_job(scale, mix, config)
+                for dep in isolation_deps(outcome):
+                    jobs[(dep.benchmark, dep.core_id, dep.policy)] = dep
+    return list(jobs.values())
+
+
+def stage_traces(scale: ExperimentScale,
+                 jobs: List[Job]) -> Dict[Tuple[str, int], Trace]:
+    """Generate each job's trace once (shared across its policies)."""
+    traces: Dict[Tuple[str, int], Trace] = {}
+    for job in jobs:
+        key = (job.benchmark, job.core_id)
+        if key not in traces:
+            traces[key] = generate_trace(
+                job.benchmark, scale.accesses, scale.baseline_l2_lines,
+                seed=scale.seed, core_id=job.core_id)
+    return traces
+
+
+def run_stage_once(engine: str, scale: ExperimentScale,
+                   jobs: List[Job],
+                   traces: Dict[Tuple[str, int], Trace]) -> Tuple[float, int]:
+    """Execute the whole isolation stage serially with one engine.
+
+    Returns ``(seconds, accesses)`` where ``accesses`` is the total number
+    of simulated memory references (for rate reporting).  Trace generation
+    is *not* included — pass pregenerated ``traces`` so the measurement
+    compares engines, not the generator.
+    """
+    runner = IsolationRunner(
+        scale.processor(1),
+        SimulationConfig(seed=scale.seed, engine=engine),
+    )
+    accesses = 0
+    start = time.perf_counter()
+    for job in jobs:
+        trace = traces[(job.benchmark, job.core_id)]
+        result = runner.thread_result(trace, job.policy)
+        accesses += result.l1_accesses
+    return time.perf_counter() - start, accesses
+
+
+def bench_scale(smoke: bool = False) -> ExperimentScale:
+    """Measurement scale: the default harness scale, shorter when smoking."""
+    scale = ExperimentScale()
+    if smoke:
+        scale = ExperimentScale(accesses=20_000)
+    return scale
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ["batched", "solo"])
+def test_isolation_stage_rate(benchmark, engine):
+    scale = ExperimentScale(accesses=8_000)   # keep the tier-1 run quick
+    jobs = stage_jobs(scale)
+    traces = stage_traces(scale, jobs)
+    benchmark(lambda: run_stage_once(engine, scale, jobs, traces))
+
+
+def test_solo_stage_speedup():
+    """Regression guard: solo must stay well ahead on the isolation stage."""
+    scale = bench_scale(smoke=True)
+    jobs = stage_jobs(scale)
+    traces = stage_traces(scale, jobs)
+    best = {}
+    for engine in ("batched", "solo"):
+        best[engine] = min(
+            run_stage_once(engine, scale, jobs, traces)[0] for _ in range(3))
+    speedup = best["batched"] / best["solo"]
+    print(f"\nisolation-stage speedup: {speedup:.2f}x "
+          f"(batched {best['batched']:.2f}s, solo {best['solo']:.2f}s)")
+    assert speedup >= SPEEDUP_FLOOR
+
+
+def main(argv) -> int:
+    smoke = "--smoke" in argv
+    scale = bench_scale(smoke)
+    t0 = time.perf_counter()
+    jobs = stage_jobs(scale)
+    traces = stage_traces(scale, jobs)
+    gen_time = time.perf_counter() - t0
+    print(f"isolation stage: {len(jobs)} jobs over {len(traces)} traces "
+          f"({scale.accesses} accesses each; generation {gen_time:.2f} s)")
+    seconds = {}
+    for engine in ("batched", "solo"):
+        best, accesses = None, 0
+        for _ in range(2 if smoke else 3):
+            elapsed, accesses = run_stage_once(engine, scale, jobs, traces)
+            best = elapsed if best is None else min(best, elapsed)
+        seconds[engine] = best
+        print(f"  {engine:8s} {best:6.2f} s "
+              f"({accesses / best / 1e6:.2f} M refs/s)")
+    speedup = seconds["batched"] / seconds["solo"]
+    print(f"  speedup  {speedup:6.2f} x")
+    if speedup < SPEEDUP_FLOOR:
+        print(f"FAIL: solo speedup below the {SPEEDUP_FLOOR}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

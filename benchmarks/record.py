@@ -12,7 +12,10 @@ a best-of-``--repeats`` ``perf_counter`` loop — the same setups as
 ``bench_core_structures.py`` but without the pytest-benchmark harness, so it
 runs in seconds and emits stable ops/sec numbers.  ``engine`` measures the
 end-to-end reference vs batched engine wall-clock on the 4-core mix of
-``bench_engine.py``.
+``bench_engine.py`` plus the campaign stage-1 **isolation composite**
+(``bench_isolation.py``) under the batched and — when the library on
+``PYTHONPATH`` provides it — the solo engine, so the same script records
+the pre-solo baseline from a seed worktree and the current rates.
 
 Every output file carries machine metadata (platform, CPU count, python and
 numpy versions) so recorded rates are comparable only within a machine.
@@ -56,6 +59,17 @@ DEFAULT_FLOOR_KEYS = (
     "atd_observe_lru:1.4",
     "atd_observe_nru:1.4",
     "atd_observe_bt:1.4",
+)
+
+#: Default floor keys for the ``engine`` target.  A ``cur/base`` entry
+#: compares the *current* ``cur`` rate against the *baseline* ``base``
+#: rate — the solo floor grades the new engine against the baseline
+#: recording's batched isolation rate (the pre-solo engine on the same
+#: machine; the baseline tree has no solo engine to record).
+DEFAULT_ENGINE_FLOOR_KEYS = (
+    "isolation_stage_solo/isolation_stage_batched:1.5",
+    "isolation_stage_batched:0.9",
+    "engine_batched:0.9",
 )
 
 
@@ -175,8 +189,12 @@ def record_core(repeats: int) -> dict:
             "rates": {k: round(v, 1) for k, v in rates.items()}}
 
 
-def record_engine(accesses: int, repeats: int) -> dict:
+def record_engine(accesses: int, repeats: int,
+                  iso_accesses: int = 20_000) -> dict:
     from bench_engine import run_once
+    from bench_isolation import run_stage_once, stage_jobs, stage_traces
+    from repro.config import ENGINES
+    from repro.experiments.common import ExperimentScale
 
     timings = {}
     for engine in ("reference", "batched"):
@@ -186,14 +204,48 @@ def record_engine(accesses: int, repeats: int) -> dict:
             if elapsed < best:
                 best = elapsed
         timings[engine] = best
-    return {
+
+    # Campaign stage-1 isolation composite: the full deduplicated
+    # isolation-job set of a fig7-style campaign, single-thread runs only,
+    # at ``iso_accesses`` references per trace (``--isolation-accesses``).
+    # The solo engine is skipped when the library on PYTHONPATH predates it
+    # (the seed-worktree baseline recording).
+    scale = ExperimentScale(accesses=iso_accesses)
+    jobs = stage_jobs(scale)
+    traces = stage_traces(scale, jobs)
+    iso_engines = ["batched"] + (["solo"] if "solo" in ENGINES else [])
+    iso_seconds = {}
+    iso_totals = {}
+    for engine in iso_engines:
+        best = float("inf")
+        for _ in range(repeats):
+            elapsed, total_accesses = run_stage_once(engine, scale, jobs,
+                                                     traces)
+            if elapsed < best:
+                best = elapsed
+            iso_totals[engine] = total_accesses
+        iso_seconds[engine] = best
+
+    rates = {f"engine_{k}": round(4 * accesses / v, 1)
+             for k, v in timings.items()}
+    for engine, best in iso_seconds.items():
+        rates[f"isolation_stage_{engine}"] = round(iso_totals[engine] / best,
+                                                   1)
+    payload = {
         "kind": "engine", "unit": "seconds", "machine": _machine(),
         "accesses_per_thread": accesses,
+        "isolation_accesses_per_trace": scale.accesses,
+        "isolation_stage_jobs": len(jobs),
         "seconds": {k: round(v, 4) for k, v in timings.items()},
-        "rates": {f"engine_{k}": round(4 * accesses / v, 1)
-                  for k, v in timings.items()},
+        "isolation_seconds": {k: round(v, 4)
+                              for k, v in iso_seconds.items()},
+        "rates": rates,
         "batched_speedup": round(timings["reference"] / timings["batched"], 3),
     }
+    if "solo" in iso_seconds:
+        payload["isolation_solo_speedup"] = round(
+            iso_seconds["batched"] / iso_seconds["solo"], 3)
+    return payload
 
 
 def check_floor(current: dict, baseline_path: Path, default_floor: float,
@@ -201,7 +253,10 @@ def check_floor(current: dict, baseline_path: Path, default_floor: float,
     """Grade current rates against a baseline recording.
 
     ``keys`` entries are ``name`` or ``name:floor``; a bare name uses
-    ``default_floor``.  Returns nonzero when any rate falls short.
+    ``default_floor``.  A ``cur/base`` name compares the current ``cur``
+    rate against the baseline's ``base`` rate (used when the baseline tree
+    cannot record the current key, e.g. a pre-solo worktree).  Returns
+    nonzero when any rate falls short.
     """
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     base_rates = baseline["rates"]
@@ -210,12 +265,15 @@ def check_floor(current: dict, baseline_path: Path, default_floor: float,
     for entry in keys:
         key, _, floor_text = entry.partition(":")
         floor = float(floor_text) if floor_text else default_floor
-        if key not in base_rates or key not in cur_rates:
-            print(f"  floor: {key}: missing (baseline: {key in base_rates}, "
-                  f"current: {key in cur_rates})")
+        cur_key, _, base_key = key.partition("/")
+        base_key = base_key or cur_key
+        if base_key not in base_rates or cur_key not in cur_rates:
+            print(f"  floor: {key}: missing "
+                  f"(baseline {base_key}: {base_key in base_rates}, "
+                  f"current {cur_key}: {cur_key in cur_rates})")
             failures.append(key)
             continue
-        speedup = cur_rates[key] / base_rates[key]
+        speedup = cur_rates[cur_key] / base_rates[base_key]
         status = "ok" if speedup >= floor else "FAIL"
         print(f"  floor: {key}: {speedup:.2f}x vs baseline "
               f"(floor {floor:.2f}x) {status}")
@@ -240,37 +298,45 @@ def main(argv=None) -> int:
                         default=int(os.environ.get("REPRO_ENGINE_ACCESSES",
                                                    "60000")),
                         help="references per thread for the engine recording")
+    parser.add_argument("--isolation-accesses", type=int, default=20_000,
+                        help="references per trace for the isolation-stage "
+                             "composite of the engine recording")
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON to grade the 'core' rates against")
     parser.add_argument("--floor", type=float, default=2.0,
                         help="default minimum current/baseline rate ratio")
-    parser.add_argument("--floor-keys",
-                        default=",".join(DEFAULT_FLOOR_KEYS),
-                        help="comma-separated key[:floor] entries to check")
+    parser.add_argument("--floor-keys", default=None,
+                        help="comma-separated key[:floor] entries to check "
+                             "(default: per-target floor sets)")
     args = parser.parse_args(argv)
 
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
+    if args.baseline and len(dict.fromkeys(args.targets)) > 1:
+        parser.error("--baseline grades one target at a time")
     status = 0
     for target in dict.fromkeys(args.targets):
         if target == "core":
             payload = record_core(args.repeats)
             out = out_dir / "BENCH_core.json"
-            if args.baseline:
-                # Self-contained recording: embed the pre-refactor rates
-                # and the measured speedups next to the current numbers.
-                base = json.loads(
-                    Path(args.baseline).read_text(encoding="utf-8"))
-                payload["baseline"] = str(args.baseline)
-                payload["baseline_rates"] = base["rates"]
-                payload["speedup_vs_baseline"] = {
-                    k: round(v / base["rates"][k], 3)
-                    for k, v in payload["rates"].items()
-                    if k in base["rates"] and base["rates"][k]
-                }
+            default_keys = DEFAULT_FLOOR_KEYS
         else:
-            payload = record_engine(args.engine_accesses, args.repeats)
+            payload = record_engine(args.engine_accesses, args.repeats,
+                                    iso_accesses=args.isolation_accesses)
             out = out_dir / "BENCH_engine.json"
+            default_keys = DEFAULT_ENGINE_FLOOR_KEYS
+        if args.baseline:
+            # Self-contained recording: embed the baseline rates and the
+            # measured speedups next to the current numbers.
+            base = json.loads(
+                Path(args.baseline).read_text(encoding="utf-8"))
+            payload["baseline"] = str(args.baseline)
+            payload["baseline_rates"] = base["rates"]
+            payload["speedup_vs_baseline"] = {
+                k: round(v / base["rates"][k], 3)
+                for k, v in payload["rates"].items()
+                if k in base["rates"] and base["rates"][k]
+            }
         out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                        encoding="utf-8")
         print(f"wrote {out}")
@@ -278,8 +344,14 @@ def main(argv=None) -> int:
             print(f"  {key}: {payload['rates'][key]:,.0f} ops/sec")
         if target == "engine":
             print(f"  batched speedup: {payload['batched_speedup']:.2f}x")
-        if target == "core" and args.baseline:
-            keys = [k.strip() for k in args.floor_keys.split(",") if k.strip()]
+            if "isolation_solo_speedup" in payload:
+                print(f"  isolation solo speedup: "
+                      f"{payload['isolation_solo_speedup']:.2f}x")
+        if args.baseline:
+            keys = [k.strip()
+                    for k in (args.floor_keys.split(",")
+                              if args.floor_keys else default_keys)
+                    if k.strip()]
             status |= check_floor(payload, Path(args.baseline), args.floor,
                                   keys)
     return status

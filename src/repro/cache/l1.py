@@ -29,6 +29,11 @@ class SmallLRUCache:
         self.name = name
         self._set_mask = geometry.num_sets - 1
         self._assoc = geometry.assoc
+        # Narrow sort keys for the bulk path: numpy's stable argsort is a
+        # radix sort whose pass count scales with the key width, and L1 set
+        # indices are tiny — int16 keys sort ~8x faster than int64.
+        self._set_dtype = np.int16 if geometry.num_sets <= (1 << 15) \
+            else np.int64
         self._sets: List[List[int]] = [[] for _ in range(geometry.num_sets)]
         # Write-back extension: resident dirty lines (empty for read-only
         # workloads, so the hot read path never consults it).
@@ -169,8 +174,11 @@ class SmallLRUCache:
         stats.accesses[0] += n
         if n == 0:
             return np.empty(0, dtype=bool)
-        sets = lines & self._set_mask
-        touched = np.unique(sets)
+        sets = (lines & self._set_mask).astype(self._set_dtype)
+        # The set domain is tiny (tens of sets), so a bincount + flatnonzero
+        # beats np.unique's sort by a wide margin on 64K-access windows.
+        touched = np.flatnonzero(
+            np.bincount(sets, minlength=len(self._sets)))
         occ0 = {}
         carry: List[int] = []
         for s in touched.tolist():
@@ -181,7 +189,7 @@ class SmallLRUCache:
         if nc:
             ext_lines = np.concatenate(
                 [np.asarray(carry, dtype=np.int64), lines])
-            ext_sets = ext_lines & self._set_mask
+            ext_sets = (ext_lines & self._set_mask).astype(self._set_dtype)
         else:
             ext_lines = lines
             ext_sets = sets
@@ -220,10 +228,10 @@ class SmallLRUCache:
         misses = n - hits
         stats.misses[0] += misses
         if misses:
-            miss_sets = sets[~flags]
-            uniq, per_set_misses = np.unique(miss_sets, return_counts=True)
+            miss_counts = np.bincount(sets[~flags], minlength=len(self._sets))
+            uniq = np.flatnonzero(miss_counts)
             fills_invalid = 0
-            for s, cnt in zip(uniq.tolist(), per_set_misses.tolist()):
+            for s, cnt in zip(uniq.tolist(), miss_counts[uniq].tolist()):
                 spare = assoc - occ0[s]
                 fills_invalid += min(cnt, spare)
             stats.fills_invalid[0] += fills_invalid

@@ -46,7 +46,8 @@ import numpy as np
 
 from repro.cache.partition.base import PartitionScheme
 
-__all__ = ["TagStore", "build_hit_kernel", "build_observe_kernel"]
+__all__ = ["TagStore", "build_hit_kernel", "build_observe_kernel",
+           "build_observe_many_kernel"]
 
 
 class TagStore:
@@ -946,14 +947,8 @@ _OBSERVE_KERNELS = {
 }
 
 
-def build_observe_kernel(atd) -> Optional[Callable]:
-    """Specialised ``ATD.observe`` for the ATD's policy, or None.
-
-    A kernel inlines the *standard* profiler's interpretation of the flat
-    state, so it only engages when the ATD runs the stock
-    :class:`~repro.profiling.profilers.DistanceProfiler` for its policy —
-    a custom profiler (tests, ablations) keeps the generic path.
-    """
+def _kernel_eligible(atd) -> bool:
+    """True when the ATD's (policy, profiler) pair has kernel support."""
     from repro.profiling.profilers import (
         BTDistanceProfiler,
         LRUDistanceProfiler,
@@ -963,7 +958,233 @@ def build_observe_kernel(atd) -> Optional[Callable]:
     expected = {"lru": LRUDistanceProfiler, "nru": NRUDistanceProfiler,
                 "bt": BTDistanceProfiler}
     kind = getattr(atd.policy, "kernel_kind", "")
-    factory = _OBSERVE_KERNELS.get(kind)
-    if factory is None or type(atd.profiler) is not expected[kind]:
+    return kind in _OBSERVE_KERNELS and type(atd.profiler) is expected[kind]
+
+
+def build_observe_kernel(atd) -> Optional[Callable]:
+    """Specialised ``ATD.observe`` for the ATD's policy, or None.
+
+    A kernel inlines the *standard* profiler's interpretation of the flat
+    state, so it only engages when the ATD runs the stock
+    :class:`~repro.profiling.profilers.DistanceProfiler` for its policy —
+    a custom profiler (tests, ablations) keeps the generic path.
+    """
+    if not _kernel_eligible(atd):
         return None
-    return factory(atd)
+    return _OBSERVE_KERNELS[atd.policy.kernel_kind](atd)
+
+
+# ----------------------------------------------------------------------
+# Batch ATD observe kernels (deferred profiling drains)
+# ----------------------------------------------------------------------
+# ``observe_many(lines)`` drains a buffered run of one thread's L2-reaching
+# line addresses through the exact per-line transitions of the single
+# observe kernel above — same sampling filter, same SDH updates, same
+# victim choices — with the per-call overhead (argument parsing, closure
+# entry) amortised over the whole buffer.  The execution engines buffer
+# each thread's stream and drain at controller boundaries / run end, which
+# is exact because ATD state is a pure function of the *own-thread* stream
+# prefix and is only read at those drain points (see
+# ``docs/architecture.md`` for the full argument).  Equivalence with
+# per-line ``observe`` is pinned by ``tests/test_cmp/test_solo_engine.py``
+# and ``tests/test_profiling/test_atd.py``.
+
+def _lru_observe_many_kernel(atd):
+    """Batched :func:`_lru_observe_kernel`: one loop, locals bound once."""
+    (tag_map, lines, invalid, counts, l2_set_mask, skip_mask, set_shift,
+     assoc, sdh_r, miss_reg) = _atd_common(atd)
+    policy = atd.policy
+    order = policy._order
+    order_index = order.index
+    size = policy._size
+    present = policy._present
+    tag_get = tag_map.get
+
+    def observe_many(batch):
+        sampled = 0
+        skipped = 0
+        for line in batch:
+            if line & skip_mask:
+                skipped += 1
+                continue
+            sampled += 1
+            way = tag_get(line)
+            s = (line & l2_set_mask) >> set_shift
+            base = s * assoc
+            if way is not None:
+                pos = order_index(way, base, base + size[s])
+                sdh_r[pos - base + 1] += 1
+                if pos != base:
+                    order[base + 1:pos + 1] = order[base:pos]
+                    order[base] = way
+                continue
+            sdh_r[miss_reg] += 1
+            inv = invalid[s]
+            if inv:
+                way = (inv & -inv).bit_length() - 1
+                invalid[s] = inv & ~(1 << way)
+                sz = size[s]
+                order[base + 1:base + sz + 1] = order[base:base + sz]
+                order[base] = way
+                size[s] = sz + 1
+                present[s] |= 1 << way
+            else:
+                i = base + assoc - 1
+                way = order[i]
+                old = lines[base + way]
+                if old >= 0:
+                    del tag_map[old]
+                order[base + 1:i + 1] = order[base:i]
+                order[base] = way
+            lines[base + way] = line
+            tag_map[line] = way
+        counts[0] += sampled
+        counts[1] += skipped
+
+    return observe_many
+
+
+def _nru_observe_many_kernel(atd):
+    """Batched :func:`_nru_observe_kernel`."""
+    profiler = atd.profiler
+    if profiler.spread_update:
+        return None            # literal-reading ablation: generic path
+    (tag_map, lines, invalid, counts, l2_set_mask, skip_mask, set_shift,
+     assoc, sdh_r, miss_reg) = _atd_common(atd)
+    policy = atd.policy
+    used_l = policy._used
+    pointer = policy._pointer_box
+    full_mask = policy.full_mask
+    scaling = profiler.scaling
+    exact_scaling = scaling == 1.0
+    tag_get = tag_map.get
+
+    def observe_many(batch):
+        sampled = 0
+        skipped = 0
+        for line in batch:
+            if line & skip_mask:
+                skipped += 1
+                continue
+            sampled += 1
+            way = tag_get(line)
+            s = (line & l2_set_mask) >> set_shift
+            if way is not None:
+                used = used_l[s]
+                if (used >> way) & 1:
+                    if exact_scaling:
+                        distance = used.bit_count()
+                    else:
+                        distance = ceil(scaling * used.bit_count())
+                        if distance < 1:
+                            distance = 1
+                    sdh_r[distance] += 1
+                used |= 1 << way
+                used_l[s] = (1 << way) if used == full_mask else used
+                continue
+            sdh_r[miss_reg] += 1
+            base = s * assoc
+            inv = invalid[s]
+            if inv:
+                way = (inv & -inv).bit_length() - 1
+                invalid[s] = inv & ~(1 << way)
+                used = used_l[s]
+            else:
+                used = used_l[s]
+                if used == full_mask:
+                    used = 0
+                hi = (full_mask & ~used) >> pointer[0]
+                if hi:
+                    way = pointer[0] + (hi & -hi).bit_length() - 1
+                else:
+                    free = full_mask & ~used
+                    way = (free & -free).bit_length() - 1
+                old = lines[base + way]
+                if old >= 0:
+                    del tag_map[old]
+            lines[base + way] = line
+            tag_map[line] = way
+            bit = 1 << way
+            used |= bit
+            used_l[s] = bit if used == full_mask else used
+            p = pointer[0] + 1
+            pointer[0] = p if p < assoc else 0
+        counts[0] += sampled
+        counts[1] += skipped
+
+    return observe_many
+
+
+def _bt_observe_many_kernel(atd):
+    """Batched :func:`_bt_observe_kernel`."""
+    (tag_map, lines, invalid, counts, l2_set_mask, skip_mask, set_shift,
+     assoc, sdh_r, miss_reg) = _atd_common(atd)
+    policy = atd.policy
+    tree = policy._tree
+    keep = policy._touch_keep
+    setb = policy._touch_set
+    path_spec = policy._path_spec
+    table = policy._victim_table
+    force_map = policy._force
+    victim = policy.victim
+    full_mask = policy.full_mask
+    tag_get = tag_map.get
+
+    def observe_many(batch):
+        sampled = 0
+        skipped = 0
+        for line in batch:
+            if line & skip_mask:
+                skipped += 1
+                continue
+            sampled += 1
+            way = tag_get(line)
+            s = (line & l2_set_mask) >> set_shift
+            if way is not None:
+                t = tree[s]
+                path = 0
+                for bit_index, out_shift in path_spec[way]:
+                    path |= ((t >> bit_index) & 1) << out_shift
+                sdh_r[assoc - (path ^ way)] += 1
+                tree[s] = (t & keep[way]) | setb[way]
+                continue
+            sdh_r[miss_reg] += 1
+            base = s * assoc
+            inv = invalid[s]
+            if inv:
+                way = (inv & -inv).bit_length() - 1
+                invalid[s] = inv & ~(1 << way)
+            else:
+                if force_map or table is None:
+                    way = victim(s, 0, full_mask)
+                else:
+                    way = table[tree[s]]
+                old = lines[base + way]
+                if old >= 0:
+                    del tag_map[old]
+            lines[base + way] = line
+            tag_map[line] = way
+            tree[s] = (tree[s] & keep[way]) | setb[way]
+        counts[0] += sampled
+        counts[1] += skipped
+
+    return observe_many
+
+
+_OBSERVE_MANY_KERNELS = {
+    "lru": _lru_observe_many_kernel,
+    "nru": _nru_observe_many_kernel,
+    "bt": _bt_observe_many_kernel,
+}
+
+
+def build_observe_many_kernel(atd) -> Optional[Callable]:
+    """Specialised batch ``ATD.observe_many`` for the ATD's policy, or None.
+
+    Engages under the same conditions as :func:`build_observe_kernel`
+    (stock profiler, kernelised policy); callers fall back to the generic
+    per-line loop otherwise.
+    """
+    if not _kernel_eligible(atd):
+        return None
+    return _OBSERVE_MANY_KERNELS[atd.policy.kernel_kind](atd)

@@ -8,10 +8,18 @@ freezing each thread's statistics after its instruction budget (the paper's
 threads keep running to preserve contention).
 
 The hot loop lives in :mod:`repro.cmp.engine`; ``SimulationConfig.engine``
-selects the batched engine (default) or the per-access reference oracle.
+selects the engine — the default ``"auto"`` picks the solo fast path for
+single-thread runs and the batched engine otherwise, with the per-access
+reference oracle always available.
 """
 
-from repro.cmp.engine import BatchedEngine, ReferenceEngine, make_engine
+from repro.cmp.engine import (
+    BatchedEngine,
+    ReferenceEngine,
+    SoloEngine,
+    make_engine,
+    resolve_engine_name,
+)
 from repro.cmp.results import (
     EventCounts,
     SimulationResult,
@@ -38,7 +46,9 @@ __all__ = [
     "run_workload",
     "BatchedEngine",
     "ReferenceEngine",
+    "SoloEngine",
     "make_engine",
+    "resolve_engine_name",
     "MemoryChannel",
     "BandwidthConfig",
     "ipc_throughput",

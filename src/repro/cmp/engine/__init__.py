@@ -1,14 +1,22 @@
 """CMP execution engines.
 
-Two interchangeable implementations of the simulation hot loop:
+Three interchangeable implementations of the simulation hot loop:
 
 * :class:`ReferenceEngine` — one scheduler event per memory reference,
   routed through the full hierarchy.  The semantic oracle.
 * :class:`BatchedEngine` — bulk L1 prefilter (numpy over the trace) with
   slow-path events only for references that reach the shared L2.  Several
   times faster, bit-identical results.
+* :class:`SoloEngine` — the single-thread fast path: no event scheduler at
+  all, just the bulk L1 prefilter and a walk of the L2 miss stream.  Only
+  valid for one-core simulations (isolation runs, 1-core figure points),
+  where it is bit-identical by construction — no cross-thread ordering
+  exists to preserve.
 
-:func:`make_engine` instantiates by the ``SimulationConfig.engine`` name.
+:func:`make_engine` instantiates by the ``SimulationConfig.engine`` name;
+the default ``"auto"`` resolves through :func:`resolve_engine_name` to the
+solo engine for single-thread simulations and the batched engine
+otherwise.
 """
 
 from __future__ import annotations
@@ -17,29 +25,52 @@ from repro.cmp.engine.batched import BatchedEngine, CHUNK_SIZE
 from repro.cmp.engine.common import EngineBase, freeze_count
 from repro.cmp.engine.reference import ReferenceEngine
 from repro.cmp.engine.scheduler import EventScheduler
-from repro.config import ENGINE_BATCHED, ENGINE_REFERENCE
+from repro.cmp.engine.solo import SoloEngine
+from repro.config import (
+    ENGINE_AUTO,
+    ENGINE_BATCHED,
+    ENGINE_REFERENCE,
+    ENGINE_SOLO,
+)
 
 #: Simulation-semantics version, part of every campaign store key
 #: (:mod:`repro.campaign.hashing`).  Bump whenever a change can alter
 #: simulation *results* — timing recurrence, freeze rule, hierarchy
 #: semantics — so stale cached results can never be mistaken for current
 #: ones.  Version 1 was the seed hot loop; version 2 is the PR 1
-#: ``anchor + count * base`` recurrence with integer freeze counts.
+#: ``anchor + count * base`` recurrence with integer freeze counts.  The
+#: engine *choice* (solo / batched / reference) is deliberately not part
+#: of the version: the equivalence suites pin all engines bit-identical.
 ENGINE_VERSION = 2
 
 _ENGINES = {
     ENGINE_REFERENCE: ReferenceEngine,
     ENGINE_BATCHED: BatchedEngine,
+    ENGINE_SOLO: SoloEngine,
 }
+
+
+def resolve_engine_name(name: str, num_cores: int) -> str:
+    """Concrete engine name for a configuration (resolves ``"auto"``).
+
+    ``"auto"`` — the :class:`~repro.config.SimulationConfig` default —
+    picks the heap-free solo engine for single-thread simulations and the
+    batched engine otherwise; explicit names pass through unchanged.
+    """
+    if name == ENGINE_AUTO:
+        return ENGINE_SOLO if num_cores == 1 else ENGINE_BATCHED
+    return name
 
 
 def make_engine(sim, name: str) -> EngineBase:
     """Instantiate the execution engine ``name`` for one simulator."""
+    name = resolve_engine_name(name, len(sim.traces))
     try:
         cls = _ENGINES[name]
     except KeyError:
         raise ValueError(
-            f"unknown engine {name!r}; known: {sorted(_ENGINES)}"
+            f"unknown engine {name!r}; known: {sorted(_ENGINES)} "
+            f"(or '{ENGINE_AUTO}')"
         ) from None
     return cls(sim)
 
@@ -51,6 +82,8 @@ __all__ = [
     "EngineBase",
     "EventScheduler",
     "ReferenceEngine",
+    "SoloEngine",
     "freeze_count",
     "make_engine",
+    "resolve_engine_name",
 ]

@@ -24,6 +24,15 @@ Exactness argument (pinned by ``tests/test_cmp/test_engine_equivalence.py``):
 * Interval boundaries fire while the popped clock has crossed them
   (catch-up ``while``), which places every repartition before the same L2
   access as the reference loop does.
+* ATD profiling is *deferred*: each core's ATD observes only its own
+  thread's stream and its state is read only at controller boundaries and
+  run end, so the engine buffers each thread's L2-reaching lines and
+  drains them through the batch observe kernels
+  (:func:`repro.cache.state.build_observe_many_kernel`) right before every
+  boundary, at each thread's freeze, and at run end — replacing one Python
+  call plus observer indirection per L2 access with an amortised buffer
+  append.  Per-thread order is preserved by the FIFO buffers;
+  cross-thread drain order is immaterial because the ATDs are disjoint.
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.cmp.engine.common import EngineBase
+from repro.cmp.engine.common import EngineBase, deferrable_profiling
 from repro.cmp.results import SimulationResult, ThreadResult
 
 #: References prefiltered per bulk L1 call.  Bounds the flag/victim arrays
@@ -124,6 +133,38 @@ class BatchedEngine(EngineBase):
         l2_write_back = l2.write_back_line
         observer = hierarchy.l2_observer
 
+        # Deferred ATD profiling drains: each core's ATD observes only its
+        # own thread's stream and its state is read only at controller
+        # boundaries and run end, so the per-access ``observer(t, line)``
+        # call is replaced by a buffer append; buffers drain through the
+        # batch observe kernels (repro.cache.state) at every interval
+        # boundary, at each thread's freeze, and at run end.  A custom
+        # observer keeps immediate calls (see deferrable_profiling).
+        profiling = deferrable_profiling(sim)
+        if profiling is not None:
+            obs_bufs: Optional[List[list]] = [[] for _ in range(n)]
+            obs_drain = [m.atd.observe_many for m in profiling.monitors]
+            record = [buf.append for buf in obs_bufs]
+
+            def drain_all() -> None:
+                for u in range(n):
+                    buf = obs_bufs[u]
+                    if buf:
+                        obs_drain[u](buf)
+                        del buf[:]
+        elif observer is not None:
+            obs_bufs = None
+
+            def _immediate(u):
+                def rec(line):
+                    observer(u, line)
+                return rec
+
+            record = [_immediate(u) for u in range(n)]
+        else:
+            obs_bufs = None
+            record = None
+
         anchor = [0.0] * n
         count = [0] * n
         acc_total = [0] * n       # references committed (== L1 accesses)
@@ -155,6 +196,11 @@ class BatchedEngine(EngineBase):
 
         def freeze(t: int, clock: float) -> None:
             nonlocal active
+            if obs_bufs is not None:
+                buf = obs_bufs[t]
+                if buf:
+                    obs_drain[t](buf)
+                    del buf[:]
             frozen[t] = ThreadResult(
                 name=traces[t].name,
                 instructions=freeze_counts[t] * self.ipms[t],
@@ -168,9 +214,14 @@ class BatchedEngine(EngineBase):
 
         while active:
             now, t = pop(heap)
-            while now >= next_boundary:
-                controller.interval_boundary(cycle=int(next_boundary))
-                next_boundary += interval
+            if now >= next_boundary:
+                # Drain the buffered observes before the controller reads
+                # the SDHs; then catch up on every crossed boundary.
+                if obs_bufs is not None:
+                    drain_all()
+                while now >= next_boundary:
+                    controller.interval_boundary(cycle=int(next_boundary))
+                    next_boundary += interval
             pos = positions[t]
             if pos < ck_start[t] or pos >= ck_end[t]:
                 self._load_chunk(t, pos)
@@ -219,12 +270,12 @@ class BatchedEngine(EngineBase):
                                 wb_l1_to_l2 += 1
                             else:
                                 wb_l1_to_mem += 1
-                    if observer is not None:
-                        observer(t, line)
+                    if record is not None:
+                        record[t](line)
                     hit2 = l2_access_rw(line, t, False)
                 else:
-                    if observer is not None:
-                        observer(t, line)
+                    if record is not None:
+                        record[t](line)
                     hit2 = l2_access_hit(line, t)
                 if hit2:
                     clock = now + base[t] + l2_hit_pen
@@ -280,6 +331,10 @@ class BatchedEngine(EngineBase):
                 else:
                     lo = mid + 1
             acc_total[u] -= k - lo
+
+        # Final drain before _assemble reads the ATD sampled counters.
+        if obs_bufs is not None:
+            drain_all()
 
         return self._assemble(
             frozen,

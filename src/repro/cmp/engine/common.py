@@ -26,6 +26,30 @@ from typing import List, Optional, Sequence
 
 from repro.cmp.memory import MemoryChannel
 from repro.cmp.results import EventCounts, SimulationResult, ThreadResult
+from repro.profiling.monitor import ProfilingSystem
+
+
+def deferrable_profiling(sim) -> Optional[ProfilingSystem]:
+    """The :class:`ProfilingSystem` behind the L2 observer, or ``None``.
+
+    Deferred ATD drains only engage when the hierarchy's observer is the
+    *stock* ``ProfilingSystem.observe`` of the simulator's own profiling
+    system: its state is per-thread and read exclusively at controller
+    boundaries and run end, which is what makes buffering exact.  A custom
+    observer (tests, examples wiring their own callable) keeps immediate
+    per-access calls — the engine cannot know when its state is read.
+    """
+    profiling = sim.profiling
+    if profiling is None:
+        return None
+    observer = sim.hierarchy.l2_observer
+    if observer is None:
+        return None
+    if getattr(observer, "__self__", None) is not profiling:
+        return None
+    if getattr(observer, "__func__", None) is not ProfilingSystem.observe:
+        return None
+    return profiling
 
 
 def freeze_count(budget: float, ipm: float) -> int:

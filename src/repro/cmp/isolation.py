@@ -32,9 +32,14 @@ class IsolationRunner:
         self._cache: Dict[Tuple, ThreadResult] = {}
 
     def _key(self, trace: Trace, policy: str) -> Tuple:
+        # Keyed on the trace's content fingerprint: the old
+        # (name, first_line, length, ...) tuple collided for distinct
+        # traces that shared a name and length (e.g. two seeds of the same
+        # benchmark), silently returning the wrong cached result.  The name
+        # stays in the key because the cached ThreadResult carries it.
         l2 = self.processor.l2
         return (
-            trace.name, int(trace.lines[0]), len(trace), policy,
+            trace.name, trace.fingerprint(), policy,
             l2.size_bytes, l2.assoc, l2.line_bytes,
             self.simulation.instructions_per_thread, self.simulation.seed,
         )

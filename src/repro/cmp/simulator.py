@@ -20,10 +20,11 @@ multiprogrammed methodology behind "we stop the simulation when each of the
 threads commits 100 million instructions".
 
 This module is the configuration facade; the hot loop lives in
-:mod:`repro.cmp.engine`.  ``SimulationConfig.engine`` selects between the
-batched engine (default — bulk L1 prefilter, several times faster) and the
-per-access reference loop (the oracle the equivalence suite pins the
-batched engine against).
+:mod:`repro.cmp.engine`.  ``SimulationConfig.engine`` selects the engine;
+the default ``"auto"`` resolves to the heap-free solo fast path for
+single-thread runs and the batched engine (bulk L1 prefilter) otherwise,
+with ``"reference"`` as the per-access oracle loop the equivalence suites
+pin both against.
 """
 
 from __future__ import annotations

@@ -59,7 +59,9 @@ SELECTORS = (SELECTOR_MINMISSES, SELECTOR_LOOKAHEAD, SELECTOR_EVEN,
 #: Simulation engine identifiers (see :mod:`repro.cmp.engine`).
 ENGINE_REFERENCE = "reference"   # per-access oracle loop
 ENGINE_BATCHED = "batched"       # bulk L1 prefilter + event scheduler
-ENGINES = (ENGINE_REFERENCE, ENGINE_BATCHED)
+ENGINE_SOLO = "solo"             # single-thread fast path, no scheduler
+ENGINE_AUTO = "auto"             # solo when num_cores == 1, else batched
+ENGINES = (ENGINE_REFERENCE, ENGINE_BATCHED, ENGINE_SOLO, ENGINE_AUTO)
 
 
 @dataclass(frozen=True)
@@ -247,10 +249,13 @@ class SimulationConfig:
     #: Minimum cycles between successive memory services (single-channel
     #: FCFS queue).  0 = the paper's fixed-latency memory (default).
     memory_service_interval: float = 0.0
-    #: Execution engine: ``"batched"`` (bulk L1 prefilter, the default) or
-    #: ``"reference"`` (the per-access oracle loop).  Both produce identical
-    #: results; the equivalence suite pins this.
-    engine: str = ENGINE_BATCHED
+    #: Execution engine: ``"auto"`` (the default — the heap-free ``"solo"``
+    #: fast path for single-thread runs, ``"batched"`` otherwise),
+    #: ``"batched"`` (bulk L1 prefilter + event scheduler), ``"solo"``
+    #: (single-thread only) or ``"reference"`` (the per-access oracle
+    #: loop).  All engines produce identical results; the equivalence
+    #: suites pin this.
+    engine: str = ENGINE_AUTO
 
     def __post_init__(self) -> None:
         check_positive("instructions_per_thread", self.instructions_per_thread)

@@ -28,7 +28,11 @@ import numpy as np
 from repro.cache.geometry import CacheGeometry
 from repro.cache.replacement.base import make_policy
 from repro.cache.replacement.nru import NRUPolicy
-from repro.cache.state import TagStore, build_observe_kernel
+from repro.cache.state import (
+    TagStore,
+    build_observe_kernel,
+    build_observe_many_kernel,
+)
 from repro.profiling.profilers import DistanceProfiler
 from repro.profiling.sdh import SDH
 from repro.util.bitops import bit_length_exact
@@ -89,6 +93,9 @@ class ATD:
             kernel = build_observe_kernel(self)
             if kernel is not None:
                 self.observe = kernel
+            many = build_observe_many_kernel(self)
+            if many is not None:
+                self.observe_many = many
 
     # ------------------------------------------------------------------
     @property
@@ -149,6 +156,21 @@ class ATD:
         if self._nru is not None:
             self._nru.fill_done()
         return True
+
+    # ------------------------------------------------------------------
+    def observe_many(self, batch) -> None:
+        """Feed a buffered run of L2 accesses by the owning thread.
+
+        Exactly equivalent to calling :meth:`observe` per element (state,
+        SDH registers, sampled/skipped counters) — the deferred-drain entry
+        point of the execution engines.  Generic per-line loop; instances
+        with a kernelised policy shadow it with a batch kernel
+        (:func:`repro.cache.state.build_observe_many_kernel`) at
+        construction.
+        """
+        observe = self.observe
+        for line in batch:
+            observe(line)
 
     # ------------------------------------------------------------------
     def contains_line(self, line: int) -> bool:

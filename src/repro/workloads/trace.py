@@ -15,6 +15,7 @@ the write-back/writeback-traffic extension (see DESIGN.md §extensions and
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -47,9 +48,33 @@ class Trace:
                     f"writes array has shape {self.writes.shape}, "
                     f"lines {self.lines.shape}"
                 )
+        self._fingerprint: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.lines)
+
+    def fingerprint(self) -> str:
+        """Cached SHA-256 over everything that determines simulation results.
+
+        Covers the full line-address stream, the write flags and the two
+        core-model parameters — two traces with equal fingerprints simulate
+        identically on any machine, which is what memoisation keys
+        (:class:`~repro.cmp.isolation.IsolationRunner`) need; the *name* is
+        deliberately excluded (it is presentation, not content).  Computed
+        lazily on first use and cached; traces are treated as immutable
+        after construction (mutating ``lines`` in place would stale it).
+        """
+        fp = self._fingerprint
+        if fp is None:
+            h = hashlib.sha256()
+            h.update(f"{self.ipm!r}:{self.cpi_base!r}:".encode())
+            h.update(self.lines.tobytes())
+            if self.writes is not None:
+                h.update(b"w")
+                h.update(self.writes.tobytes())
+            fp = h.hexdigest()
+            self._fingerprint = fp
+        return fp
 
     @property
     def instructions(self) -> int:
