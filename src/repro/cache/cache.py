@@ -67,6 +67,7 @@ class CacheStats:
         self.writebacks = [0] * num_cores
 
     def reset(self) -> None:
+        """Zero every counter in place (the lists stay the same objects)."""
         for field in (self.accesses, self.misses, self.fills_invalid,
                       self.write_accesses, self.writebacks):
             for i in range(len(field)):
@@ -84,18 +85,22 @@ class CacheStats:
 
     @property
     def total_accesses(self) -> int:
+        """Accesses summed over all cores."""
         return sum(self.accesses)
 
     @property
     def total_hits(self) -> int:
+        """Hits summed over all cores."""
         return self.total_accesses - self.total_misses
 
     @property
     def total_misses(self) -> int:
+        """Misses summed over all cores."""
         return sum(self.misses)
 
     @property
     def total_writebacks(self) -> int:
+        """Writebacks summed over all cores."""
         return sum(self.writebacks)
 
     def miss_ratio(self, core: Optional[int] = None) -> float:

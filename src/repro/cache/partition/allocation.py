@@ -52,6 +52,7 @@ class WayAllocation:
 
     @property
     def num_cores(self) -> int:
+        """Number of cores the allocation partitions the ways across."""
         return len(self.counts)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -152,6 +153,7 @@ class SubcubeAllocation:
 
     @property
     def num_cores(self) -> int:
+        """Number of cores the subcubes are assigned to."""
         return len(self.cubes)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -40,7 +40,7 @@ class MasksPartition(PartitionScheme):
                 f"allocation is for {allocation.assoc}-way, cache is {self.assoc}-way"
             )
         self._allocation = allocation
-        self._masks = list(allocation.masks)
+        self._masks[:] = allocation.masks
 
     def candidate_mask(self, set_index: int, core: int) -> int:
         return self._masks[core]

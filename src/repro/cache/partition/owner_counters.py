@@ -57,7 +57,7 @@ class OwnerCountersPartition(PartitionScheme):
                 f"allocation is for {allocation.assoc}-way, cache is {self.assoc}-way"
             )
         self._allocation = allocation
-        self._quota = list(allocation.counts)
+        self._quota[:] = allocation.counts
 
     def candidate_mask(self, set_index: int, core: int) -> int:
         owned = self._owned[set_index * self.num_cores + core]

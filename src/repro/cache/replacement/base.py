@@ -38,6 +38,11 @@ class ReplacementPolicy(ABC):
     * a subclass that changes ``touch``/``touch_fill``/``victim`` semantics
       must override ``kernel_kind`` (with ``""`` to opt out), otherwise the
       inherited kernel would silently bypass its overrides on the hot path.
+
+    Both rules are linted: ``python -m repro lint`` enforces them as the
+    ``state-rebind`` and ``kernel-kind-override`` rules (see
+    ``docs/static-analysis.md``), so violations fail CI rather than
+    silently corrupting hot-path results.
     """
 
     #: Short registry name ("lru", "nru", "bt", "random").

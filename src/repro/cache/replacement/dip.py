@@ -154,6 +154,10 @@ class LIPPolicy(LRUPolicy):
 class BIPPolicy(LIPPolicy):
     """Bimodal insertion: mostly LIP, 1/32 of fills at MRU."""
 
+    # The lru_ins kernel delegates touch_fill generically, so the BIP
+    # (and DIP) insertion overrides stay honoured.
+    kernel_kind = "lru_ins"
+
     def __init__(self, num_sets: int, assoc: int, rng=None,
                  throttle: int = BIP_THROTTLE) -> None:
         super().__init__(num_sets, assoc, rng=rng)
@@ -182,6 +186,10 @@ class DIPPolicy(BIPPolicy):
         sets (32 in the original paper).  Automatically reduced for tiny
         caches so both leader groups are non-empty.
     """
+
+    # The lru_ins kernel delegates touch_fill generically, so the dueling
+    # override stays honoured.
+    kernel_kind = "lru_ins"
 
     def __init__(self, num_sets: int, assoc: int, rng=None,
                  throttle: int = BIP_THROTTLE,

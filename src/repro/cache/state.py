@@ -191,6 +191,7 @@ def _lru_hit_kernel(cache):
     assoc = store.assoc
     full_mask = store.full_mask
     tag_map = store.map
+    tag_get = tag_map.get
     lines = store.lines
     invalid = store.invalid
     order = policy._order
@@ -207,7 +208,7 @@ def _lru_hit_kernel(cache):
         end_ofs = assoc
         def access_line_hit(line, core=0):
             accesses[core] += 1
-            way = tag_map.get(line)
+            way = tag_get(line)
             s = line & set_mask
             base = s * assoc
             if way is not None:
@@ -248,7 +249,7 @@ def _lru_hit_kernel(cache):
 
     def access_line_hit(line, core=0):
         accesses[core] += 1
-        way = tag_map.get(line)
+        way = tag_get(line)
         s = line & set_mask
         base = s * assoc
         if way is not None:
@@ -361,6 +362,7 @@ def _lru_ins_hit_kernel(cache):
     assoc = store.assoc
     full_mask = store.full_mask
     tag_map = store.map
+    tag_get = tag_map.get
     lines = store.lines
     invalid = store.invalid
     order = policy._order
@@ -380,7 +382,7 @@ def _lru_ins_hit_kernel(cache):
 
     def access_line_hit(line, core=0):
         accesses[core] += 1
-        way = tag_map.get(line)
+        way = tag_get(line)
         s = line & set_mask
         base = s * assoc
         if way is not None:
@@ -420,6 +422,7 @@ def _nru_hit_kernel(cache):
     assoc = store.assoc
     full_mask = store.full_mask
     tag_map = store.map
+    tag_get = tag_map.get
     lines = store.lines
     invalid = store.invalid
     used_l = policy._used
@@ -435,7 +438,7 @@ def _nru_hit_kernel(cache):
         # used-bit rule collapses to "reset to just this bit on saturation".
         def access_line_hit(line, core=0):
             accesses[core] += 1
-            way = tag_map.get(line)
+            way = tag_get(line)
             s = line & set_mask
             if way is not None:
                 bit = 1 << way
@@ -480,7 +483,7 @@ def _nru_hit_kernel(cache):
 
     def access_line_hit(line, core=0):
         accesses[core] += 1
-        way = tag_map.get(line)
+        way = tag_get(line)
         s = line & set_mask
         if way is not None:
             if get_domain is None:
@@ -548,6 +551,7 @@ def _bt_hit_kernel(cache):
     assoc = store.assoc
     full_mask = store.full_mask
     tag_map = store.map
+    tag_get = tag_map.get
     lines = store.lines
     invalid = store.invalid
     tree = policy._tree
@@ -566,7 +570,7 @@ def _bt_hit_kernel(cache):
 
     def access_line_hit(line, core=0):
         accesses[core] += 1
-        way = tag_map.get(line)
+        way = tag_get(line)
         s = line & set_mask
         if way is not None:
             tree[s] = (tree[s] & keep[way]) | setb[way]
@@ -611,6 +615,7 @@ def _rrip_hit_kernel(cache):
     assoc = store.assoc
     full_mask = store.full_mask
     tag_map = store.map
+    tag_get = tag_map.get
     lines = store.lines
     invalid = store.invalid
     rrpv = policy._rrpv
@@ -630,7 +635,7 @@ def _rrip_hit_kernel(cache):
 
     def access_line_hit(line, core=0):
         accesses[core] += 1
-        way = tag_map.get(line)
+        way = tag_get(line)
         s = line & set_mask
         base = s * assoc
         if way is not None:
@@ -653,6 +658,8 @@ def _rrip_hit_kernel(cache):
                         way = rrpv_index(rrpv_max, base, end) - base
                         break
                     except ValueError:
+                        # Rare aging path: the C-level slice rebuild beats
+                        # a scalar loop.  # lint: disable-next=hot-path-purity
                         rrpv[base:end] = [v + 1 for v in rrpv[base:end]]
             else:
                 way = -1
@@ -772,6 +779,7 @@ def _lru_observe_kernel(atd):
     """Exact stack positions read straight off the flat recency order."""
     (tag_map, lines, invalid, counts, l2_set_mask, skip_mask, set_shift,
      assoc, sdh_r, miss_reg) = _atd_common(atd)
+    tag_get = tag_map.get
     policy = atd.policy
     order = policy._order
     order_index = order.index
@@ -783,7 +791,7 @@ def _lru_observe_kernel(atd):
             counts[1] += 1
             return False
         counts[0] += 1
-        way = tag_map.get(line)
+        way = tag_get(line)
         s = (line & l2_set_mask) >> set_shift
         base = s * assoc
         if way is not None:
@@ -833,13 +841,15 @@ def _nru_observe_kernel(atd):
     full_mask = policy.full_mask
     scaling = profiler.scaling
     exact_scaling = scaling == 1.0
+    tag_get = tag_map.get
+    ceil_fn = ceil
 
     def observe(line):
         if line & skip_mask:
             counts[1] += 1
             return False
         counts[0] += 1
-        way = tag_map.get(line)
+        way = tag_get(line)
         s = (line & l2_set_mask) >> set_shift
         if way is not None:
             used = used_l[s]
@@ -850,7 +860,7 @@ def _nru_observe_kernel(atd):
                 if exact_scaling:
                     distance = used.bit_count()
                 else:
-                    distance = ceil(scaling * used.bit_count())
+                    distance = ceil_fn(scaling * used.bit_count())
                     if distance < 1:
                         distance = 1
                 sdh_r[distance] += 1
@@ -902,13 +912,14 @@ def _bt_observe_kernel(atd):
     force_map = policy._force
     victim = policy.victim
     full_mask = policy.full_mask
+    tag_get = tag_map.get
 
     def observe(line):
         if line & skip_mask:
             counts[1] += 1
             return False
         counts[0] += 1
-        way = tag_map.get(line)
+        way = tag_get(line)
         s = (line & l2_set_mask) >> set_shift
         if way is not None:
             t = tree[s]
@@ -1058,6 +1069,7 @@ def _nru_observe_many_kernel(atd):
     scaling = profiler.scaling
     exact_scaling = scaling == 1.0
     tag_get = tag_map.get
+    ceil_fn = ceil
 
     def observe_many(batch):
         sampled = 0
@@ -1075,7 +1087,7 @@ def _nru_observe_many_kernel(atd):
                     if exact_scaling:
                         distance = used.bit_count()
                     else:
-                        distance = ceil(scaling * used.bit_count())
+                        distance = ceil_fn(scaling * used.bit_count())
                         if distance < 1:
                             distance = 1
                     sdh_r[distance] += 1

@@ -47,6 +47,18 @@ _OUTCOME_SCALE_FIELDS = ("scale", "accesses", "target_cycles",
 #: target_cycles / sampling / interval knobs are swept.
 _ISOLATION_SCALE_FIELDS = ("scale", "accesses", "seed")
 
+#: ExperimentScale fields deliberately *excluded* from every store key.
+#: They are workload-selection knobs: each names the subset of Table II
+#: mixes (or SPEC benchmarks) a figure declares jobs for, never what any
+#: single job computes.  Keeping them unkeyed is what makes widening
+#: ``REPRO_MIXES`` (or the benchmark list) an incremental operation —
+#: already-simulated points stay cache hits and only the new mixes run.
+#: The ``job-hash-discipline`` lint rule enforces that every
+#: ExperimentScale field appears either here or in a ``*_SCALE_FIELDS``
+#: key tuple above, so a new field cannot be forgotten silently.
+UNKEYED_FIELDS = ("mixes_2t", "mixes_4t", "mixes_8t", "mixes_fig8",
+                  "benchmarks_1t")
+
 
 def _scale_spec(scale: ExperimentScale, kind: str) -> Dict[str, object]:
     fields = (_OUTCOME_SCALE_FIELDS if kind == KIND_OUTCOME

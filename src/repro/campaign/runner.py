@@ -168,6 +168,7 @@ class Plan:
 
     @property
     def total(self) -> int:
+        """Unique jobs across both stages."""
         return len(self.isolation) + len(self.outcome)
 
 

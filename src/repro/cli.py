@@ -21,6 +21,10 @@ Examples::
     python -m repro report build                      # html/md/json artifacts
     python -m repro report check --strict             # grade the verdicts
 
+    python -m repro lint                              # repo contract checks
+    python -m repro lint --format json                # CI artifact output
+    python -m repro lint --list-rules                 # rule catalogue
+
 The figure commands accept the same knobs as the ``REPRO_*`` environment
 variables used by the benches (``--scale``, ``--accesses``, ``--mixes``,
 ``--seed``, ``--target-cycles``, ``--full``); command-line flags take
@@ -331,7 +335,32 @@ def _cmd_report_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro import lint
+
+    ctx = (lint.LintContext(args.root) if args.root
+           else lint.default_context())
+    if args.list_rules:
+        for name in sorted(lint.RULE_REGISTRY):
+            print(f"  {name:24s} {lint.RULE_REGISTRY[name].description}")
+        return 0
+    if args.refresh_engine_checksum:
+        digest = lint.refresh_engine_checksum(ctx)
+        print(f"engine source checksum refreshed: {digest[:16]}… "
+              f"(bump ENGINE_VERSION first if simulation results changed)")
+        return 0
+    names = ([n.strip() for n in args.rules.split(",") if n.strip()]
+             if args.rules else None)
+    diagnostics = lint.run_lint(ctx, lint.make_rules(names))
+    if args.format == "json":
+        print(lint.format_json(diagnostics))
+    else:
+        print(lint.format_text(diagnostics))
+    return 1 if diagnostics else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (one subcommand per verb)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=("Reproduce 'Adapting Cache Partitioning Algorithms to "
@@ -352,6 +381,22 @@ def build_parser() -> argparse.ArgumentParser:
         _add_scale_arguments(p)
     sub.add_parser("workloads", help="list benchmarks and Table II mixes")
     sub.add_parser("policies", help="list registered replacement policies")
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="static-analysis contract checks (see docs/static-analysis.md)",
+    )
+    lint_p.add_argument("--format", choices=("text", "json"), default="text",
+                        help="diagnostic output format")
+    lint_p.add_argument("--rules", default=None, metavar="RULES",
+                        help="comma-separated rule subset (default: all)")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    lint_p.add_argument("--root", default=None, metavar="DIR",
+                        help="source root to scan (default: this repo's src/)")
+    lint_p.add_argument("--refresh-engine-checksum", action="store_true",
+                        help="re-record the engine hot-path checksum "
+                             "(after an ENGINE_VERSION review)")
 
     campaign = sub.add_parser(
         "campaign",
@@ -429,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     command = args.command
     if command == "table1":
@@ -447,6 +493,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_all(args)
     if command == "workloads":
         return _cmd_workloads(args)
+    if command == "lint":
+        return _cmd_lint(args)
     if command == "policies":
         return _cmd_policies(args)
     if command == "campaign":

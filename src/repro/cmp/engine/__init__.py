@@ -43,6 +43,28 @@ from repro.config import (
 #: of the version: the equivalence suites pin all engines bit-identical.
 ENGINE_VERSION = 2
 
+#: Hot-path sources whose bytes are covered by the engine-version guard.
+#: Paths are relative to ``src/``; edit the tuple when the hot path grows
+#: a new module.
+ENGINE_GUARDED_SOURCES = (
+    "repro/cmp/engine/batched.py",
+    "repro/cmp/engine/common.py",
+    "repro/cmp/engine/reference.py",
+    "repro/cmp/engine/scheduler.py",
+    "repro/cmp/engine/solo.py",
+    "repro/cache/state.py",
+    "repro/cache/cache.py",
+    "repro/cache/hierarchy.py",
+)
+
+#: sha256 over ``ENGINE_VERSION`` and the guarded sources, recorded so the
+#: ``engine-version-guard`` lint rule can detect hot-path edits that ship
+#: without an explicit version review.  Refresh (after bumping
+#: ENGINE_VERSION when simulation results changed) with::
+#:
+#:     python -m repro lint --refresh-engine-checksum
+ENGINE_SOURCE_CHECKSUM = "2f86b74060c82f4abdb47f49c5cfdd1855bb1192a3e93d360d86521f78ad608b"
+
 _ENGINES = {
     ENGINE_REFERENCE: ReferenceEngine,
     ENGINE_BATCHED: BatchedEngine,

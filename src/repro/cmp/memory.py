@@ -62,6 +62,7 @@ class MemoryChannel:
         return self.queue_cycles / self.requests if self.requests else 0.0
 
     def reset(self) -> None:
+        """Return the channel to an idle, counter-free state."""
         self._next_free = 0.0
         self.requests = 0
         self.queue_cycles = 0.0
@@ -83,4 +84,5 @@ class BandwidthConfig:
 
     @property
     def limited(self) -> bool:
+        """True when a bandwidth limit is configured."""
         return self.service_interval > 0

@@ -34,6 +34,7 @@ class ThreadResult:
 
     @property
     def l2_miss_ratio(self) -> float:
+        """L2 misses over L2 accesses (0 when the thread never reached L2)."""
         return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
 
     @property
@@ -77,12 +78,15 @@ class SimulationResult:
 
     @property
     def ipcs(self) -> List[float]:
+        """Per-thread IPC values, in core order."""
         return [t.ipc for t in self.threads]
 
     @property
     def throughput(self) -> float:
+        """Sum of per-thread IPCs (the paper's throughput metric)."""
         return float(sum(self.ipcs))
 
     @property
     def total_l2_misses(self) -> int:
+        """L2 misses summed over all threads."""
         return sum(t.l2_misses for t in self.threads)

@@ -109,6 +109,7 @@ class ExperimentScale:
         return cls(**kwargs)  # type: ignore[arg-type]
 
     def mixes_for(self, num_threads: int) -> Tuple[str, ...]:
+        """The scale's Table II mix subset for a core count (2/4/8)."""
         return {2: self.mixes_2t, 4: self.mixes_4t, 8: self.mixes_8t}[num_threads]
 
     def processor(self, num_cores: int,
@@ -192,17 +193,21 @@ class RunOutcome:
 
     @property
     def throughput(self) -> float:
+        """IPC throughput (sum of per-thread IPCs)."""
         return ipc_throughput(self.result.ipcs)
 
     @property
     def wspeedup(self) -> float:
+        """Weighted speedup against the isolation IPCs."""
         return weighted_speedup(self.result.ipcs, self.iso_ipcs)
 
     @property
     def hmean(self) -> float:
+        """Harmonic mean of relative IPCs (fairness metric)."""
         return hmean_relative(self.result.ipcs, self.iso_ipcs)
 
     def metric(self, name: str) -> float:
+        """One of the paper's metrics: throughput / wspeedup / hmean."""
         return {"throughput": self.throughput, "wspeedup": self.wspeedup,
                 "hmean": self.hmean}[name]
 

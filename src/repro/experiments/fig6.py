@@ -44,6 +44,7 @@ class Fig6Data:
     outcomes: Dict[Tuple[int, str, str], RunOutcome] = field(default_factory=dict)
 
     def table(self, metric: str) -> str:
+        """ASCII rendering of one metric's cores × policy grid."""
         rows = []
         for cores in sorted(self.relative[metric]):
             row = [cores] + [
@@ -180,6 +181,7 @@ def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig6Dat
 
 
 def main() -> Fig6Data:  # pragma: no cover - exercised via bench
+    """Regenerate and print Figure 6 at the default scale."""
     data = run()
     for metric in METRICS:
         print(data.table(metric))

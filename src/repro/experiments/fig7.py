@@ -46,6 +46,7 @@ class Fig7Data:
     outcomes: Dict[Tuple[int, str, str], RunOutcome] = field(default_factory=dict)
 
     def table(self, metric: str) -> str:
+        """ASCII rendering of one metric's cores × configuration grid."""
         rows = []
         for cores in sorted(self.relative[metric]):
             rows.append([cores] + [
@@ -153,6 +154,7 @@ def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig7Dat
 
 
 def main() -> Fig7Data:  # pragma: no cover - exercised via bench
+    """Regenerate and print Figure 7 at the default scale."""
     data = run()
     for metric in METRICS:
         print(data.table(metric))

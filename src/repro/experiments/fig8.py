@@ -59,6 +59,7 @@ class Fig8Data:
     outcomes: Dict[Tuple[str, int, str, bool], RunOutcome] = field(default_factory=dict)
 
     def table(self, panel: str) -> str:
+        """ASCII rendering of one panel's mix × L2-size grid."""
         sizes = sorted(self.average[panel])
         headers = ["mix"] + [f"{s // 1024}KB" for s in sizes]
         mixes = sorted(next(iter(self.per_mix[panel].values())))
@@ -196,6 +197,7 @@ def run(scale: ExperimentScale = None, runner: WorkloadRunner = None) -> Fig8Dat
 
 
 def main() -> Fig8Data:  # pragma: no cover - exercised via bench
+    """Regenerate and print Figure 8 at the default scale."""
     data = run()
     for _, _, panel in PAIRS:
         print(data.table(panel))

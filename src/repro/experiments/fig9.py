@@ -33,6 +33,7 @@ class Fig9Data:
     breakdown_2core: Dict[str, Dict[str, float]]
 
     def table_relative(self) -> str:
+        """ASCII rendering of the relative power/energy grid (Fig 9a)."""
         rows = []
         for cores in sorted(self.relative_power):
             rows.append([f"{cores} power"] + [
@@ -47,6 +48,7 @@ class Fig9Data:
         )
 
     def table_breakdown(self) -> str:
+        """ASCII rendering of the component power shares (Fig 9b)."""
         rows = []
         for acronym in ACRONYMS:
             shares = self.breakdown_2core[acronym]
@@ -189,6 +191,7 @@ def charts(data: Fig9Data) -> List[BarChart]:
 
 
 def main() -> Fig9Data:  # pragma: no cover - exercised via bench
+    """Regenerate and print Figure 9 at the default scale."""
     data = run()
     print(data.table_relative())
     print()

@@ -37,10 +37,13 @@ PAPER_STORAGE = {
 
 @dataclass
 class Table1Data:
+    """Table I's storage-bit and event-bit counts (exact arithmetic)."""
+
     storage: Dict[str, Dict[str, int]]
     events: Dict[str, Dict[str, int]]
 
     def table_storage(self) -> str:
+        """ASCII rendering of Table I(a) — storage bits and area."""
         rows = []
         for policy, modes in self.storage.items():
             for mode, bits in modes.items():
@@ -52,6 +55,7 @@ class Table1Data:
         )
 
     def table_events(self) -> str:
+        """ASCII rendering of Table I(b) — bits touched per event."""
         rows = []
         for event, per_policy in self.events.items():
             rows.append([event] + [per_policy[p] for p in ("lru", "nru", "bt")])
@@ -194,6 +198,7 @@ def paper_checkpoints() -> Dict[str, bool]:
 
 
 def main() -> Table1Data:  # pragma: no cover - exercised via bench
+    """Print Table I plus the paper-checkpoint summary."""
     data = run()
     print(data.table_storage())
     print()

@@ -11,6 +11,7 @@ from repro.workloads.mixes import WORKLOADS_2T, WORKLOADS_4T, WORKLOADS_8T
 
 
 def processor_table(processor: ProcessorConfig = ProcessorConfig()) -> str:
+    """ASCII rendering of Table II's processor configuration."""
     rows = [
         ["L1 I-cache", str(processor.l1i)],
         ["L1 D-cache", str(processor.l1d)],
@@ -23,6 +24,7 @@ def processor_table(processor: ProcessorConfig = ProcessorConfig()) -> str:
 
 
 def workload_table() -> str:
+    """ASCII rendering of Table II's 49 multiprogrammed mixes."""
     rows = []
     for table in (WORKLOADS_2T, WORKLOADS_4T, WORKLOADS_8T):
         for name in sorted(table):
@@ -76,6 +78,7 @@ def points(data=None) -> List[DataPoint]:
 
 
 def main() -> None:  # pragma: no cover - exercised via bench
+    """Print both halves of Table II."""
     print(processor_table())
     print()
     print(workload_table())

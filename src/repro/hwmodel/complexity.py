@@ -39,14 +39,17 @@ class ReplacementComplexity:
     # ------------------------------------------------------------------
     @property
     def assoc(self) -> int:
+        """Cache associativity ``A``."""
         return self.geometry.assoc
 
     @property
     def log2_assoc(self) -> int:
+        """``log2 A`` (exact; the geometry guarantees a power of two)."""
         return bit_length_exact(self.geometry.assoc)
 
     @property
     def num_sets(self) -> int:
+        """Number of cache sets ``S``."""
         return self.geometry.num_sets
 
     # ------------------------------------------------------------------

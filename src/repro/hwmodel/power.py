@@ -56,6 +56,7 @@ class PowerReport:
 
     @property
     def total_energy(self) -> float:
+        """Energy summed over every component."""
         return float(sum(self.components.values()))
 
     @property

@@ -1,0 +1,77 @@
+"""Documentation checks behind the rule-registry interface.
+
+``tools/check_docs.py`` predates the linter (PR 3) and stays the
+standalone, zero-dependency entry point CI can run without installing
+anything.  The ``docs-links`` rule wraps the same implementation —
+required files present, every relative link target exists, every anchor
+resolves to a real heading — so ``repro lint`` is the single entry point
+for all repo static checks.
+
+The checker module is loaded by file path (never imported as a package):
+from ``<repo_root>/tools/check_docs.py`` of the linted tree when present,
+else from the linter's own repo checkout.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.lint.core import Diagnostic, LintContext, Rule, register_rule
+
+_PROBLEM_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): (?P<msg>.*)$")
+
+_module_cache = {}
+
+
+def _load_checker(repo_root: Path):
+    """The ``check_docs`` module for a repo root (loaded by path, cached)."""
+    candidates = [
+        repo_root / "tools" / "check_docs.py",
+        Path(__file__).resolve().parents[3] / "tools" / "check_docs.py",
+    ]
+    script = next((c for c in candidates if c.is_file()), None)
+    if script is None:
+        return None
+    cached = _module_cache.get(script)
+    if cached is not None:
+        return cached
+    spec = importlib.util.spec_from_file_location(
+        f"repro_lint_check_docs_{len(_module_cache)}", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    _module_cache[script] = module
+    return module
+
+
+@register_rule
+class DocsLinksRule(Rule):
+    """Required docs exist; Markdown links and anchors resolve."""
+
+    name = "docs-links"
+    description = ("required documentation file is missing, or a Markdown "
+                   "link/anchor does not resolve")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        checker = _load_checker(ctx.repo_root)
+        if checker is None:
+            return
+        checker.REPO_ROOT = ctx.repo_root
+        for required in checker.REQUIRED:
+            if not (ctx.repo_root / required).is_file():
+                yield Diagnostic(self.name, required, 1,
+                                 "required documentation file is missing")
+        index = checker.DocIndex()
+        for path in checker.markdown_files():
+            for problem in checker.check_links(path, index):
+                yield self._diag_from_problem(ctx, path, problem)
+
+    def _diag_from_problem(self, ctx: LintContext, path: Path,
+                           problem: str) -> Diagnostic:
+        match = _PROBLEM_RE.match(problem)
+        if match:
+            return Diagnostic(self.name, match.group("path"),
+                              int(match.group("line")), match.group("msg"))
+        return Diagnostic(self.name, ctx.rel(path), 1, problem)

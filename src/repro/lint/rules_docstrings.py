@@ -1,0 +1,92 @@
+"""Public-docstring coverage (re-enforcing the PR 3 zero-missing state).
+
+Every public module, class, module-level function and method in the
+scanned tree must carry a docstring.  A method is exempt when it
+*overrides* a documented contract: its name is defined in an in-tree
+ancestor class (the base's docstring is the contract), or it is a
+``@x.setter`` / ``@x.deleter`` companion of a documented property.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import ClassInfo, Diagnostic, LintContext, Rule, \
+    register_rule
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _is_property_companion(func: ast.FunctionDef) -> bool:
+    """True for ``@<name>.setter`` / ``@<name>.deleter`` definitions."""
+    for decorator in func.decorator_list:
+        if isinstance(decorator, ast.Attribute) and decorator.attr in (
+                "setter", "deleter"):
+            return True
+    return False
+
+
+@register_rule
+class PublicDocstringsRule(Rule):
+    """Public modules, classes, functions and methods carry docstrings."""
+
+    name = "public-docstrings"
+    description = ("public module/class/function/method is missing a "
+                   "docstring")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for path, tree in ctx.trees():
+            rel = path.relative_to(ctx.src_root).as_posix()
+            if ast.get_docstring(tree) is None:
+                yield self.diag(ctx, path, 1,
+                                f"module {rel} has no docstring")
+            for node in tree.body:
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(ctx, path, node)
+                elif isinstance(node, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    if _is_public(node.name) and \
+                            ast.get_docstring(node) is None:
+                        yield self.diag(
+                            ctx, path, node.lineno,
+                            f"public function {node.name}() has no "
+                            f"docstring")
+
+    def _check_class(self, ctx: LintContext, path, node: ast.ClassDef
+                     ) -> Iterator[Diagnostic]:
+        if not _is_public(node.name):
+            return
+        if ast.get_docstring(node) is None:
+            yield self.diag(ctx, path, node.lineno,
+                            f"public class {node.name} has no docstring")
+        inherited = self._inherited_method_names(ctx, path, node)
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_public(stmt.name):
+                continue
+            if ast.get_docstring(stmt) is not None:
+                continue
+            if stmt.name in inherited or _is_property_companion(stmt):
+                continue
+            yield self.diag(
+                ctx, path, stmt.lineno,
+                f"public method {node.name}.{stmt.name}() has no docstring "
+                f"(and overrides no documented in-tree base method)")
+
+    def _inherited_method_names(self, ctx: LintContext, path,
+                                node: ast.ClassDef) -> set:
+        graph = ctx.class_graph()
+        info = next((i for i in graph.get(node.name, ())
+                     if i.path == path and i.node is node), None)
+        if info is None:
+            info = ClassInfo(node.name, path, node, tuple())
+        names = set()
+        for ancestor in ctx.ancestors_of(info):
+            for stmt in ancestor.node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(stmt.name)
+        return names

@@ -1,0 +1,157 @@
+"""Engine-version guard: hot-path edits must bump ``ENGINE_VERSION``.
+
+``ENGINE_VERSION`` is part of every campaign store key; a semantic change
+to the simulation hot path that ships without a bump silently serves
+*stale* cached results for current specs.  The guard records a checksum
+of the declared hot-path sources next to the version constant in
+``repro/cmp/engine/__init__.py``:
+
+* ``ENGINE_GUARDED_SOURCES`` — the files whose bytes are covered;
+* ``ENGINE_SOURCE_CHECKSUM`` — sha256 over the version number and those
+  files, refreshed with ``python -m repro lint --refresh-engine-checksum``.
+
+Editing a guarded file (even a comment — the guard is deliberately
+conservative) makes the ``engine-version-guard`` rule fail until the
+checksum is refreshed; the refresh workflow is the reviewed moment to ask
+"did simulation results change?" and bump the version first if so.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from pathlib import Path
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.core import Diagnostic, LintContext, Rule, register_rule
+
+ENGINE_MODULE = "repro/cmp/engine/__init__.py"
+VERSION_NAME = "ENGINE_VERSION"
+SOURCES_NAME = "ENGINE_GUARDED_SOURCES"
+CHECKSUM_NAME = "ENGINE_SOURCE_CHECKSUM"
+
+REFRESH_COMMAND = "python -m repro lint --refresh-engine-checksum"
+
+_CHECKSUM_RE = re.compile(
+    rf'^{CHECKSUM_NAME} = "(?P<digest>[0-9a-f]*)"', re.MULTILINE)
+
+
+def _module_constants(tree: ast.AST):
+    """(name -> (value-node, lineno)) for module-level assignments."""
+    constants = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = (node.value, node.lineno)
+    return constants
+
+
+def guarded_state(ctx: LintContext) -> Optional[Tuple[int, Tuple[str, ...],
+                                                      str, int, Path]]:
+    """(version, sources, recorded checksum, lineno, path) or None."""
+    path = ctx.find(ENGINE_MODULE)
+    if path is None:
+        return None
+    tree = ctx.tree(path)
+    if tree is None:
+        return None
+    constants = _module_constants(tree)
+    try:
+        version_node, _ = constants[VERSION_NAME]
+        sources_node, _ = constants[SOURCES_NAME]
+        checksum_node, checksum_line = constants[CHECKSUM_NAME]
+    except KeyError:
+        return None
+    if not isinstance(version_node, ast.Constant):
+        return None
+    sources = tuple(
+        element.value for element in getattr(sources_node, "elts", ())
+        if isinstance(element, ast.Constant)
+        and isinstance(element.value, str))
+    recorded = (checksum_node.value
+                if isinstance(checksum_node, ast.Constant)
+                and isinstance(checksum_node.value, str) else "")
+    return int(version_node.value), sources, recorded, checksum_line, path
+
+
+def compute_checksum(ctx: LintContext, version: int,
+                     sources: Tuple[str, ...]) -> Tuple[str, Tuple[str, ...]]:
+    """sha256 over the version and the guarded files; also missing files."""
+    digest = hashlib.sha256()
+    digest.update(f"{VERSION_NAME}={version}\n".encode("utf-8"))
+    missing = []
+    for rel in sources:
+        path = ctx.find(rel)
+        if path is None:
+            missing.append(rel)
+            continue
+        digest.update(f"{rel}\n".encode("utf-8"))
+        digest.update(path.read_bytes())
+        digest.update(b"\n")
+    return digest.hexdigest(), tuple(missing)
+
+
+def refresh_engine_checksum(ctx: LintContext) -> str:
+    """Recompute and rewrite the recorded checksum; returns the digest.
+
+    Bump ``ENGINE_VERSION`` *first* when the edit changes simulation
+    results — the checksum covers the version, so the refreshed digest
+    pins both together.
+    """
+    state = guarded_state(ctx)
+    if state is None:
+        raise ValueError(
+            f"{ENGINE_MODULE} does not declare {VERSION_NAME} / "
+            f"{SOURCES_NAME} / {CHECKSUM_NAME}")
+    version, sources, _, _, path = state
+    digest, missing = compute_checksum(ctx, version, sources)
+    if missing:
+        raise ValueError(f"guarded sources missing: {', '.join(missing)}")
+    text = path.read_text(encoding="utf-8")
+    new_text, count = _CHECKSUM_RE.subn(
+        f'{CHECKSUM_NAME} = "{digest}"', text, count=1)
+    if count != 1:
+        raise ValueError(
+            f"could not rewrite {CHECKSUM_NAME} in {ctx.rel(path)}")
+    path.write_text(new_text, encoding="utf-8")
+    return digest
+
+
+@register_rule
+class EngineVersionGuardRule(Rule):
+    """The recorded hot-path checksum must match the tree."""
+
+    name = "engine-version-guard"
+    description = ("engine/cache hot-path sources changed without an "
+                   "ENGINE_VERSION bump + checksum refresh (stale store "
+                   "keys)")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        state = guarded_state(ctx)
+        path = ctx.find(ENGINE_MODULE)
+        if path is None:
+            return
+        if state is None:
+            yield self.diag(
+                ctx, path, 1,
+                f"{ENGINE_MODULE} must declare {VERSION_NAME}, "
+                f"{SOURCES_NAME} and {CHECKSUM_NAME} (see "
+                f"docs/static-analysis.md)")
+            return
+        version, sources, recorded, lineno, path = state
+        computed, missing = compute_checksum(ctx, version, sources)
+        for rel in missing:
+            yield self.diag(
+                ctx, path, lineno,
+                f"guarded source {rel} does not exist; update "
+                f"{SOURCES_NAME}")
+        if missing or computed == recorded:
+            return
+        yield self.diag(
+            ctx, path, lineno,
+            f"hot-path sources changed but {CHECKSUM_NAME} was not "
+            f"refreshed (recorded {recorded[:12] or '<empty>'}…, computed "
+            f"{computed[:12]}…).  If simulation results can differ, bump "
+            f"{VERSION_NAME} first; then run `{REFRESH_COMMAND}`")

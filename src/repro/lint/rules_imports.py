@@ -1,0 +1,56 @@
+"""Import purity of declared dependency-free modules.
+
+``repro/reporting/model.py`` is the contract type layer between the
+experiment modules, the section builders and the emitters; it must stay
+free of ``repro`` imports or it recreates the import cycle it exists to
+break (see its module docstring).  The ``import-purity`` rule enforces
+that for every module in :data:`PURE_MODULES` — including imports hidden
+inside functions, which would only blow up at call time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Diagnostic, LintContext, Rule, register_rule
+
+#: Modules that must not import from the ``repro`` package at all.
+PURE_MODULES = (
+    "repro/reporting/model.py",
+)
+
+
+@register_rule
+class ImportPurityRule(Rule):
+    """Declared pure modules must not import from the repro package."""
+
+    name = "import-purity"
+    description = ("declared dependency-free module imports from the repro "
+                   "package (import-cycle hazard)")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for rel in PURE_MODULES:
+            path = ctx.find(rel)
+            if path is None:
+                continue
+            tree = ctx.tree(path)
+            if tree is None:
+                continue
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        root = alias.name.split(".", 1)[0]
+                        if root == "repro":
+                            yield self.diag(
+                                ctx, path, node.lineno,
+                                f"pure module imports {alias.name}; "
+                                f"{rel} must stay free of repro imports")
+                elif isinstance(node, ast.ImportFrom):
+                    root = (node.module or "").split(".", 1)[0]
+                    if node.level > 0 or root == "repro":
+                        source = ("." * node.level) + (node.module or "")
+                        yield self.diag(
+                            ctx, path, node.lineno,
+                            f"pure module imports from {source}; "
+                            f"{rel} must stay free of repro imports")

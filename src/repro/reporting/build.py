@@ -77,6 +77,7 @@ def resolve_scale(name: str) -> Tuple[str, ExperimentScale]:
 # Manifest (the run -> build handoff)
 # ----------------------------------------------------------------------
 def manifest_path(store: ResultStore) -> Path:
+    """Location of the run manifest inside a result store."""
     return store.root / MANIFEST_NAME
 
 

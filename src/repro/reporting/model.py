@@ -207,6 +207,7 @@ class Report:
 
     @property
     def total_points(self) -> int:
+        """Data points summed over all sections."""
         return sum(len(s.points) for s in self.sections)
 
 

@@ -4,10 +4,16 @@ import json
 import os
 import subprocess
 import sys
-from dataclasses import replace
+from dataclasses import fields, replace
 from pathlib import Path
 
-from repro.campaign.hashing import canonical_spec, job_key
+from repro.campaign.hashing import (
+    _ISOLATION_SCALE_FIELDS,
+    _OUTCOME_SCALE_FIELDS,
+    UNKEYED_FIELDS,
+    canonical_spec,
+    job_key,
+)
 from repro.campaign.jobs import isolation_deps, isolation_job, outcome_job
 from repro.cmp.engine import ENGINE_VERSION
 from repro.config import config_M_N, config_unpartitioned
@@ -141,3 +147,36 @@ class TestIsolationDeps:
     def test_isolation_jobs_have_no_deps(self, micro_scale):
         assert isolation_deps(isolation_job(micro_scale, "crafty", 0,
                                             "lru")) == []
+
+
+class TestUnkeyedFieldDiscipline:
+    """The documented UNKEYED_FIELDS allowlist matches hashing reality."""
+
+    def test_every_scale_field_is_classified(self):
+        """The job-hash-discipline lint contract, restated dynamically.
+
+        Every ExperimentScale field must be named in a ``*_SCALE_FIELDS``
+        key tuple or in UNKEYED_FIELDS — a new field cannot ship without
+        an explicit keyed/unkeyed decision.
+        """
+        declared = {f.name for f in fields(ExperimentScale)}
+        classified = (set(_OUTCOME_SCALE_FIELDS)
+                      | set(_ISOLATION_SCALE_FIELDS) | set(UNKEYED_FIELDS))
+        assert declared == classified
+
+    def test_key_tuples_and_allowlist_are_disjoint(self):
+        keyed = set(_OUTCOME_SCALE_FIELDS) | set(_ISOLATION_SCALE_FIELDS)
+        assert not keyed & set(UNKEYED_FIELDS)
+
+    def test_widening_any_unkeyed_field_keeps_keys(self, micro_scale):
+        """Widening REPRO_MIXES (or the 1T list) stays a store cache hit."""
+        outcome_base = job_key(outcome(micro_scale))
+        isolation_base = job_key(isolation_job(micro_scale, "crafty", 0,
+                                               "lru"))
+        for name in UNKEYED_FIELDS:
+            widened = replace(
+                micro_scale,
+                **{name: tuple(getattr(micro_scale, name)) + ("extra",)})
+            assert job_key(outcome(widened)) == outcome_base, name
+            assert job_key(isolation_job(widened, "crafty", 0,
+                                         "lru")) == isolation_base, name

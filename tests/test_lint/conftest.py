@@ -1,0 +1,45 @@
+"""Shared fixtures for the lint suite.
+
+Each rule has an on-disk fixture pair under ``fixtures/<rule>/`` — a
+``good/`` tree the rule must pass and a ``bad/`` tree it must flag.  The
+fixture trees act as miniature ``src/`` roots (``docs-links`` gets a full
+miniature repo root with ``docs/`` and ``src/``), and every test runs
+exactly one rule so unrelated contracts cannot pollute the verdict.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.core import LintContext, make_rules, run_lint
+import repro.lint  # noqa: F401  (imports register the rule set)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _fixture_root(rule: str, kind: str) -> Path:
+    return FIXTURES / rule.replace("-", "_") / kind
+
+
+def _fixture_context(rule: str, kind: str) -> LintContext:
+    root = _fixture_root(rule, kind)
+    assert root.is_dir(), f"missing fixture tree {root}"
+    if rule == "docs-links":
+        return LintContext(root / "src", repo_root=root)
+    return LintContext(root)
+
+
+@pytest.fixture(scope="session")
+def fixture_context():
+    """(rule, kind) -> LintContext over that rule's fixture tree."""
+    return _fixture_context
+
+
+@pytest.fixture(scope="session")
+def lint_fixture():
+    """(rule, kind) -> diagnostics from running exactly that rule."""
+    def _run(rule: str, kind: str):
+        return run_lint(_fixture_context(rule, kind), make_rules([rule]))
+    return _run

@@ -1,0 +1,1 @@
+"""Placeholder package so the fixture has a src tree."""

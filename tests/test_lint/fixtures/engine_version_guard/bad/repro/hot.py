@@ -1,0 +1,6 @@
+"""A guarded hot-path source file that was edited after recording."""
+
+
+def kernel(x):
+    """Pretend hot loop, now with different semantics."""
+    return x + 2

@@ -1,0 +1,7 @@
+"""Good: recorded checksum matches the guarded sources."""
+
+ENGINE_VERSION = 1
+
+ENGINE_GUARDED_SOURCES = ("repro/hot.py",)
+
+ENGINE_SOURCE_CHECKSUM = "b59a1057130429cadc939670a77500bebe29f2ad45848d3ab51f8c580515c931"

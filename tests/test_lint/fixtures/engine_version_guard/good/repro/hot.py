@@ -1,0 +1,6 @@
+"""A guarded hot-path source file."""
+
+
+def kernel(x):
+    """Pretend hot loop."""
+    return x + 1

@@ -1,0 +1,18 @@
+"""Bad: the kernel closure does per-access attribute walks and allocates."""
+
+from math import ceil
+
+
+def _flat_hit_kernel(cache):
+    """Factory forgets to bind the hot values."""
+    tag_map = cache.state.map
+
+    def access_line_hit(line, core=0):
+        way = tag_map.get(line)            # attribute load per access
+        if way is None:
+            history = [line, core]         # container allocation per access
+            tag_map[line] = history
+        distance = ceil(0.5 * core)        # unbound global lookup
+        return distance
+
+    return access_line_hit

@@ -1,0 +1,31 @@
+"""Good: the kernel closure runs on factory-bound locals only."""
+
+from math import ceil
+
+
+def _flat_hit_kernel(cache):
+    """Everything hot is bound once in the factory."""
+    tag_map = cache.state.map
+    tag_get = tag_map.get
+    order = cache.policy.order
+    order_index = order.index
+    accesses = cache.stats.accesses
+    ceil_fn = ceil
+    scaling = cache.scaling
+
+    def access_line_hit(line, core=0):
+        accesses[core] += 1
+        way = tag_get(line)
+        if way is not None:
+            pos = order_index(way)
+            order[pos] = way
+            return True
+        distance = ceil_fn(scaling * line.bit_count())
+        tag_map[line] = distance & ((1 << line.bit_length()) - 1)
+        try:
+            del tag_map[line]
+        except KeyError:
+            pass
+        return False
+
+    return access_line_hit

@@ -1,0 +1,18 @@
+"""Bad: the pure model reaches back into the simulator package."""
+
+from dataclasses import dataclass
+
+from repro.cache.cache import CacheStats
+
+
+@dataclass
+class Report:
+    """Couples the report document to the simulator."""
+
+    stats: CacheStats
+
+    def summary(self):
+        """Function-level imports do not escape the rule either."""
+        from . import build
+        import repro.campaign.hashing as hashing
+        return build, hashing

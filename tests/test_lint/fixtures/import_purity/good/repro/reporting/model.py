@@ -1,0 +1,24 @@
+"""Good: the report model imports only the standard library."""
+
+import json
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class Point:
+    """One verified data point."""
+
+    name: str
+    value: float
+
+
+@dataclass
+class Report:
+    """A flat, dependency-free report document."""
+
+    points: List[Point] = field(default_factory=list)
+
+    def to_json(self):
+        """Serialise with the stdlib only."""
+        return json.dumps([(p.name, p.value) for p in self.points])

@@ -1,0 +1,14 @@
+"""Bad: neither keys Job.seed nor lists it in UNKEYED_FIELDS."""
+
+import hashlib
+
+UNKEYED_FIELDS = ()
+
+_OUTCOME_SCALE_FIELDS = ("warmup",)
+_ISOLATION_SCALE_FIELDS = ()
+
+
+def job_key(job):
+    """Canonical content address for one job."""
+    spec = f"{job.mix}|{job.policy}"
+    return hashlib.sha256(spec.encode()).hexdigest()

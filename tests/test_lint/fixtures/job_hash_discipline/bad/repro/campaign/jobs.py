@@ -1,0 +1,12 @@
+"""Bad: a mutable job dataclass with an unclassified field."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Job:
+    """A simulation job (wrongly mutable)."""
+
+    mix: str
+    policy: str
+    seed: int

@@ -1,0 +1,11 @@
+"""Bad: ExperimentScale.measure is not classified anywhere."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that size an experiment sweep."""
+
+    warmup: int
+    measure: int

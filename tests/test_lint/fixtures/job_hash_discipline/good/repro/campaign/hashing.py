@@ -1,0 +1,15 @@
+"""Good: reads every keyed field; documents the unkeyed ones."""
+
+import hashlib
+
+#: Fields deliberately excluded from store keys.
+UNKEYED_FIELDS = ("label", "mixes_2t")
+
+_OUTCOME_SCALE_FIELDS = ("warmup",)
+_ISOLATION_SCALE_FIELDS = ("measure",)
+
+
+def job_key(job):
+    """Canonical content address for one job."""
+    spec = f"{job.mix}|{job.policy}"
+    return hashlib.sha256(spec.encode()).hexdigest()

@@ -1,0 +1,12 @@
+"""Good: every field is keyed or explicitly unkeyed; jobs are frozen."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Job:
+    """A simulation job addressed by its canonical hash."""
+
+    mix: str
+    policy: str
+    label: str

@@ -1,0 +1,13 @@
+"""Good: every ExperimentScale field is classified."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that size an experiment sweep."""
+
+    warmup: int
+    measure: int
+    mixes_2t: Tuple[str, ...] = ()

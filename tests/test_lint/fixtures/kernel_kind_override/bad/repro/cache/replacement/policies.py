@@ -1,0 +1,23 @@
+"""Bad: a subclass changes touch_fill but inherits kernel_kind."""
+
+
+class ReplacementPolicy:
+    """Abstract root (name-resolved by the class graph)."""
+
+    kernel_kind = ""
+
+    def touch_fill(self, set_index, way, core, reset_domain=None):
+        """Record a fill."""
+
+
+class FlatPolicy(ReplacementPolicy):
+    """Declares a kernelised layout."""
+
+    kernel_kind = "flat"
+
+
+class SneakyPolicy(FlatPolicy):
+    """Changes fill semantics; the inherited flat kernel would bypass it."""
+
+    def touch_fill(self, set_index, way, core, reset_domain=None):
+        """Insert at LRU instead of MRU."""

@@ -1,0 +1,40 @@
+"""Good: subclasses overriding kernel methods redeclare kernel_kind."""
+
+
+class ReplacementPolicy:
+    """Abstract root (name-resolved by the class graph)."""
+
+    kernel_kind = ""
+
+    def touch(self, set_index, way, core, reset_domain=None):
+        """Record an access."""
+
+    def victim(self, set_index, core, mask):
+        """Pick a victim way."""
+        return 0
+
+
+class FlatPolicy(ReplacementPolicy):
+    """Overrides touch and redeclares the (same) layout tag."""
+
+    kernel_kind = "flat"
+
+    def touch(self, set_index, way, core, reset_domain=None):
+        """Promote in the flat order."""
+
+
+class CustomPolicy(FlatPolicy):
+    """Changes victim semantics and opts out of kernels explicitly."""
+
+    kernel_kind = ""
+
+    def victim(self, set_index, core, mask):
+        """Custom victim walk the flat kernel cannot honour."""
+        return 1
+
+
+class RenamedPolicy(FlatPolicy):
+    """Overrides only non-kernel methods: no redeclaration needed."""
+
+    def reset(self):
+        """Unrelated to the access kernels."""

@@ -1,0 +1,7 @@
+def build(name):
+    return name
+
+
+class Widget:
+    def refresh(self):
+        return None

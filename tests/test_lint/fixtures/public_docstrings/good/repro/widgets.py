@@ -1,0 +1,36 @@
+"""Good: public surface documented; exemptions exercised."""
+
+
+def build(name):
+    """Module-level public function."""
+    return name
+
+
+def _helper():
+    return None
+
+
+class Base:
+    """Documented contract root."""
+
+    def refresh(self):
+        """The contract docstring lives here."""
+
+    @property
+    def size(self):
+        """Number of tracked entries."""
+        return 0
+
+    @size.setter
+    def size(self, value):
+        self._size = value
+
+
+class Derived(Base):
+    """Overrides are exempt: the base docstring is the contract."""
+
+    def refresh(self):
+        self._cache = None
+
+    def _internal(self):
+        return 0

@@ -1,0 +1,12 @@
+"""Bad: apply() rebinds a state array initialised in __init__."""
+
+
+class QuotaScheme:
+    """Holds per-core quota state in preallocated flat arrays."""
+
+    def __init__(self, num_cores, assoc):
+        self._quota = [assoc] * num_cores
+
+    def apply(self, counts):
+        """Rebinding detaches every kernel local captured at construction."""
+        self._quota = list(counts)

@@ -1,0 +1,20 @@
+"""Good: mutators update the captured state arrays in place."""
+
+
+class QuotaScheme:
+    """Holds per-core quota state in preallocated flat arrays."""
+
+    def __init__(self, num_cores, assoc):
+        self._quota = [assoc] * num_cores
+        self._owned = [0] * num_cores
+        self.label = "quota"          # not an array: free to rebind
+
+    def apply(self, counts):
+        """In-place refresh: kernel closures keep seeing the live lists."""
+        self._quota[:] = counts
+        self.label = "applied"
+
+    def reset(self):
+        """Element-wise zeroing is in place too."""
+        for i in range(len(self._owned)):
+            self._owned[i] = 0

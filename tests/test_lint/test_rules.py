@@ -1,0 +1,107 @@
+"""Per-rule verdicts on the on-disk good/bad fixture trees."""
+
+from __future__ import annotations
+
+import pytest
+
+RULES = sorted([
+    "kernel-kind-override", "state-rebind", "hot-path-purity",
+    "experiment-contract", "job-hash-discipline", "import-purity",
+    "public-docstrings", "engine-version-guard", "docs-links",
+])
+
+
+@pytest.mark.parametrize("rule", RULES)
+class TestFixturePairs:
+    def test_good_tree_is_clean(self, rule, lint_fixture):
+        assert lint_fixture(rule, "good") == []
+
+    def test_bad_tree_is_flagged_by_that_rule_only(self, rule, lint_fixture):
+        diags = lint_fixture(rule, "bad")
+        assert diags, f"{rule} bad fixture produced no diagnostics"
+        assert {d.rule for d in diags} == {rule}
+
+
+class TestKernelKindOverride:
+    def test_flags_the_sneaky_subclass(self, lint_fixture):
+        (diag,) = lint_fixture("kernel-kind-override", "bad")
+        assert "SneakyPolicy" in diag.message
+        assert "touch_fill" in diag.message
+
+
+class TestStateRebind:
+    def test_names_attribute_and_in_place_fix(self, lint_fixture):
+        (diag,) = lint_fixture("state-rebind", "bad")
+        assert "self._quota" in diag.message
+        assert "[:]" in diag.message
+
+
+class TestHotPathPurity:
+    def test_flags_all_three_impurity_classes(self, lint_fixture):
+        messages = [d.message for d in lint_fixture("hot-path-purity", "bad")]
+        assert len(messages) == 3
+        assert any("attribute load .get" in m for m in messages)
+        assert any("List allocation" in m for m in messages)
+        assert any("lookup of 'ceil'" in m for m in messages)
+
+
+class TestExperimentContract:
+    def test_flags_missing_export_and_wrong_arity(self, lint_fixture):
+        messages = [d.message
+                    for d in lint_fixture("experiment-contract", "bad")]
+        assert any("does not export references()" in m for m in messages)
+        assert any("run() cannot be called with 2" in m for m in messages)
+
+    def test_good_run_may_take_optional_extras(self, lint_fixture):
+        """fig9-style run(scale, runner, extra=None) satisfies arity 2."""
+        assert lint_fixture("experiment-contract", "good") == []
+
+
+class TestJobHashDiscipline:
+    def test_flags_frozen_and_both_field_kinds(self, lint_fixture):
+        messages = [d.message
+                    for d in lint_fixture("job-hash-discipline", "bad")]
+        assert any("frozen=True" in m for m in messages)
+        assert any("Job.seed" in m for m in messages)
+        assert any("ExperimentScale.measure" in m for m in messages)
+
+
+class TestImportPurity:
+    def test_flags_toplevel_relative_and_function_level(self, lint_fixture):
+        diags = lint_fixture("import-purity", "bad")
+        assert len(diags) == 3
+
+
+class TestPublicDocstrings:
+    def test_flags_module_function_class_and_method(self, lint_fixture):
+        messages = [d.message
+                    for d in lint_fixture("public-docstrings", "bad")]
+        assert len(messages) == 4
+
+    def test_good_tree_exercises_the_exemptions(self, fixture_context):
+        """The clean tree has an undocumented override + property setter."""
+        source = (fixture_context("public-docstrings", "good").src_root
+                  / "repro" / "widgets.py").read_text(encoding="utf-8")
+        assert "def refresh(self):\n        self._cache" in source
+        assert "@size.setter" in source
+
+
+class TestEngineVersionGuard:
+    def test_stale_checksum_names_the_refresh_command(self, lint_fixture):
+        (diag,) = lint_fixture("engine-version-guard", "bad")
+        assert "ENGINE_SOURCE_CHECKSUM was not refreshed" in diag.message
+        assert "--refresh-engine-checksum" in diag.message
+
+
+class TestDocsLinks:
+    def test_flags_missing_required_docs_and_broken_targets(
+            self, lint_fixture):
+        diags = lint_fixture("docs-links", "bad")
+        missing = [d for d in diags
+                   if d.message == "required documentation file is missing"]
+        assert {d.path for d in missing} > {"CHANGES.md", "ROADMAP.md",
+                                            "docs/architecture.md"}
+        assert any("broken link -> docs/missing.md" in d.message
+                   for d in diags)
+        assert any("broken anchor -> #no-such-heading" in d.message
+                   for d in diags)

@@ -12,7 +12,11 @@ recursively) for inline links and images ``[text](target)`` and verifies
 
 Also asserts the documentation the repo promises is actually present
 (``README.md``, ``docs/architecture.md``, ``docs/reproducing.md``,
-``docs/examples.md``).
+``docs/examples.md``, ``docs/static-analysis.md``).
+
+The same checks run behind the lint-rule registry as the ``docs-links``
+rule of ``python -m repro lint`` (see ``src/repro/lint/rules_docs.py``);
+this script stays the standalone zero-dependency entry point.
 
 Run from anywhere::
 
@@ -34,7 +38,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Documentation that must exist.
 REQUIRED = ("README.md", "docs/architecture.md", "docs/reproducing.md",
-            "docs/examples.md", "CHANGES.md", "ROADMAP.md")
+            "docs/examples.md", "docs/static-analysis.md", "CHANGES.md",
+            "ROADMAP.md")
 
 _LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
 _SCHEMES = ("http://", "https://", "mailto:", "ftp://")
