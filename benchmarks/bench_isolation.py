@@ -1,4 +1,4 @@
-"""Campaign stage-1 (isolation) wall-clock benchmark: solo vs batched.
+"""Campaign stage-1 (isolation) wall-clock benchmark: vector vs solo vs batched.
 
 Stage 1 of every campaign executes the deduplicated union of the outcome
 jobs' isolation dependencies — single-thread unpartitioned runs whose IPCs
@@ -39,6 +39,13 @@ from repro.workloads.trace import Trace
 #: enforced by the CI perf-smoke job's cross-recording comparison
 #: (``record.py engine --baseline`` against a seed-worktree recording).
 SPEEDUP_FLOOR = 1.3
+
+#: The vector engine must stay at least this much faster than the
+#: *current* solo engine on the stage.  Looser than the >=2x acceptance
+#: floor for the same reason: the strict same-recording gate is
+#: ``record.py engine``'s ``isolation_stage_vector/.isolation_stage_solo``
+#: floor key, checked by the CI perf-smoke job.
+VECTOR_SPEEDUP_FLOOR = 1.6
 
 
 def stage_jobs(scale: ExperimentScale) -> List[Job]:
@@ -100,7 +107,7 @@ def bench_scale(smoke: bool = False) -> ExperimentScale:
 # ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("engine", ["batched", "solo"])
+@pytest.mark.parametrize("engine", ["batched", "solo", "vector"])
 def test_isolation_stage_rate(benchmark, engine):
     scale = ExperimentScale(accesses=8_000)   # keep the tier-1 run quick
     jobs = stage_jobs(scale)
@@ -123,6 +130,22 @@ def test_solo_stage_speedup():
     assert speedup >= SPEEDUP_FLOOR
 
 
+def test_vector_stage_speedup():
+    """Regression guard: the set-parallel vector engine must stay well
+    ahead of the solo engine on the isolation stage (its target shape)."""
+    scale = bench_scale(smoke=True)
+    jobs = stage_jobs(scale)
+    traces = stage_traces(scale, jobs)
+    best = {}
+    for engine in ("solo", "vector"):
+        best[engine] = min(
+            run_stage_once(engine, scale, jobs, traces)[0] for _ in range(3))
+    speedup = best["solo"] / best["vector"]
+    print(f"\nisolation-stage vector speedup: {speedup:.2f}x "
+          f"(solo {best['solo']:.2f}s, vector {best['vector']:.2f}s)")
+    assert speedup >= VECTOR_SPEEDUP_FLOOR
+
+
 def main(argv) -> int:
     smoke = "--smoke" in argv
     scale = bench_scale(smoke)
@@ -133,7 +156,7 @@ def main(argv) -> int:
     print(f"isolation stage: {len(jobs)} jobs over {len(traces)} traces "
           f"({scale.accesses} accesses each; generation {gen_time:.2f} s)")
     seconds = {}
-    for engine in ("batched", "solo"):
+    for engine in ("batched", "solo", "vector"):
         best, accesses = None, 0
         for _ in range(2 if smoke else 3):
             elapsed, accesses = run_stage_once(engine, scale, jobs, traces)
@@ -142,11 +165,17 @@ def main(argv) -> int:
         print(f"  {engine:8s} {best:6.2f} s "
               f"({accesses / best / 1e6:.2f} M refs/s)")
     speedup = seconds["batched"] / seconds["solo"]
-    print(f"  speedup  {speedup:6.2f} x")
+    vector_speedup = seconds["solo"] / seconds["vector"]
+    print(f"  solo speedup    {speedup:6.2f} x (vs batched)")
+    print(f"  vector speedup  {vector_speedup:6.2f} x (vs solo)")
+    status = 0
     if speedup < SPEEDUP_FLOOR:
         print(f"FAIL: solo speedup below the {SPEEDUP_FLOOR}x floor")
-        return 1
-    return 0
+        status = 1
+    if vector_speedup < VECTOR_SPEEDUP_FLOOR:
+        print(f"FAIL: vector speedup below the {VECTOR_SPEEDUP_FLOOR}x floor")
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

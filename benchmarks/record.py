@@ -14,8 +14,9 @@ runs in seconds and emits stable ops/sec numbers.  ``engine`` measures the
 end-to-end reference vs batched engine wall-clock on the 4-core mix of
 ``bench_engine.py`` plus the campaign stage-1 **isolation composite**
 (``bench_isolation.py``) under the batched and — when the library on
-``PYTHONPATH`` provides it — the solo engine, so the same script records
-the pre-solo baseline from a seed worktree and the current rates.
+``PYTHONPATH`` provides them — the solo and vector engines, so the same
+script records the pre-solo baseline from a seed worktree and the
+current rates.
 
 Every output file carries machine metadata (platform, CPU count, python and
 numpy versions) so recorded rates are comparable only within a machine.
@@ -65,9 +66,14 @@ DEFAULT_FLOOR_KEYS = (
 #: compares the *current* ``cur`` rate against the *baseline* ``base``
 #: rate — the solo floor grades the new engine against the baseline
 #: recording's batched isolation rate (the pre-solo engine on the same
-#: machine; the baseline tree has no solo engine to record).
+#: machine; the baseline tree has no solo engine to record).  A ``.``
+#: prefix on the denominator (``cur/.base``) reads it from the *current*
+#: recording instead — the vector floor is a same-recording ratio (the
+#: baseline tree predates both engines), enforcing the vector engine's
+#: >=2x acceptance bar over the solo engine on the same machine and run.
 DEFAULT_ENGINE_FLOOR_KEYS = (
     "isolation_stage_solo/isolation_stage_batched:1.5",
+    "isolation_stage_vector/.isolation_stage_solo:2.0",
     "isolation_stage_batched:0.9",
     "engine_batched:0.9",
 )
@@ -213,7 +219,8 @@ def record_engine(accesses: int, repeats: int,
     scale = ExperimentScale(accesses=iso_accesses)
     jobs = stage_jobs(scale)
     traces = stage_traces(scale, jobs)
-    iso_engines = ["batched"] + (["solo"] if "solo" in ENGINES else [])
+    iso_engines = ["batched"] + [e for e in ("solo", "vector")
+                                 if e in ENGINES]
     iso_seconds = {}
     iso_totals = {}
     for engine in iso_engines:
@@ -245,6 +252,9 @@ def record_engine(accesses: int, repeats: int,
     if "solo" in iso_seconds:
         payload["isolation_solo_speedup"] = round(
             iso_seconds["batched"] / iso_seconds["solo"], 3)
+    if "vector" in iso_seconds and "solo" in iso_seconds:
+        payload["isolation_vector_speedup"] = round(
+            iso_seconds["solo"] / iso_seconds["vector"], 3)
     return payload
 
 
@@ -255,8 +265,10 @@ def check_floor(current: dict, baseline_path: Path, default_floor: float,
     ``keys`` entries are ``name`` or ``name:floor``; a bare name uses
     ``default_floor``.  A ``cur/base`` name compares the current ``cur``
     rate against the baseline's ``base`` rate (used when the baseline tree
-    cannot record the current key, e.g. a pre-solo worktree).  Returns
-    nonzero when any rate falls short.
+    cannot record the current key, e.g. a pre-solo worktree); ``cur/.base``
+    reads the denominator from the *current* recording instead — a
+    same-machine, same-run ratio floor for engines the baseline tree
+    predates entirely.  Returns nonzero when any rate falls short.
     """
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     base_rates = baseline["rates"]
@@ -267,15 +279,20 @@ def check_floor(current: dict, baseline_path: Path, default_floor: float,
         floor = float(floor_text) if floor_text else default_floor
         cur_key, _, base_key = key.partition("/")
         base_key = base_key or cur_key
-        if base_key not in base_rates or cur_key not in cur_rates:
+        if base_key.startswith("."):
+            base_key = base_key[1:]
+            denom_rates, denom_name = cur_rates, "current"
+        else:
+            denom_rates, denom_name = base_rates, "baseline"
+        if base_key not in denom_rates or cur_key not in cur_rates:
             print(f"  floor: {key}: missing "
-                  f"(baseline {base_key}: {base_key in base_rates}, "
+                  f"({denom_name} {base_key}: {base_key in denom_rates}, "
                   f"current {cur_key}: {cur_key in cur_rates})")
             failures.append(key)
             continue
-        speedup = cur_rates[cur_key] / base_rates[base_key]
+        speedup = cur_rates[cur_key] / denom_rates[base_key]
         status = "ok" if speedup >= floor else "FAIL"
-        print(f"  floor: {key}: {speedup:.2f}x vs baseline "
+        print(f"  floor: {key}: {speedup:.2f}x vs {denom_name} "
               f"(floor {floor:.2f}x) {status}")
         if speedup < floor:
             failures.append(key)
@@ -347,6 +364,9 @@ def main(argv=None) -> int:
             if "isolation_solo_speedup" in payload:
                 print(f"  isolation solo speedup: "
                       f"{payload['isolation_solo_speedup']:.2f}x")
+            if "isolation_vector_speedup" in payload:
+                print(f"  isolation vector speedup (vs solo): "
+                      f"{payload['isolation_vector_speedup']:.2f}x")
         if args.baseline:
             keys = [k.strip()
                     for k in (args.floor_keys.split(",")

@@ -47,7 +47,8 @@ import numpy as np
 from repro.cache.partition.base import PartitionScheme
 
 __all__ = ["TagStore", "build_hit_kernel", "build_observe_kernel",
-           "build_observe_many_kernel"]
+           "build_observe_many_kernel", "build_set_run_kernel",
+           "mru_repeat_elidable", "pair_elidable"]
 
 
 class TagStore:
@@ -755,6 +756,730 @@ def build_hit_kernel(cache) -> Optional[Callable]:
     """
     factory = _HIT_KERNELS.get(getattr(cache.policy, "kernel_kind", ""))
     return None if factory is None else factory(cache)
+
+
+# ----------------------------------------------------------------------
+# Window kernels (whole-window batched access_line_hit)
+# ----------------------------------------------------------------------
+# A window kernel drains a whole inter-boundary window of the L2 miss
+# stream in one call: ``kernel(lines, flags)`` replays ``lines`` — line
+# addresses in trace order — through exactly the per-access transitions
+# of the scalar hit kernel above, writing 1 into the caller-supplied
+# zeroed byte buffer at each hit position.  The statistics counters are
+# accumulated in locals and committed once per call: they are pure sums,
+# so the commit schedule is unobservable.  Replay order is trace order —
+# the engine may first *elide* accesses proven to be idempotent repeat
+# hits (:func:`mru_repeat_elidable`), which deletes elements but never
+# reorders the survivors.
+#
+# Relative to the scalar kernels the win is loop hoisting: one closure
+# call, one iterator and one batched statistics commit per *window*
+# instead of per access.  Per-policy invariants (NRU's cache-global
+# pointer) may additionally be carried in plain locals across the loop
+# and written back once.
+#
+# Purity discipline: as with the scalar kernels, every free variable is
+# bound at build time — the ``hot-path-purity`` lint rule checks these
+# ``_*_run_kernel`` factories' closures for attribute loads, global
+# lookups and container allocations exactly like the scalar factories.
+
+def _lru_set_run_kernel(cache):
+    """LRU: the scalar kernel's order-array transitions, loop-hoisted."""
+    policy = cache.policy
+    store = cache.state
+    set_mask = store.num_sets - 1
+    assoc = store.assoc
+    tag_map = store.map
+    tag_get = tag_map.get
+    tags = store.lines
+    invalid = store.invalid
+    order = policy._order
+    order_index = order.index
+    size = policy._size
+    present = policy._present
+    stats = cache.stats
+    accesses = stats.accesses
+    misses = stats.misses
+    fills_invalid = stats.fills_invalid
+    partition = cache.partition
+
+    if partition is None:
+        def run_window(lines, flags):
+            pos = 0
+            n_miss = 0
+            n_inv = 0
+            for line in lines:
+                way = tag_get(line)
+                s = line & set_mask
+                base = s * assoc
+                if way is not None:
+                    p = order_index(way, base, base + assoc)
+                    if p != base:
+                        order[base + 1:p + 1] = order[base:p]
+                        order[base] = way
+                    flags[pos] = 1
+                    pos += 1
+                    continue
+                n_miss += 1
+                inv = invalid[s]
+                if inv:
+                    way = (inv & -inv).bit_length() - 1
+                    invalid[s] = inv & ~(1 << way)
+                    n_inv += 1
+                    sz = size[s]
+                    order[base + 1:base + sz + 1] = order[base:base + sz]
+                    order[base] = way
+                    size[s] = sz + 1
+                    present[s] |= 1 << way
+                else:
+                    i = base + assoc - 1
+                    way = order[i]
+                    del tag_map[tags[base + way]]
+                    order[base + 1:i + 1] = order[base:i]
+                    order[base] = way
+                tags[base + way] = line
+                tag_map[line] = way
+                pos += 1
+            accesses[0] += pos
+            misses[0] += n_miss
+            fills_invalid[0] += n_inv
+
+        return run_window
+
+    get_mask = partition.candidate_mask
+    on_fill = _bind_on_fill(partition)
+
+    def run_window(lines, flags):
+        pos = 0
+        n_miss = 0
+        n_inv = 0
+        for line in lines:
+            way = tag_get(line)
+            s = line & set_mask
+            base = s * assoc
+            if way is not None:
+                p = order_index(way, base, base + size[s])
+                if p != base:
+                    order[base + 1:p + 1] = order[base:p]
+                    order[base] = way
+                flags[pos] = 1
+                pos += 1
+                continue
+            n_miss += 1
+            mask = get_mask(s, 0)
+            inv = invalid[s] & mask
+            if inv:
+                way = (inv & -inv).bit_length() - 1
+                invalid[s] &= ~(1 << way)
+                n_inv += 1
+                sz = size[s]
+                order[base + 1:base + sz + 1] = order[base:base + sz]
+                order[base] = way
+                size[s] = sz + 1
+                present[s] |= 1 << way
+            else:
+                i = base + size[s] - 1
+                way = order[i]
+                while not (mask >> way) & 1:
+                    i -= 1
+                    way = order[i]
+                del tag_map[tags[base + way]]
+                if i != base:
+                    order[base + 1:i + 1] = order[base:i]
+                    order[base] = way
+            tags[base + way] = line
+            tag_map[line] = way
+            if on_fill is not None:
+                on_fill(s, way, 0)
+            pos += 1
+        accesses[0] += pos
+        misses[0] += n_miss
+        fills_invalid[0] += n_inv
+
+    return run_window
+
+
+def _fifo_set_run_kernel(cache):
+    """FIFO: hits touch nothing; fills/evictions via the scalar shifts."""
+    policy = cache.policy
+    store = cache.state
+    set_mask = store.num_sets - 1
+    assoc = store.assoc
+    full_mask = store.full_mask
+    tag_map = store.map
+    tags = store.lines
+    invalid = store.invalid
+    order = policy._order
+    size = policy._size
+    present = policy._present
+    stats = cache.stats
+    accesses = stats.accesses
+    misses = stats.misses
+    fills_invalid = stats.fills_invalid
+    partition = cache.partition
+    get_mask = partition.candidate_mask if partition is not None else None
+    on_fill = _bind_on_fill(partition)
+
+    def run_window(lines, flags):
+        pos = 0
+        n_miss = 0
+        n_inv = 0
+        for line in lines:
+            if line in tag_map:
+                flags[pos] = 1
+                pos += 1
+                continue
+            n_miss += 1
+            s = line & set_mask
+            base = s * assoc
+            mask = full_mask if get_mask is None else get_mask(s, 0)
+            inv = invalid[s] & mask
+            if inv:
+                way = (inv & -inv).bit_length() - 1
+                invalid[s] &= ~(1 << way)
+                n_inv += 1
+                sz = size[s]
+                order[base + 1:base + sz + 1] = order[base:base + sz]
+                order[base] = way
+                size[s] = sz + 1
+                present[s] |= 1 << way
+            else:
+                i = base + size[s] - 1
+                way = order[i]
+                while not (mask >> way) & 1:
+                    i -= 1
+                    way = order[i]
+                del tag_map[tags[base + way]]
+                if i != base:
+                    order[base + 1:i + 1] = order[base:i]
+                    order[base] = way
+            tags[base + way] = line
+            tag_map[line] = way
+            if on_fill is not None:
+                on_fill(s, way, 0)
+            pos += 1
+        accesses[0] += pos
+        misses[0] += n_miss
+        fills_invalid[0] += n_inv
+
+    return run_window
+
+
+def _lru_ins_set_run_kernel(cache):
+    """LIP/BIP/DIP: above-floor promote inline, insertions delegated."""
+    policy = cache.policy
+    store = cache.state
+    set_mask = store.num_sets - 1
+    assoc = store.assoc
+    full_mask = store.full_mask
+    tag_map = store.map
+    tag_get = tag_map.get
+    tags = store.lines
+    invalid = store.invalid
+    order = policy._order
+    order_index = order.index
+    size = policy._size
+    below_mask = policy._below_mask
+    touch = policy.touch
+    touch_fill = policy.touch_fill
+    victim = policy.victim
+    stats = cache.stats
+    accesses = stats.accesses
+    misses = stats.misses
+    fills_invalid = stats.fills_invalid
+    partition = cache.partition
+    get_mask = partition.candidate_mask if partition is not None else None
+    on_fill = _bind_on_fill(partition)
+
+    def run_window(lines, flags):
+        pos = 0
+        n_miss = 0
+        n_inv = 0
+        for line in lines:
+            way = tag_get(line)
+            s = line & set_mask
+            base = s * assoc
+            if way is not None:
+                if (below_mask[s] >> way) & 1:
+                    touch(s, way, 0)
+                else:
+                    p = order_index(way, base, base + size[s])
+                    if p != base:
+                        order[base + 1:p + 1] = order[base:p]
+                        order[base] = way
+                flags[pos] = 1
+                pos += 1
+                continue
+            n_miss += 1
+            mask = full_mask if get_mask is None else get_mask(s, 0)
+            inv = invalid[s] & mask
+            if inv:
+                way = (inv & -inv).bit_length() - 1
+                invalid[s] &= ~(1 << way)
+                n_inv += 1
+            else:
+                way = victim(s, 0, mask)
+                del tag_map[tags[base + way]]
+            tags[base + way] = line
+            tag_map[line] = way
+            if on_fill is not None:
+                on_fill(s, way, 0)
+            touch_fill(s, way, 0)
+            pos += 1
+        accesses[0] += pos
+        misses[0] += n_miss
+        fills_invalid[0] += n_inv
+
+    return run_window
+
+
+def _nru_set_run_kernel(cache):
+    """NRU: used bits inline; the global pointer rides a plain local.
+
+    The cache-global replacement pointer is read once, carried as a loop
+    local and written back after the window — nothing else reads it while
+    a window drains (ATDs keep their own policy instances).
+    """
+    policy = cache.policy
+    store = cache.state
+    set_mask = store.num_sets - 1
+    assoc = store.assoc
+    full_mask = store.full_mask
+    tag_map = store.map
+    tag_get = tag_map.get
+    tags = store.lines
+    invalid = store.invalid
+    used_l = policy._used
+    pointer = policy._pointer_box
+    stats = cache.stats
+    accesses = stats.accesses
+    misses = stats.misses
+    fills_invalid = stats.fills_invalid
+    partition = cache.partition
+
+    if partition is None:
+        def run_window(lines, flags):
+            pos = 0
+            n_miss = 0
+            n_inv = 0
+            ptr = pointer[0]
+            for line in lines:
+                way = tag_get(line)
+                s = line & set_mask
+                if way is not None:
+                    bit = 1 << way
+                    used = used_l[s] | bit
+                    used_l[s] = bit if used == full_mask else used
+                    flags[pos] = 1
+                    pos += 1
+                    continue
+                n_miss += 1
+                base = s * assoc
+                inv = invalid[s]
+                if inv:
+                    way = (inv & -inv).bit_length() - 1
+                    invalid[s] = inv & ~(1 << way)
+                    n_inv += 1
+                    used = used_l[s]
+                else:
+                    used = used_l[s]
+                    if used == full_mask:
+                        used = 0
+                    hi = (full_mask & ~used) >> ptr
+                    if hi:
+                        way = ptr + (hi & -hi).bit_length() - 1
+                    else:
+                        free = full_mask & ~used
+                        way = (free & -free).bit_length() - 1
+                    del tag_map[tags[base + way]]
+                tags[base + way] = line
+                tag_map[line] = way
+                bit = 1 << way
+                used |= bit
+                used_l[s] = bit if used == full_mask else used
+                ptr += 1
+                if ptr >= assoc:
+                    ptr = 0
+                pos += 1
+            pointer[0] = ptr
+            accesses[0] += pos
+            misses[0] += n_miss
+            fills_invalid[0] += n_inv
+
+        return run_window
+
+    get_mask = partition.candidate_mask
+    get_domain = _bind_reset_domain(partition)
+    on_fill = _bind_on_fill(partition)
+
+    def run_window(lines, flags):
+        pos = 0
+        n_miss = 0
+        n_inv = 0
+        ptr = pointer[0]
+        for line in lines:
+            way = tag_get(line)
+            s = line & set_mask
+            if way is not None:
+                if get_domain is None:
+                    domain = full_mask
+                else:
+                    domain = get_domain(0)
+                    if domain is None:
+                        domain = full_mask
+                used = used_l[s] | (1 << way)
+                if domain and (used & domain) == domain:
+                    used &= ~domain
+                    used |= 1 << way
+                used_l[s] = used
+                flags[pos] = 1
+                pos += 1
+                continue
+            n_miss += 1
+            base = s * assoc
+            mask = get_mask(s, 0)
+            inv = invalid[s] & mask
+            if inv:
+                way = (inv & -inv).bit_length() - 1
+                invalid[s] &= ~(1 << way)
+                n_inv += 1
+            else:
+                used = used_l[s]
+                if (used & mask) == mask:
+                    used &= ~mask
+                    used_l[s] = used
+                free = mask & ~used
+                hi = free >> ptr
+                if hi:
+                    way = ptr + (hi & -hi).bit_length() - 1
+                else:
+                    way = (free & -free).bit_length() - 1
+                del tag_map[tags[base + way]]
+            tags[base + way] = line
+            tag_map[line] = way
+            if on_fill is not None:
+                on_fill(s, way, 0)
+            if get_domain is None:
+                domain = full_mask
+            else:
+                domain = get_domain(0)
+                if domain is None:
+                    domain = full_mask
+            used = used_l[s] | (1 << way)
+            if domain and (used & domain) == domain:
+                used &= ~domain
+                used |= 1 << way
+            used_l[s] = used
+            ptr += 1
+            if ptr >= assoc:
+                ptr = 0
+            pos += 1
+        pointer[0] = ptr
+        accesses[0] += pos
+        misses[0] += n_miss
+        fills_invalid[0] += n_inv
+
+    return run_window
+
+
+def _bt_set_run_kernel(cache):
+    """BT: O(1) integer-mask promote; table-driven victim traversal."""
+    policy = cache.policy
+    store = cache.state
+    set_mask = store.num_sets - 1
+    assoc = store.assoc
+    full_mask = store.full_mask
+    tag_map = store.map
+    tag_get = tag_map.get
+    tags = store.lines
+    invalid = store.invalid
+    tree = policy._tree
+    keep = policy._touch_keep
+    setb = policy._touch_set
+    table = policy._victim_table
+    force_map = policy._force
+    victim = policy.victim
+    stats = cache.stats
+    accesses = stats.accesses
+    misses = stats.misses
+    fills_invalid = stats.fills_invalid
+    partition = cache.partition
+    get_mask = partition.candidate_mask if partition is not None else None
+    on_fill = _bind_on_fill(partition)
+
+    def run_window(lines, flags):
+        pos = 0
+        n_miss = 0
+        n_inv = 0
+        for line in lines:
+            way = tag_get(line)
+            s = line & set_mask
+            if way is not None:
+                tree[s] = (tree[s] & keep[way]) | setb[way]
+                flags[pos] = 1
+                pos += 1
+                continue
+            n_miss += 1
+            base = s * assoc
+            mask = full_mask if get_mask is None else get_mask(s, 0)
+            inv = invalid[s] & mask
+            if inv:
+                way = (inv & -inv).bit_length() - 1
+                invalid[s] &= ~(1 << way)
+                n_inv += 1
+            else:
+                if force_map or table is None:
+                    way = victim(s, 0, mask)
+                else:
+                    way = table[tree[s]]
+                old = tags[base + way]
+                if old >= 0:
+                    del tag_map[old]
+                else:
+                    invalid[s] &= ~(1 << way)
+                    n_inv += 1
+            tags[base + way] = line
+            tag_map[line] = way
+            if on_fill is not None:
+                on_fill(s, way, 0)
+            tree[s] = (tree[s] & keep[way]) | setb[way]
+            pos += 1
+        accesses[0] += pos
+        misses[0] += n_miss
+        fills_invalid[0] += n_inv
+
+    return run_window
+
+
+def _rrip_set_run_kernel(cache):
+    """SRRIP/BRRIP: flat RRPV array; C-speed full-mask victim scan."""
+    policy = cache.policy
+    store = cache.state
+    set_mask = store.num_sets - 1
+    assoc = store.assoc
+    full_mask = store.full_mask
+    tag_map = store.map
+    tag_get = tag_map.get
+    tags = store.lines
+    invalid = store.invalid
+    rrpv = policy._rrpv
+    rrpv_index = rrpv.index
+    rrpv_max = policy.rrpv_max
+    long_rrpv = rrpv_max - 1
+    fill_fast = policy.long_insert_probability >= 1.0
+    touch_fill = policy.touch_fill
+    stats = cache.stats
+    accesses = stats.accesses
+    misses = stats.misses
+    fills_invalid = stats.fills_invalid
+    partition = cache.partition
+    get_mask = partition.candidate_mask if partition is not None else None
+    on_fill = _bind_on_fill(partition)
+
+    def run_window(lines, flags):
+        pos = 0
+        n_miss = 0
+        n_inv = 0
+        for line in lines:
+            way = tag_get(line)
+            s = line & set_mask
+            base = s * assoc
+            if way is not None:
+                rrpv[base + way] = 0
+                flags[pos] = 1
+                pos += 1
+                continue
+            n_miss += 1
+            mask = full_mask if get_mask is None else get_mask(s, 0)
+            inv = invalid[s] & mask
+            if inv:
+                way = (inv & -inv).bit_length() - 1
+                invalid[s] &= ~(1 << way)
+                n_inv += 1
+            else:
+                if mask == full_mask:
+                    end = base + assoc
+                    while True:
+                        try:
+                            way = rrpv_index(rrpv_max, base, end) - base
+                            break
+                        except ValueError:
+                            # Rare aging path: the C-level slice rebuild
+                            # beats a scalar loop.
+                            # lint: disable-next=hot-path-purity
+                            rrpv[base:end] = [v + 1 for v in rrpv[base:end]]
+                else:
+                    way = -1
+                    while way < 0:
+                        m = mask
+                        while m:
+                            low = m & -m
+                            w = low.bit_length() - 1
+                            if rrpv[base + w] == rrpv_max:
+                                way = w
+                                break
+                            m ^= low
+                        else:
+                            m = mask
+                            while m:
+                                low = m & -m
+                                rrpv[base + low.bit_length() - 1] += 1
+                                m ^= low
+                del tag_map[tags[base + way]]
+            tags[base + way] = line
+            tag_map[line] = way
+            if on_fill is not None:
+                on_fill(s, way, 0)
+            if fill_fast:
+                rrpv[base + way] = long_rrpv
+            else:
+                touch_fill(s, way, 0)
+            pos += 1
+        accesses[0] += pos
+        misses[0] += n_miss
+        fills_invalid[0] += n_inv
+
+    return run_window
+
+
+def _random_set_run_kernel(cache):
+    """Random: stateless policy — only the RNG victim draw stays a call."""
+    store = cache.state
+    set_mask = store.num_sets - 1
+    assoc = store.assoc
+    full_mask = store.full_mask
+    tag_map = store.map
+    tags = store.lines
+    invalid = store.invalid
+    victim = cache.policy.victim
+    stats = cache.stats
+    accesses = stats.accesses
+    misses = stats.misses
+    fills_invalid = stats.fills_invalid
+    partition = cache.partition
+    get_mask = partition.candidate_mask if partition is not None else None
+    on_fill = _bind_on_fill(partition)
+
+    def run_window(lines, flags):
+        pos = 0
+        n_miss = 0
+        n_inv = 0
+        for line in lines:
+            if line in tag_map:
+                flags[pos] = 1
+                pos += 1
+                continue
+            n_miss += 1
+            s = line & set_mask
+            base = s * assoc
+            mask = full_mask if get_mask is None else get_mask(s, 0)
+            inv = invalid[s] & mask
+            if inv:
+                way = (inv & -inv).bit_length() - 1
+                invalid[s] &= ~(1 << way)
+                n_inv += 1
+            else:
+                way = victim(s, 0, mask)
+                del tag_map[tags[base + way]]
+            tags[base + way] = line
+            tag_map[line] = way
+            if on_fill is not None:
+                on_fill(s, way, 0)
+            pos += 1
+        accesses[0] += pos
+        misses[0] += n_miss
+        fills_invalid[0] += n_inv
+
+    return run_window
+
+
+_SET_RUN_KERNELS = {
+    "lru": _lru_set_run_kernel,
+    "fifo": _fifo_set_run_kernel,
+    "lru_ins": _lru_ins_set_run_kernel,
+    "nru": _nru_set_run_kernel,
+    "bt": _bt_set_run_kernel,
+    "rrip": _rrip_set_run_kernel,
+    "random": _random_set_run_kernel,
+}
+
+
+def build_set_run_kernel(cache) -> Optional[Callable]:
+    """Batched whole-window ``access_line_hit`` for the cache's policy.
+
+    Returns ``kernel(lines, flags)`` — ``lines`` a list of line addresses
+    in access order, ``flags`` a zeroed writable byte buffer with one
+    slot per access, set to 1 on hits — or ``None`` when the policy has
+    no flat-state kernel.  Only valid for single-core simulations: every
+    access is attributed to core 0 (statistics, candidate masks,
+    partition hooks, RNG draws).
+    """
+    factory = _SET_RUN_KERNELS.get(getattr(cache.policy, "kernel_kind", ""))
+    return None if factory is None else factory(cache)
+
+
+#: Kernel kinds whose hit transition is idempotent, making immediate
+#: same-set repeat accesses elidable (see :func:`mru_repeat_elidable`).
+_MRU_ELIDABLE_KINDS = frozenset({"lru", "fifo", "nru", "bt", "random"})
+
+
+def mru_repeat_elidable(cache) -> bool:
+    """True when immediate same-set repeat accesses may be elided.
+
+    An access whose line equals the *previous access to the same set* is
+    a guaranteed hit — the L2 always installs on a miss, nothing touched
+    the set in between, and read-only windows never invalidate — whose
+    transition is idempotent for these kinds, so deleting it from a
+    window's replay is exact:
+
+    * ``lru`` — promoting the already-MRU way is a no-op.
+    * ``fifo`` / ``random`` — hits touch no replacement state at all.
+    * ``bt`` — the hit promote rewrites the same tree bits.
+    * ``nru`` — the line's used bit is already set, and the saturation
+      reset cannot re-fire: every access leaves its reset domain
+      unsaturated (for a single-way domain the re-reset reproduces the
+      same bits), and the global pointer only rotates on fills.
+
+    Excluded: ``lru_ins`` (LIP/BIP/DIP promote a below-floor line on its
+    first repeat after the fill) and ``rrip`` (the first repeat hit
+    rewrites the fill RRPV to 0).  Partition schemes never affect the
+    hit path — candidate masks, fill hooks and owner counters are
+    miss-path only — so eligibility depends on the policy alone.
+    """
+    return getattr(cache.policy, "kernel_kind", "") in _MRU_ELIDABLE_KINDS
+
+
+def pair_elidable(cache) -> bool:
+    """True when two-line alternation pairs may also be elided.
+
+    In a same-set access pattern ``X, Y, X, Y, ...`` (``X != Y``, no other
+    access to the set interleaved) every access from the third on is a
+    guaranteed hit, and each *pair* ``(X, Y)`` is an identity transition,
+    so whole pairs may be deleted from a window's replay:
+
+    * ``lru`` — after the leading ``X, Y`` the top of the recency order
+      is ``(Y, X)``; the pair promotes ``X`` then ``Y``, mapping
+      ``(Y, X)`` back to ``(Y, X)`` and touching nothing deeper.  Both
+      are hits: each line sits at stack position <= 1 when accessed, and
+      an unpartitioned victim is always the tail (``assoc >= 2`` keeps
+      the just-promoted line off it).
+    * ``bt`` — the promote maps ``f_w(t) = (t & keep[w]) | set[w]`` are
+      per-way idempotent and the pair composition is idempotent:
+      ``f_Y(f_X(f_Y(f_X(t)))) = f_Y(f_X(t))`` by mask algebra.  Both are
+      hits: the table victim follows the tree away from a just-touched
+      way, so neither line of a hot pair can be evicted in between.
+
+    Restricted to unpartitioned caches: a partitioned LRU victim scans a
+    candidate mask (which can reach stack position 1 when a core owns a
+    single way) and partitioned BT uses force vectors that override the
+    tree traversal — either could evict a pair member mid-pattern.  The
+    other kinds stay excluded: FIFO/random/NRU hits do not protect a
+    line from eviction (FIFO age, random draw, NRU saturation reset), so
+    the third access is not a guaranteed hit.
+    """
+    if cache.partition is not None or cache.state.assoc < 2:
+        return False
+    return getattr(cache.policy, "kernel_kind", "") in ("lru", "bt")
 
 
 # ----------------------------------------------------------------------

@@ -1,6 +1,6 @@
 """CMP execution engines.
 
-Three interchangeable implementations of the simulation hot loop:
+Four interchangeable implementations of the simulation hot loop:
 
 * :class:`ReferenceEngine` — one scheduler event per memory reference,
   routed through the full hierarchy.  The semantic oracle.
@@ -12,11 +12,17 @@ Three interchangeable implementations of the simulation hot loop:
   valid for one-core simulations (isolation runs, 1-core figure points),
   where it is bit-identical by construction — no cross-thread ordering
   exists to preserve.
+* :class:`VectorEngine` — the single-thread *set-parallel* slow path: the
+  L2 miss stream is cut into boundary-free windows, each drained by one
+  set-run kernel call with the clock reconstructed by a vectorised prefix
+  sum.  Bit-identical to solo (configurations outside its batched path
+  delegate to solo outright).
 
 :func:`make_engine` instantiates by the ``SimulationConfig.engine`` name;
 the default ``"auto"`` resolves through :func:`resolve_engine_name` to the
 solo engine for single-thread simulations and the batched engine
-otherwise.
+otherwise.  (The vector engine is opt-in until the recorded benchmarks
+move auto-selection; see ``benchmarks/BENCH_engine.json``.)
 """
 
 from __future__ import annotations
@@ -26,11 +32,13 @@ from repro.cmp.engine.common import EngineBase, freeze_count
 from repro.cmp.engine.reference import ReferenceEngine
 from repro.cmp.engine.scheduler import EventScheduler
 from repro.cmp.engine.solo import SoloEngine
+from repro.cmp.engine.vector import VectorEngine
 from repro.config import (
     ENGINE_AUTO,
     ENGINE_BATCHED,
     ENGINE_REFERENCE,
     ENGINE_SOLO,
+    ENGINE_VECTOR,
 )
 
 #: Simulation-semantics version, part of every campaign store key
@@ -52,6 +60,7 @@ ENGINE_GUARDED_SOURCES = (
     "repro/cmp/engine/reference.py",
     "repro/cmp/engine/scheduler.py",
     "repro/cmp/engine/solo.py",
+    "repro/cmp/engine/vector.py",
     "repro/cache/state.py",
     "repro/cache/cache.py",
     "repro/cache/hierarchy.py",
@@ -63,12 +72,13 @@ ENGINE_GUARDED_SOURCES = (
 #: ENGINE_VERSION when simulation results changed) with::
 #:
 #:     python -m repro lint --refresh-engine-checksum
-ENGINE_SOURCE_CHECKSUM = "2f86b74060c82f4abdb47f49c5cfdd1855bb1192a3e93d360d86521f78ad608b"
+ENGINE_SOURCE_CHECKSUM = "c2d68ac5548ca64845e5c275fee2a79c88999727120e86c7f5ff8e39a7f1f849"
 
 _ENGINES = {
     ENGINE_REFERENCE: ReferenceEngine,
     ENGINE_BATCHED: BatchedEngine,
     ENGINE_SOLO: SoloEngine,
+    ENGINE_VECTOR: VectorEngine,
 }
 
 
@@ -105,6 +115,7 @@ __all__ = [
     "EventScheduler",
     "ReferenceEngine",
     "SoloEngine",
+    "VectorEngine",
     "freeze_count",
     "make_engine",
     "resolve_engine_name",

@@ -60,8 +60,10 @@ SELECTORS = (SELECTOR_MINMISSES, SELECTOR_LOOKAHEAD, SELECTOR_EVEN,
 ENGINE_REFERENCE = "reference"   # per-access oracle loop
 ENGINE_BATCHED = "batched"       # bulk L1 prefilter + event scheduler
 ENGINE_SOLO = "solo"             # single-thread fast path, no scheduler
+ENGINE_VECTOR = "vector"         # single-thread set-parallel slow path
 ENGINE_AUTO = "auto"             # solo when num_cores == 1, else batched
-ENGINES = (ENGINE_REFERENCE, ENGINE_BATCHED, ENGINE_SOLO, ENGINE_AUTO)
+ENGINES = (ENGINE_REFERENCE, ENGINE_BATCHED, ENGINE_SOLO, ENGINE_VECTOR,
+           ENGINE_AUTO)
 
 
 @dataclass(frozen=True)
@@ -252,7 +254,8 @@ class SimulationConfig:
     #: Execution engine: ``"auto"`` (the default — the heap-free ``"solo"``
     #: fast path for single-thread runs, ``"batched"`` otherwise),
     #: ``"batched"`` (bulk L1 prefilter + event scheduler), ``"solo"``
-    #: (single-thread only) or ``"reference"`` (the per-access oracle
+    #: (single-thread only), ``"vector"`` (single-thread only: set-parallel
+    #: batched L2 slow path) or ``"reference"`` (the per-access oracle
     #: loop).  All engines produce identical results; the equivalence
     #: suites pin this.
     engine: str = ENGINE_AUTO

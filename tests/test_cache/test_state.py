@@ -19,7 +19,13 @@ from repro.cache.partition.allocation import (
 from repro.cache.partition.base import make_partition
 from repro.cache.partition.btvectors import BTVectorPartition
 from repro.cache.replacement.base import POLICY_REGISTRY, make_policy
-from repro.cache.state import TagStore, build_hit_kernel
+from repro.cache.state import (
+    TagStore,
+    build_hit_kernel,
+    build_set_run_kernel,
+    mru_repeat_elidable,
+    pair_elidable,
+)
 from repro.profiling.atd import ATD
 from repro.profiling.profilers import make_profiler
 
@@ -224,3 +230,185 @@ def test_observe_kernel_skipped_for_custom_profiler():
     spread = ATD(geometry, 4, "nru",
                  make_profiler("nru", spread_update=True))
     assert "observe" not in spread.__dict__
+
+
+# ----------------------------------------------------------------------
+# Window kernels (build_set_run_kernel)
+# ----------------------------------------------------------------------
+def window_policy_state(cache):
+    """Every mutable policy-internal array, snapshotted as plain lists."""
+    p = cache.policy
+    state = {}
+    for attr in ("_order", "_size", "_present", "_used", "_tree", "_rrpv",
+                 "_pointer_box", "_below_mask"):
+        if hasattr(p, attr):
+            state[attr] = list(getattr(p, attr))
+    return state
+
+
+def window_cache_state(cache):
+    return (
+        [cache.resident_lines(s) for s in range(cache.state.num_sets)],
+        list(cache.stats.accesses),
+        list(cache.stats.misses),
+        list(cache.stats.fills_invalid),
+        window_policy_state(cache),
+    )
+
+
+class TestWindowKernels:
+    """build_set_run_kernel windows vs the scalar kernel, access by access.
+
+    The window kernels must replay *exactly* the scalar hit kernel's
+    transitions: same per-access hit flags, same statistics, same tags and
+    same policy-internal state — across every policy x partition-scheme
+    combination, with partition masks re-applied mid-run and invalid-way
+    fills from both cold sets and mid-run flushes.
+    """
+
+    NUM_SETS, ASSOC, CORES = 8, 8, 2
+
+    def _build(self, policy_name, scheme):
+        geometry = CacheGeometry(self.NUM_SETS * self.ASSOC * 128,
+                                 self.ASSOC, 128)
+        policy = make_policy(policy_name, self.NUM_SETS, self.ASSOC,
+                             rng=np.random.default_rng(3))
+        part = scheme_for(scheme, policy, self.CORES, self.NUM_SETS,
+                          self.ASSOC)
+        return SetAssociativeCache(geometry, policy, partition=part,
+                                   num_cores=self.CORES, kernels=True)
+
+    @pytest.mark.parametrize("policy_name,scheme", KERNEL_CASES,
+                             ids=lambda v: str(v))
+    def test_window_matches_scalar_replay(self, policy_name, scheme):
+        scalar = self._build(policy_name, scheme)
+        windowed = self._build(policy_name, scheme)
+        kernel = build_set_run_kernel(windowed)
+        assert kernel is not None, "window kernel must exist for the core set"
+        scalar_hit = scalar.access_line_hit
+
+        rng = np.random.default_rng(41)
+        allocs = [WayAllocation.from_counts(c, self.ASSOC)
+                  for c in ((5, 3), (2, 6), (4, 4), (7, 1), (1, 7))]
+        for w in range(14):
+            n = int(rng.integers(1, 700))
+            lines = rng.integers(0, 260, size=n).tolist()
+            flags = bytearray(n)
+            kernel(lines, flags)
+            expect = bytearray(n)
+            for i, line in enumerate(lines):
+                if scalar_hit(line, 0):
+                    expect[i] = 1
+            assert bytes(flags) == bytes(expect), f"window {w} flags diverge"
+            assert window_cache_state(scalar) == window_cache_state(windowed)
+            act = int(rng.integers(0, 8))
+            if act == 0:
+                # Mid-run flush: the next window refills via invalid ways.
+                scalar.flush()
+                windowed.flush()
+            elif act <= 2 and scheme in ("masks", "counters"):
+                # Mask change mid-run, as a repartitioning would apply it.
+                alloc = allocs[int(rng.integers(0, len(allocs)))]
+                scalar.partition.apply(alloc)
+                windowed.partition.apply(alloc)
+            elif act == 3 and scheme == "btvectors":
+                windowed.partition.apply(
+                    even_subcube_allocation(self.CORES, self.ASSOC))
+                scalar.partition.apply(
+                    even_subcube_allocation(self.CORES, self.ASSOC))
+
+    @pytest.mark.parametrize("policy_name", ALL_POLICIES)
+    def test_single_access_windows(self, policy_name):
+        """Degenerate one-line windows equal one scalar call each."""
+        scalar = self._build(policy_name, "none")
+        windowed = self._build(policy_name, "none")
+        kernel = build_set_run_kernel(windowed)
+        rng = np.random.default_rng(7)
+        for line in rng.integers(0, 120, size=1500).tolist():
+            flags = bytearray(1)
+            kernel([line], flags)
+            assert bool(flags[0]) == scalar.access_line_hit(line, 0)
+        assert window_cache_state(scalar) == window_cache_state(windowed)
+
+
+class TestElisionEligibility:
+    """The engine-facing elision certificates and the claims behind them."""
+
+    def _cache(self, policy_name, assoc=8, partitioned=False):
+        num_sets = 8
+        geometry = CacheGeometry(num_sets * assoc * 128, assoc, 128)
+        policy = make_policy(policy_name, num_sets, assoc,
+                             rng=np.random.default_rng(3))
+        part = None
+        if partitioned:
+            part = make_partition("masks", 2, num_sets, assoc)
+            part.apply(WayAllocation.from_counts((assoc - 3, 3), assoc))
+        return SetAssociativeCache(geometry, policy, partition=part,
+                                   num_cores=2 if partitioned else 1,
+                                   kernels=True)
+
+    def test_mru_repeat_elidable_kinds(self):
+        for policy in ("lru", "fifo", "nru", "bt", "random"):
+            assert mru_repeat_elidable(self._cache(policy))
+        for policy in ("lip", "bip", "dip", "srrip", "brrip"):
+            # LIP-family promotes a below-floor line on its first repeat;
+            # RRIP rewrites the fill RRPV — repeats are not idempotent.
+            assert not mru_repeat_elidable(self._cache(policy))
+
+    def test_pair_elidable_gating(self):
+        assert pair_elidable(self._cache("lru"))
+        assert pair_elidable(self._cache("bt"))
+        for policy in ("fifo", "nru", "random", "srrip", "lip"):
+            assert not pair_elidable(self._cache(policy))
+        # Partitioned victims can reach stack position 1: no pairs.
+        assert not pair_elidable(self._cache("lru", partitioned=True))
+        assert not pair_elidable(self._cache("bt", partitioned=True))
+        # A direct-mapped cache cannot protect the pair partner.
+        assert not pair_elidable(self._cache("lru", assoc=1))
+
+    @pytest.mark.parametrize("policy_name",
+                             ["lru", "fifo", "nru", "bt", "random"])
+    def test_repeat_removal_leaves_state_identical(self, policy_name):
+        """The theorem the engine relies on, pinned at the kernel level:
+        deleting immediate same-set repeat accesses changes nothing but
+        the access count."""
+        full = self._cache(policy_name)
+        deduped = self._cache(policy_name)
+        k_full = build_set_run_kernel(full)
+        k_dedup = build_set_run_kernel(deduped)
+        rng = np.random.default_rng(11)
+        base_lines = rng.integers(0, 200, size=2000)
+        repeats = rng.integers(1, 4, size=2000)
+        stream = np.repeat(base_lines, repeats).tolist()
+        kept = [line for i, line in enumerate(stream)
+                if i == 0 or line != stream[i - 1]]
+        k_full(stream, bytearray(len(stream)))
+        k_dedup(kept, bytearray(len(kept)))
+        assert full.stats.misses == deduped.stats.misses
+        assert full.stats.accesses[0] - deduped.stats.accesses[0] \
+            == len(stream) - len(kept)
+        assert [full.resident_lines(s) for s in range(8)] \
+            == [deduped.resident_lines(s) for s in range(8)]
+        assert window_policy_state(full) == window_policy_state(deduped)
+
+    @pytest.mark.parametrize("policy_name", ["lru", "bt"])
+    def test_pair_removal_leaves_state_identical(self, policy_name):
+        """Whole (X, Y) alternation pairs after the leading two accesses
+        are identity transitions for unpartitioned lru/bt."""
+        full = self._cache(policy_name)
+        elided = self._cache(policy_name)
+        k_full = build_set_run_kernel(full)
+        k_elided = build_set_run_kernel(elided)
+        rng = np.random.default_rng(13)
+        warm = rng.integers(0, 200, size=800).tolist()
+        k_full(warm, bytearray(len(warm)))
+        k_elided(warm, bytearray(len(warm)))
+        for x, y, periods in ((3, 11, 6), (40, 48, 9), (7, 23, 1)):
+            lead = [x, y]
+            pairs = [x, y] * periods
+            k_full(lead + pairs, bytearray(2 + 2 * periods))
+            k_elided(lead, bytearray(2))
+        assert full.stats.misses == elided.stats.misses
+        assert [full.resident_lines(s) for s in range(8)] \
+            == [elided.resident_lines(s) for s in range(8)]
+        assert window_policy_state(full) == window_policy_state(elided)

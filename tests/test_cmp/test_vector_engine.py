@@ -1,0 +1,378 @@
+"""Vector-engine differential suite.
+
+Pins the set-parallel slow path (:mod:`repro.cmp.engine.vector`)
+bit-identical to the reference loop on every single-thread workload —
+all 10 replacement policies, every partition scheme, write traces (solo
+fallback), the bandwidth channel, interval-boundary catch-ups, freeze
+edges, budgets wrapping the trace and mid-trace chunk reloads — plus
+the vector-specific machinery the solo engine does not have:
+
+* **repeat elision** on streams dense with immediate same-set repeats,
+* **pair elision** on two-line alternation streams (and its *gating*:
+  partitioned runs and non-LRU/BT kinds must not apply it),
+* the **L1 miss-stream memo** (replayed runs bit-identical, keyed by
+  trace content / budget / chunk size, never published by aborted runs).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.cmp.engine.vector as vector_mod
+from repro.cache.geometry import CacheGeometry
+from repro.cmp.engine import SoloEngine, VectorEngine, make_engine, \
+    resolve_engine_name
+from repro.cmp.simulator import CMPSimulator
+from repro.config import (
+    POLICIES,
+    ProcessorConfig,
+    SimulationConfig,
+    config_C_L,
+    config_M_BT,
+    config_M_L,
+    config_M_N,
+    config_unpartitioned,
+)
+from repro.workloads.trace import Trace
+from repro.workloads.writes import overlay_writes
+
+
+def processor(num_cores=1):
+    return ProcessorConfig(
+        num_cores=num_cores,
+        l1i=CacheGeometry(2 * 2 * 128, 2, 128),
+        l1d=CacheGeometry(2 * 2 * 128, 2, 128),
+        l2=CacheGeometry(16 * 8 * 128, 8, 128),
+    )
+
+
+def make_trace(count=6000, footprint=300, seed=100, ipm=4.0, cpi=1.0,
+               name="t0"):
+    rng = np.random.default_rng(seed)
+    return Trace(name, rng.integers(0, footprint, size=count),
+                 ipm=ipm, cpi_base=cpi)
+
+
+def rotation_trace(count=6000, name="rot"):
+    """Three L1-conflicting lines in distinct L2 sets, cycled.
+
+    Every access misses the (2-set, 2-way) L1 but, once warm, hits the
+    L2 — and in the grouped-by-set layout each set's subsequence is one
+    line repeated, so nearly the whole window is repeat-elidable.
+    """
+    pattern = np.array([0, 2, 4])
+    lines = np.tile(pattern, count // pattern.size + 1)[:count]
+    return Trace(name, lines, ipm=4.0, cpi_base=1.0)
+
+
+def alternation_trace(count=8000, name="alt"):
+    """Interleaved two-line alternations, pinned to reach the L2.
+
+    Four (X, Y) pairs, all in L1 set 0 (8 distinct lines through a
+    2-way set: every access misses L1) but in four different L2 sets —
+    each L2 set sees a pure ``X, Y, X, Y, ...`` alternation, the pair
+    elision's target shape.  A random tail follows so a corrupted
+    replacement state would surface in later victim choices, and an odd
+    prefix break exercises the odd-tail (unpaired position) replay.
+    """
+    pairs = np.array([[0, 16], [2, 18], [4, 20], [6, 22]])
+    body = np.tile(pairs.reshape(-1), count // 8 + 1)[: count - 1200]
+    breaker = np.array([32, 0, 16, 0])  # third line breaks set 0's run
+    rng = np.random.default_rng(17)
+    tail = rng.integers(0, 300, size=1200 - breaker.size)
+    return Trace(name, np.concatenate([body, breaker, tail]),
+                 ipm=4.0, cpi_base=1.0)
+
+
+def run_engines(partitioning, traces, engines, num_cores=1, budget=30_000,
+                service_interval=0.0, per_thread=None, keep_sim=False):
+    """Run the same workload under each engine; returns results (and sims)."""
+    results = []
+    sims = []
+    for engine in engines:
+        sim_config = SimulationConfig(
+            instructions_per_thread=budget,
+            per_thread_instructions=per_thread,
+            seed=7,
+            memory_service_interval=service_interval,
+            engine=engine,
+        )
+        sim = CMPSimulator(processor(num_cores), partitioning, traces,
+                           sim_config)
+        results.append(sim.run())
+        sims.append(sim)
+    if keep_sim:
+        return results, sims
+    return results
+
+
+def assert_identical(reference, other):
+    assert len(reference.threads) == len(other.threads)
+    for ref, oth in zip(reference.threads, other.threads):
+        assert dataclasses.asdict(ref) == dataclasses.asdict(oth)
+    assert dataclasses.asdict(reference.events) == \
+        dataclasses.asdict(other.events)
+    assert reference.partition_history == other.partition_history
+    assert reference.acronym == other.acronym
+
+
+def profiling_state(sim):
+    """Full observable profiling state: tag lines, SDH registers, counters."""
+    return [
+        (
+            list(m.atd.state.lines),
+            list(m.atd.sdh._r),
+            m.atd.sampled_accesses,
+            m.atd.skipped_accesses,
+        )
+        for m in sim.profiling.monitors
+    ]
+
+
+PARTITIONED_CONFIGS = [
+    config_C_L(atd_sampling=4, interval_cycles=20_000),
+    config_M_L(atd_sampling=4, interval_cycles=20_000),
+    config_M_N(1.0, atd_sampling=4, interval_cycles=20_000),
+    config_M_N(0.75, atd_sampling=4, interval_cycles=20_000),
+    config_M_N(0.5, atd_sampling=4, interval_cycles=20_000),
+    config_M_BT(atd_sampling=4, interval_cycles=20_000),
+]
+
+
+class TestVectorVsReference:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_all_policies_unpartitioned(self, policy):
+        ref, vec = run_engines(config_unpartitioned(policy), [make_trace()],
+                               ("reference", "vector"))
+        assert_identical(ref, vec)
+
+    @pytest.mark.parametrize("config", PARTITIONED_CONFIGS,
+                             ids=lambda c: c.acronym)
+    def test_partitioned_schemes(self, config):
+        (ref, vec), (ref_sim, vec_sim) = run_engines(
+            config, [make_trace()], ("reference", "vector"), keep_sim=True)
+        assert_identical(ref, vec)
+        assert ref.events.repartitions > 0
+        # The deferred drains must leave the exact per-access ATD/SDH state.
+        assert profiling_state(ref_sim) == profiling_state(vec_sim)
+
+    def test_write_trace_falls_back_to_solo(self):
+        trace = overlay_writes(make_trace(), 0.4, seed=3)
+        ref, vec = run_engines(config_unpartitioned("lru"), [trace],
+                               ("reference", "vector"))
+        assert_identical(ref, vec)
+        assert ref.events.l1_writebacks > 0
+
+    def test_bandwidth_channel(self):
+        ref, vec = run_engines(config_unpartitioned("lru"),
+                               [make_trace(footprint=5000)],
+                               ("reference", "vector"),
+                               service_interval=400.0)
+        assert_identical(ref, vec)
+        assert ref.events.memory_queue_cycles > 0
+
+    def test_bandwidth_channel_partitioned(self):
+        """Queue feedback plus boundaries: the sequential timing replay."""
+        ref, vec = run_engines(
+            config_M_L(atd_sampling=4, interval_cycles=20_000),
+            [make_trace(footprint=5000)], ("reference", "vector"),
+            service_interval=400.0)
+        assert_identical(ref, vec)
+
+    def test_tiny_interval_boundary_catchup(self):
+        """Sub-access intervals force multi-boundary catch-ups at one pop."""
+        ref, vec = run_engines(
+            config_C_L(atd_sampling=4, interval_cycles=500),
+            [make_trace(count=3000)], ("reference", "vector"), budget=10_000)
+        assert_identical(ref, vec)
+        assert ref.events.repartitions > 10
+
+    def test_boundary_lands_mid_drain(self):
+        """An interval shorter than the typical miss gap: most boundaries
+        fire while the observe buffer is non-empty."""
+        (ref, vec), (ref_sim, vec_sim) = run_engines(
+            config_M_L(atd_sampling=4, interval_cycles=2_000),
+            [make_trace(footprint=3000)], ("reference", "vector"),
+            budget=20_000, keep_sim=True)
+        assert_identical(ref, vec)
+        assert profiling_state(ref_sim) == profiling_state(vec_sim)
+
+    def test_freeze_on_miss(self):
+        trace = Trace("stream", np.arange(20_000) + 1_000_000,
+                      ipm=4.0, cpi_base=1.0)
+        ref, vec = run_engines(config_unpartitioned("lru"), [trace],
+                               ("reference", "vector"), budget=40_000)
+        assert_identical(ref, vec)
+        assert ref.threads[0].l1_misses == ref.threads[0].l1_accesses
+
+    def test_freeze_on_hit(self):
+        rng = np.random.default_rng(5)
+        trace = Trace("tiny", rng.integers(0, 4, size=4000),
+                      ipm=4.0, cpi_base=1.0)
+        ref, vec = run_engines(config_unpartitioned("lru"), [trace],
+                               ("reference", "vector"), budget=12_000)
+        assert_identical(ref, vec)
+
+    def test_budget_wraps_trace(self):
+        ref, vec = run_engines(config_unpartitioned("lru"),
+                               [make_trace(count=2500)],
+                               ("reference", "vector"),
+                               per_thread=(24_000,))
+        assert_identical(ref, vec)
+
+    def test_non_dyadic_timing_parameters(self):
+        ref, vec = run_engines(config_unpartitioned("lru"),
+                               [make_trace(ipm=2.6, cpi=1.1)],
+                               ("reference", "vector"), budget=20_000)
+        assert_identical(ref, vec)
+
+    def test_mid_trace_chunk_reloads(self, monkeypatch):
+        monkeypatch.setattr(vector_mod, "CHUNK_SIZE", 512)
+        ref, vec = run_engines(
+            config_C_L(atd_sampling=4, interval_cycles=20_000),
+            [make_trace()], ("reference", "vector"))
+        assert_identical(ref, vec)
+
+    def test_max_cycles_raises(self):
+        trace = Trace("stream", np.arange(20_000) + 1_000_000,
+                      ipm=4.0, cpi_base=1.0)
+        sim = CMPSimulator(
+            processor(), config_unpartitioned("lru"), [trace],
+            SimulationConfig(instructions_per_thread=40_000, seed=7,
+                             max_cycles=10_000, engine="vector"))
+        with pytest.raises(RuntimeError, match="max_cycles"):
+            sim.run()
+
+    def test_vector_matches_solo(self):
+        """Transitivity check straight against the solo engine."""
+        solo, vec = run_engines(
+            config_M_N(0.75, atd_sampling=4, interval_cycles=20_000),
+            [make_trace()], ("solo", "vector"))
+        assert_identical(solo, vec)
+
+
+class TestElision:
+    """Streams shaped to maximise each elision path, vs the reference."""
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "nru", "bt", "random"])
+    def test_repeat_heavy_stream(self, policy):
+        """Nearly every grouped access is an immediate same-set repeat."""
+        ref, vec = run_engines(config_unpartitioned(policy),
+                               [rotation_trace()], ("reference", "vector"))
+        assert_identical(ref, vec)
+        # The shape did reach the L2 slow path en masse.
+        assert ref.threads[0].l1_misses > 5000
+        assert ref.threads[0].l2_accesses > 5000
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_alternation_stream(self, policy):
+        """Two-line alternations: pair-elided for unpartitioned lru/bt,
+        replayed in full (still bit-identical) for every other kind."""
+        ref, vec = run_engines(config_unpartitioned(policy),
+                               [alternation_trace()],
+                               ("reference", "vector"))
+        assert_identical(ref, vec)
+        assert ref.threads[0].l1_misses > 5000
+
+    def test_alternation_partitioned_lru(self):
+        """pair_elidable gates on partitioning: a partitioned LRU victim
+        scan can reach stack position 1, so alternations must replay."""
+        (ref, vec), (ref_sim, vec_sim) = run_engines(
+            config_M_L(atd_sampling=4, interval_cycles=20_000),
+            [alternation_trace()], ("reference", "vector"), keep_sim=True)
+        assert_identical(ref, vec)
+        assert profiling_state(ref_sim) == profiling_state(vec_sim)
+
+    def test_alternation_with_writes_and_channel(self):
+        trace = overlay_writes(alternation_trace(), 0.3, seed=4)
+        ref, vec = run_engines(config_unpartitioned("lru"), [trace],
+                               ("reference", "vector"),
+                               service_interval=350.0)
+        assert_identical(ref, vec)
+
+
+class TestL1Memo:
+    def _run_vector(self, trace, budget=30_000, keep_sim=False,
+                    max_cycles=None):
+        sim = CMPSimulator(
+            processor(), config_unpartitioned("lru"), [trace],
+            SimulationConfig(instructions_per_thread=budget, seed=7,
+                             max_cycles=max_cycles, engine="vector"))
+        result = sim.run()
+        return (result, sim) if keep_sim else result
+
+    def test_replay_is_bit_identical_and_skips_l1(self):
+        vector_mod._L1_MEMO.clear()
+        trace = make_trace(seed=321, name="memo")
+        first, sim1 = self._run_vector(trace, keep_sim=True)
+        assert len(vector_mod._L1_MEMO) == 1
+        assert sim1.hierarchy.l1[0].stats.accesses[0] > 0
+        # Same content under a different Trace object: the fingerprint
+        # key must hit, the L1 walk must be skipped entirely...
+        clone = Trace("memo", trace.lines.copy(), ipm=4.0, cpi_base=1.0)
+        second, sim2 = self._run_vector(clone, keep_sim=True)
+        assert sim2.hierarchy.l1[0].stats.accesses[0] == 0
+        # ... and every reported number must still be bit-identical.
+        assert_identical(first, second)
+
+    def test_replay_matches_reference(self):
+        vector_mod._L1_MEMO.clear()
+        trace = make_trace(seed=654, name="memo-ref")
+        self._run_vector(trace)  # prime the memo
+        ref, vec = run_engines(config_unpartitioned("nru"), [trace],
+                               ("reference", "vector"))
+        assert_identical(ref, vec)
+
+    def test_key_covers_budget_and_chunk_size(self, monkeypatch):
+        vector_mod._L1_MEMO.clear()
+        trace = make_trace(seed=987, name="memo-key")
+        a = self._run_vector(trace, budget=30_000)
+        b = self._run_vector(trace, budget=12_000)
+        assert len(vector_mod._L1_MEMO) == 2
+        assert a.threads[0].l1_accesses != b.threads[0].l1_accesses
+        monkeypatch.setattr(vector_mod, "CHUNK_SIZE", 512)
+        self._run_vector(trace, budget=30_000)
+        assert len(vector_mod._L1_MEMO) == 3
+
+    def test_aborted_run_publishes_nothing(self):
+        vector_mod._L1_MEMO.clear()
+        trace = Trace("stream", np.arange(20_000) + 1_000_000,
+                      ipm=4.0, cpi_base=1.0)
+        with pytest.raises(RuntimeError, match="max_cycles"):
+            self._run_vector(trace, budget=40_000, max_cycles=10_000)
+        assert len(vector_mod._L1_MEMO) == 0
+
+    def test_memo_is_bounded(self, monkeypatch):
+        vector_mod._L1_MEMO.clear()
+        monkeypatch.setattr(vector_mod, "_L1_MEMO_MAX", 2)
+        for seed in (1, 2, 3):
+            self._run_vector(make_trace(count=1500, seed=seed), budget=4_000)
+        assert len(vector_mod._L1_MEMO) == 2
+
+
+class TestEngineSelection:
+    def test_auto_still_resolves_solo_for_one_core(self):
+        """The vector engine is opt-in: auto keeps picking solo until the
+        recorded benchmarks move the default."""
+        assert resolve_engine_name("auto", 1) == "solo"
+        assert resolve_engine_name("auto", 2) == "batched"
+        assert resolve_engine_name("vector", 1) == "vector"
+        sim = CMPSimulator(processor(), config_unpartitioned("lru"),
+                           [make_trace()], SimulationConfig())
+        assert isinstance(make_engine(sim, sim.simulation.engine),
+                          SoloEngine)
+
+    def test_make_engine_vector(self):
+        sim = CMPSimulator(processor(), config_unpartitioned("lru"),
+                           [make_trace()],
+                           SimulationConfig(engine="vector"))
+        assert isinstance(make_engine(sim, sim.simulation.engine),
+                          VectorEngine)
+
+    def test_vector_rejects_multi_core(self):
+        traces = [make_trace(name=f"t{i}", seed=100 + i) for i in range(2)]
+        sim = CMPSimulator(processor(2), config_unpartitioned("lru"),
+                           traces, SimulationConfig(engine="vector"))
+        with pytest.raises(ValueError, match="exactly one thread"):
+            sim.run()

@@ -16,3 +16,19 @@ def _flat_hit_kernel(cache):
         return distance
 
     return access_line_hit
+
+
+def _flat_set_run_kernel(cache):
+    """Window variant: same impurities, whole-window closure."""
+    tag_map = cache.state.map
+
+    def run_window(lines, flags):
+        pos = 0
+        for line in lines:
+            way = tag_map.get(line)        # attribute load per access
+            if way is None:
+                tag_map[line] = {pos: line}  # dict allocation per window
+            pos += 1
+        cache.stats.accesses[0] += pos     # attribute walk at commit time
+
+    return run_window

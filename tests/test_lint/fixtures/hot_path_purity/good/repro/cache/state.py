@@ -29,3 +29,27 @@ def _flat_hit_kernel(cache):
         return False
 
     return access_line_hit
+
+
+def _flat_set_run_kernel(cache):
+    """Window variant: the whole-window closure is held to the same bar."""
+    tag_map = cache.state.map
+    tag_get = tag_map.get
+    accesses = cache.stats.accesses
+    misses = cache.stats.misses
+
+    def run_window(lines, flags):
+        pos = 0
+        n_miss = 0
+        for line in lines:
+            way = tag_get(line)
+            if way is None:
+                n_miss += 1
+                tag_map[line] = pos
+            else:
+                flags[pos] = 1
+            pos += 1
+        accesses[0] += pos
+        misses[0] += n_miss
+
+    return run_window

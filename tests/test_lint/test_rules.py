@@ -39,10 +39,21 @@ class TestStateRebind:
 class TestHotPathPurity:
     def test_flags_all_three_impurity_classes(self, lint_fixture):
         messages = [d.message for d in lint_fixture("hot-path-purity", "bad")]
-        assert len(messages) == 3
+        per_access = [m for m in messages if "access_line_hit" in m]
+        assert len(per_access) == 3
+        assert any("attribute load .get" in m for m in per_access)
+        assert any("List allocation" in m for m in per_access)
+        assert any("lookup of 'ceil'" in m for m in per_access)
+
+    def test_covers_window_run_kernels(self, lint_fixture):
+        """``_*_set_run_kernel`` factories are held to the same purity bar:
+        their whole-window closures may only touch factory-bound locals."""
+        messages = [m.message
+                    for m in lint_fixture("hot-path-purity", "bad")
+                    if "run_window" in m.message]
         assert any("attribute load .get" in m for m in messages)
-        assert any("List allocation" in m for m in messages)
-        assert any("lookup of 'ceil'" in m for m in messages)
+        assert any("Dict allocation" in m for m in messages)
+        assert any("attribute load .stats" in m for m in messages)
 
 
 class TestExperimentContract:
