@@ -359,6 +359,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if diagnostics else 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.fuzz import run_fuzz
+
+    out_dir = Path(args.out) if args.out else None
+    progress = print if not args.quiet else None
+    report = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        out_dir=out_dir,
+        shrink=not args.no_shrink,
+        time_limit=args.time_limit,
+        progress=progress,
+    )
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (one subcommand per verb)."""
     parser = argparse.ArgumentParser(
@@ -397,6 +416,27 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--refresh-engine-checksum", action="store_true",
                         help="re-record the engine hot-path checksum "
                              "(after an ENGINE_VERSION review)")
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="differential fuzz of the execution engines "
+             "(seeded, reproducible; shrinks any divergence)",
+    )
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (case i = generate_case(seed, i))")
+    fuzz_p.add_argument("--budget", type=int, default=25,
+                        help="number of cases to generate and cross-check")
+    fuzz_p.add_argument("--out", default=None, metavar="DIR",
+                        help="directory for shrunk divergence repros "
+                             "(repro-fuzz-case/1 JSON)")
+    fuzz_p.add_argument("--time-limit", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop between cases once this much wall clock "
+                             "has elapsed")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="report divergences without ddmin reduction")
+    fuzz_p.add_argument("--quiet", action="store_true",
+                        help="suppress per-case progress lines")
 
     campaign = sub.add_parser(
         "campaign",
@@ -497,6 +537,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_lint(args)
     if command == "policies":
         return _cmd_policies(args)
+    if command == "fuzz":
+        return _cmd_fuzz(args)
     if command == "campaign":
         if args.campaign_command == "run":
             return _cmd_campaign_run(args)

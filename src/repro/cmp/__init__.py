@@ -8,9 +8,9 @@ freezing each thread's statistics after its instruction budget (the paper's
 threads keep running to preserve contention).
 
 The hot loop lives in :mod:`repro.cmp.engine`; ``SimulationConfig.engine``
-selects the engine — the default ``"auto"`` picks the solo fast path for
-single-thread runs and the batched engine otherwise, with the per-access
-reference oracle always available.
+selects the engine — the default ``"auto"`` picks the set-parallel vector
+fast path for single-thread runs and the batched engine otherwise, with
+the per-access reference oracle always available.
 """
 
 from repro.cmp.engine import (

@@ -20,9 +20,10 @@ Four interchangeable implementations of the simulation hot loop:
 
 :func:`make_engine` instantiates by the ``SimulationConfig.engine`` name;
 the default ``"auto"`` resolves through :func:`resolve_engine_name` to the
-solo engine for single-thread simulations and the batched engine
-otherwise.  (The vector engine is opt-in until the recorded benchmarks
-move auto-selection; see ``benchmarks/BENCH_engine.json``.)
+vector engine for single-thread simulations and the batched engine
+otherwise.  (The vector promotion is backed by the recorded benchmarks in
+``benchmarks/BENCH_engine.json`` and the ``repro fuzz`` differential
+soak; configurations outside the vector fast path delegate to solo.)
 """
 
 from __future__ import annotations
@@ -72,7 +73,7 @@ ENGINE_GUARDED_SOURCES = (
 #: ENGINE_VERSION when simulation results changed) with::
 #:
 #:     python -m repro lint --refresh-engine-checksum
-ENGINE_SOURCE_CHECKSUM = "c2d68ac5548ca64845e5c275fee2a79c88999727120e86c7f5ff8e39a7f1f849"
+ENGINE_SOURCE_CHECKSUM = "779bcd8e6b75e5a78a0b4cb36e9609f028eb0b98254d45716d917a0305f5660a"
 
 _ENGINES = {
     ENGINE_REFERENCE: ReferenceEngine,
@@ -86,11 +87,15 @@ def resolve_engine_name(name: str, num_cores: int) -> str:
     """Concrete engine name for a configuration (resolves ``"auto"``).
 
     ``"auto"`` — the :class:`~repro.config.SimulationConfig` default —
-    picks the heap-free solo engine for single-thread simulations and the
-    batched engine otherwise; explicit names pass through unchanged.
+    picks the set-parallel vector engine for single-thread simulations
+    and the batched engine otherwise; explicit names pass through
+    unchanged.  The vector engine delegates to solo for configurations
+    outside its batched path (write traces, custom observers, policies
+    without a set-run kernel), so ``auto`` never loses correctness to
+    the promotion — only the fast path widens.
     """
     if name == ENGINE_AUTO:
-        return ENGINE_SOLO if num_cores == 1 else ENGINE_BATCHED
+        return ENGINE_VECTOR if num_cores == 1 else ENGINE_BATCHED
     return name
 
 

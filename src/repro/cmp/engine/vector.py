@@ -1,5 +1,10 @@
 """Vector execution engine: set-parallel single-thread slow path.
 
+This is what ``engine="auto"`` resolves to for single-thread runs (the
+promotion is backed by the recorded engine benchmarks and the
+``repro fuzz`` differential soak); configurations outside the batched
+path below delegate to the solo engine.
+
 The solo engine already commits L1 hit-streaks in bulk, but still walks
 the L2 miss stream one access at a time — a Python loop iteration, a
 kernel closure call and a handful of float operations per miss.  This

@@ -21,10 +21,11 @@ threads commits 100 million instructions".
 
 This module is the configuration facade; the hot loop lives in
 :mod:`repro.cmp.engine`.  ``SimulationConfig.engine`` selects the engine;
-the default ``"auto"`` resolves to the heap-free solo fast path for
-single-thread runs and the batched engine (bulk L1 prefilter) otherwise,
-with ``"reference"`` as the per-access oracle loop the equivalence suites
-pin both against.
+the default ``"auto"`` resolves to the set-parallel vector fast path for
+single-thread runs (delegating to solo outside its batched path) and the
+batched engine (bulk L1 prefilter) otherwise, with ``"reference"`` as
+the per-access oracle loop the equivalence suites pin all of them
+against.
 """
 
 from __future__ import annotations

@@ -61,7 +61,7 @@ ENGINE_REFERENCE = "reference"   # per-access oracle loop
 ENGINE_BATCHED = "batched"       # bulk L1 prefilter + event scheduler
 ENGINE_SOLO = "solo"             # single-thread fast path, no scheduler
 ENGINE_VECTOR = "vector"         # single-thread set-parallel slow path
-ENGINE_AUTO = "auto"             # solo when num_cores == 1, else batched
+ENGINE_AUTO = "auto"             # vector when num_cores == 1, else batched
 ENGINES = (ENGINE_REFERENCE, ENGINE_BATCHED, ENGINE_SOLO, ENGINE_VECTOR,
            ENGINE_AUTO)
 
@@ -251,13 +251,14 @@ class SimulationConfig:
     #: Minimum cycles between successive memory services (single-channel
     #: FCFS queue).  0 = the paper's fixed-latency memory (default).
     memory_service_interval: float = 0.0
-    #: Execution engine: ``"auto"`` (the default — the heap-free ``"solo"``
-    #: fast path for single-thread runs, ``"batched"`` otherwise),
-    #: ``"batched"`` (bulk L1 prefilter + event scheduler), ``"solo"``
-    #: (single-thread only), ``"vector"`` (single-thread only: set-parallel
-    #: batched L2 slow path) or ``"reference"`` (the per-access oracle
-    #: loop).  All engines produce identical results; the equivalence
-    #: suites pin this.
+    #: Execution engine: ``"auto"`` (the default — the set-parallel
+    #: ``"vector"`` fast path for single-thread runs, ``"batched"``
+    #: otherwise), ``"batched"`` (bulk L1 prefilter + event scheduler),
+    #: ``"solo"`` (single-thread only: heap-free per-miss walk),
+    #: ``"vector"`` (single-thread only: set-parallel batched L2 slow
+    #: path) or ``"reference"`` (the per-access oracle loop).  All
+    #: engines produce identical results; the equivalence suites and the
+    #: ``repro fuzz`` differential harness pin this.
     engine: str = ENGINE_AUTO
 
     def __post_init__(self) -> None:

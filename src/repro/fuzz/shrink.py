@@ -1,0 +1,266 @@
+"""Delta-debugging shrinker: reduce a divergent case to a minimal repro.
+
+Given a :class:`~repro.fuzz.case.FuzzCase` on which some engine disagrees
+with the reference, produce the smallest case we can find that still
+diverges.  The reduction is classic greedy ddmin plus domain-aware
+simplification, every step guarded by re-running the oracle predicate
+(a candidate is kept only if it *still* diverges):
+
+1. **Config simplification** — zero the memory-service interval, strip
+   write overlays, widen the repartition interval, drop ATD sampling,
+   reset the simulation seed, clear per-thread budgets.  Each knob that
+   survives removal was irrelevant to the bug; each one that cannot be
+   removed is part of the repro's story.
+2. **Budget reduction** — halve the instruction budget while the
+   divergence persists (bounds how much of the trace ever replays).
+3. **Trace ddmin** — remove chunks of the reference stream with chunk
+   sizes halving from n/2 down to single accesses, per thread.
+4. **Line canonicalisation** — rename every distinct line address to
+   ``rank_within_set * num_sets + set_index``: the smallest address that
+   preserves both the L2 and L1 set mapping and line distinctness, so
+   checked-in repros read as small dense integers.
+
+The result is what lands in ``tests/corpus/*.json``: typically a handful
+of accesses that tell the whole story of the bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.config import ENFORCE_NONE, ENGINE_REFERENCE
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.oracle import run_case
+from repro.workloads.trace import Trace
+
+Predicate = Callable[[FuzzCase], bool]
+
+
+def divergence_predicate(
+        engines: Optional[Tuple[str, ...]] = None) -> Predicate:
+    """Predicate: does the case still diverge (restricted to ``engines``)?
+
+    Passing only the originally-divergent engine (plus the implied
+    reference) keeps every shrink probe down to two runs.
+    """
+    def check(case: FuzzCase) -> bool:
+        return run_case(case, engines=engines).divergent
+    return check
+
+
+def _with_trace(case: FuzzCase, index: int, trace: Trace) -> FuzzCase:
+    traces = list(case.traces)
+    traces[index] = trace
+    return case.with_traces(traces)
+
+
+def _slice_trace(trace: Trace, keep: np.ndarray) -> Trace:
+    """Trace restricted to a boolean/index mask, writes kept aligned."""
+    return Trace(
+        trace.name, trace.lines[keep], ipm=trace.ipm,
+        cpi_base=trace.cpi_base,
+        writes=trace.writes[keep] if trace.writes is not None else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Reduction passes
+# ----------------------------------------------------------------------
+def _simplify_config(case: FuzzCase, check: Predicate) -> FuzzCase:
+    """Drop every knob whose removal keeps the divergence alive.
+
+    Each simplification is derived from the *current* best case, so the
+    removals compose: a knob dropped early stays dropped while later
+    knobs are probed.
+    """
+    def attempt(make: Callable[[FuzzCase], Optional[FuzzCase]]) -> None:
+        nonlocal case
+        candidate = make(case)
+        if candidate is not None and check(candidate):
+            case = candidate
+
+    attempt(lambda c: replace(c, memory_service_interval=0.0)
+            if c.memory_service_interval != 0.0 else None)
+    attempt(lambda c: replace(c, per_thread_instructions=None)
+            if c.per_thread_instructions is not None else None)
+    attempt(lambda c: c.with_traces(
+        [Trace(t.name, t.lines, ipm=t.ipm, cpi_base=t.cpi_base)
+         for t in c.traces])
+        if any(t.writes is not None for t in c.traces) else None)
+    attempt(lambda c: replace(
+        c, partitioning=replace(c.partitioning, enforcement=ENFORCE_NONE,
+                                static_counts=None, selector="minmisses"))
+        if c.partitioning.enforcement != ENFORCE_NONE else None)
+    attempt(lambda c: replace(
+        c, partitioning=replace(c.partitioning, interval_cycles=1_000_000))
+        if c.partitioning.enforcement != ENFORCE_NONE
+        and c.partitioning.interval_cycles < 1_000_000 else None)
+    attempt(lambda c: replace(
+        c, partitioning=replace(c.partitioning, atd_sampling=1))
+        if c.partitioning.enforcement != ENFORCE_NONE
+        and c.partitioning.atd_sampling != 1 else None)
+    attempt(lambda c: replace(c, sim_seed=7) if c.sim_seed != 7 else None)
+    return case
+
+
+def _shrink_budget(case: FuzzCase, check: Predicate) -> FuzzCase:
+    """Halve the instruction budget while the divergence persists."""
+    budget = case.instructions_per_thread
+    while budget > 1:
+        candidate = replace(case, instructions_per_thread=budget // 2)
+        if not check(candidate):
+            break
+        case = candidate
+        budget //= 2
+    return case
+
+
+def _ddmin_trace(case: FuzzCase, index: int, check: Predicate,
+                 min_chunk: int = 1) -> FuzzCase:
+    """Greedy chunk-removal ddmin over one thread's reference stream.
+
+    Each removal is tried twice: with the budget unchanged, and with the
+    budget reduced by the removed accesses' instruction cost.  The
+    second form keeps the pass structure aligned — with a fixed budget a
+    shorter trace wraps differently, which makes *every* access look
+    load-bearing and strands the reduction at a large local minimum.
+    """
+    chunk = max(min_chunk, len(case.traces[index].lines) // 2)
+    while True:
+        i = 0
+        n = len(case.traces[index].lines)
+        while i < n:
+            keep = np.ones(n, dtype=bool)
+            keep[i:i + chunk] = False
+            removed = n - int(keep.sum())
+            if removed == n:
+                break
+            candidate = _with_trace(
+                case, index, _slice_trace(case.traces[index], keep))
+            candidates = [candidate]
+            if candidate.per_thread_instructions is None:
+                ipm = case.traces[index].ipm
+                scaled = (case.instructions_per_thread
+                          - int(removed * ipm))
+                if scaled >= 1:
+                    candidates.append(replace(
+                        candidate, instructions_per_thread=scaled))
+            accepted = None
+            for cand in candidates:
+                if check(cand):
+                    accepted = cand
+                    break
+            if accepted is not None:
+                case = accepted
+                n = len(case.traces[index].lines)
+            else:
+                i += chunk
+        if chunk <= min_chunk:
+            break
+        chunk = max(min_chunk, chunk // 2)
+    return case
+
+
+def _project_hot_sets(case: FuzzCase, index: int,
+                      check: Predicate) -> FuzzCase:
+    """Try restricting one trace to a single L2 set's accesses.
+
+    Replacement state is per-set, so set-local bugs (elision, victim
+    choice) usually survive projection onto one set — which deletes the
+    bulk of the trace in one predicate call where access-by-access ddmin
+    bogs down in wrap-alignment local minima.
+    """
+    lines = case.traces[index].lines
+    if len(lines) == 0:
+        return case
+    sets = lines & (case.l2_sets - 1)
+    counts = np.bincount(sets, minlength=case.l2_sets)
+    for s in np.argsort(counts)[::-1][:3]:
+        if counts[s] == 0 or counts[s] == len(lines):
+            break
+        candidate = _with_trace(
+            case, index, _slice_trace(case.traces[index], sets == s))
+        if check(candidate):
+            return candidate
+    return case
+
+
+def _budget_passes(case: FuzzCase, check: Predicate) -> FuzzCase:
+    """Try pass-aligned budgets (1, 2, 3 trace passes), smallest first.
+
+    Wrap-dependent divergences need the trace to replay a whole number
+    of times; plain halving skips over those budgets.
+    """
+    if case.per_thread_instructions is not None:
+        return case
+    per_pass = max(int(len(t) * t.ipm) + 1 for t in case.traces)
+    for k in (1, 2, 3):
+        budget = per_pass * k
+        if budget >= case.instructions_per_thread:
+            break
+        candidate = replace(case, instructions_per_thread=budget)
+        if check(candidate):
+            return candidate
+    return case
+
+
+def _canonicalize_lines(case: FuzzCase, check: Predicate) -> FuzzCase:
+    """Rename lines to the smallest set-preserving dense addresses."""
+    num_sets = case.l2_sets
+    traces = []
+    for trace in case.traces:
+        next_rank = {}
+        mapping = {}
+        renamed = np.empty(len(trace.lines), dtype=np.int64)
+        for i, line in enumerate(trace.lines):
+            line = int(line)
+            if line not in mapping:
+                s = line & (num_sets - 1)
+                rank = next_rank.get(s, 0)
+                next_rank[s] = rank + 1
+                mapping[line] = rank * num_sets + s
+            renamed[i] = mapping[line]
+        traces.append(Trace(trace.name, renamed, ipm=trace.ipm,
+                            cpi_base=trace.cpi_base, writes=trace.writes))
+    candidate = case.with_traces(traces)
+    return candidate if check(candidate) else case
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def shrink_case(case: FuzzCase,
+                engines: Optional[Tuple[str, ...]] = None,
+                check: Optional[Predicate] = None,
+                rounds: int = 3) -> FuzzCase:
+    """Reduce a divergent case to a (local) minimum that still diverges.
+
+    ``engines`` restricts oracle probes to the divergent pair — pass
+    ``(reference, bad_engine)`` from the original report.  ``rounds``
+    caps full simplify→budget→ddmin sweeps; the loop stops early once a
+    sweep makes no progress.
+    """
+    if check is None:
+        if engines is not None and ENGINE_REFERENCE not in engines:
+            engines = (ENGINE_REFERENCE,) + tuple(engines)
+        check = divergence_predicate(engines)
+    if not check(case):
+        raise ValueError("shrink_case needs a divergent case to start from")
+    for _ in range(rounds):
+        before = (case.total_accesses(), case.instructions_per_thread)
+        case = _simplify_config(case, check)
+        case = _budget_passes(case, check)
+        case = _shrink_budget(case, check)
+        for index in range(len(case.traces)):
+            case = _project_hot_sets(case, index, check)
+            case = _ddmin_trace(case, index, check)
+        case = _budget_passes(case, check)
+        case = _shrink_budget(case, check)
+        after = (case.total_accesses(), case.instructions_per_thread)
+        if after == before:
+            break
+    case = _canonicalize_lines(case, check)
+    return case

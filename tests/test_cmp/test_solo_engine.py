@@ -23,6 +23,7 @@ from repro.cache.geometry import CacheGeometry
 from repro.cmp.engine import (
     BatchedEngine,
     SoloEngine,
+    VectorEngine,
     make_engine,
     resolve_engine_name,
 )
@@ -355,17 +356,17 @@ class TestEngineSelection:
         assert SimulationConfig().engine == "auto"
 
     def test_auto_resolution(self):
-        assert resolve_engine_name("auto", 1) == "solo"
+        assert resolve_engine_name("auto", 1) == "vector"
         assert resolve_engine_name("auto", 2) == "batched"
         assert resolve_engine_name("auto", 8) == "batched"
-        for explicit in ("reference", "batched", "solo"):
+        for explicit in ("reference", "batched", "solo", "vector"):
             assert resolve_engine_name(explicit, 4) == explicit
 
-    def test_make_engine_auto_picks_solo_for_one_core(self):
+    def test_make_engine_auto_picks_vector_for_one_core(self):
         sim = CMPSimulator(processor(), config_unpartitioned("lru"),
                            [make_trace()], SimulationConfig())
         assert isinstance(make_engine(sim, sim.simulation.engine),
-                          SoloEngine)
+                          VectorEngine)
 
     def test_make_engine_auto_picks_batched_for_multi_core(self):
         traces = [make_trace(name=f"t{i}", seed=100 + i) for i in range(2)]
@@ -381,12 +382,12 @@ class TestEngineSelection:
         with pytest.raises(ValueError, match="exactly one thread"):
             sim.run()
 
-    def test_isolation_runner_uses_solo(self):
+    def test_isolation_runner_uses_vector(self):
         """Campaign isolation jobs run through IsolationRunner with the
-        default config — the auto engine must resolve to solo there."""
+        default config — the auto engine must resolve to vector there."""
         runner = IsolationRunner(processor(), SimulationConfig())
         assert runner.simulation.engine == "auto"
-        assert resolve_engine_name(runner.simulation.engine, 1) == "solo"
+        assert resolve_engine_name(runner.simulation.engine, 1) == "vector"
         result = runner.thread_result(make_trace(), "lru")
         assert result.ipc > 0
 

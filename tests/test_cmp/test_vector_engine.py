@@ -352,16 +352,17 @@ class TestL1Memo:
 
 
 class TestEngineSelection:
-    def test_auto_still_resolves_solo_for_one_core(self):
-        """The vector engine is opt-in: auto keeps picking solo until the
-        recorded benchmarks move the default."""
-        assert resolve_engine_name("auto", 1) == "solo"
+    def test_auto_resolves_vector_for_one_core(self):
+        """The promotion: auto picks vector for single-thread runs, backed
+        by the recorded benchmarks and the ``repro fuzz`` soak."""
+        assert resolve_engine_name("auto", 1) == "vector"
         assert resolve_engine_name("auto", 2) == "batched"
         assert resolve_engine_name("vector", 1) == "vector"
+        assert resolve_engine_name("solo", 1) == "solo"
         sim = CMPSimulator(processor(), config_unpartitioned("lru"),
                            [make_trace()], SimulationConfig())
         assert isinstance(make_engine(sim, sim.simulation.engine),
-                          SoloEngine)
+                          VectorEngine)
 
     def test_make_engine_vector(self):
         sim = CMPSimulator(processor(), config_unpartitioned("lru"),
@@ -376,3 +377,81 @@ class TestEngineSelection:
                            traces, SimulationConfig(engine="vector"))
         with pytest.raises(ValueError, match="exactly one thread"):
             sim.run()
+
+
+class TestCustomObserver:
+    """A non-stock L2 observer must disable deferral/memoization yet stay
+    bit-identical to the reference oracle.
+
+    ``deferrable_profiling`` only engages for the stock
+    ``ProfilingSystem.observe`` bound method; anything else (a wrapper, a
+    test callable) needs its per-access call *during* the run, so the
+    vector engine takes the solo delegation and neither defers ATD
+    drains nor publishes L1 memo entries.
+    """
+
+    @staticmethod
+    def _wrap(sim, calls):
+        """Replace the stock observer with a recording pass-through."""
+        stock = sim.hierarchy.l2_observer
+
+        def observer(core, line):
+            calls.append((core, line))
+            if stock is not None:
+                stock(core, line)
+
+        sim.hierarchy.l2_observer = observer
+        return observer
+
+    def _run(self, engine, partitioning, wrap, trace=None):
+        if trace is None:
+            trace = make_trace()
+        sim = CMPSimulator(processor(), partitioning, [trace],
+                           SimulationConfig(engine=engine))
+        calls = []
+        if wrap:
+            self._wrap(sim, calls)
+        result = sim.run()
+        return result, sim, calls
+
+    @pytest.mark.parametrize("config", PARTITIONED_CONFIGS,
+                             ids=lambda c: c.acronym)
+    def test_wrapped_observer_matches_reference(self, config):
+        """Same wrapped observer on both engines: identical results,
+        profiling state and per-access call sequences."""
+        ref, ref_sim, ref_calls = self._run("reference", config, wrap=True)
+        vec, vec_sim, vec_calls = self._run("vector", config, wrap=True)
+        assert_identical(ref, vec)
+        assert profiling_state(ref_sim) == profiling_state(vec_sim)
+        assert ref_calls == vec_calls
+        assert ref_calls  # the observer actually fired
+
+    @pytest.mark.parametrize("config", PARTITIONED_CONFIGS,
+                             ids=lambda c: c.acronym)
+    def test_wrapped_observer_matches_stock_run(self, config):
+        """Wrapping the stock observer must not change the simulation:
+        only the deferral strategy differs, never the results."""
+        stock, stock_sim, _ = self._run("vector", config, wrap=False)
+        wrapped, wrapped_sim, calls = self._run("vector", config, wrap=True)
+        assert_identical(stock, wrapped)
+        assert profiling_state(stock_sim) == profiling_state(wrapped_sim)
+        assert calls
+
+    def test_custom_observer_without_profiling_matches(self):
+        """An observer on an unpartitioned run (no profiling system at
+        all) also takes the delegation and matches the oracle."""
+        config = config_unpartitioned("lru")
+        ref, _, ref_calls = self._run("reference", config, wrap=True)
+        vec, _, vec_calls = self._run("vector", config, wrap=True)
+        assert_identical(ref, vec)
+        assert ref_calls == vec_calls
+        assert ref_calls
+
+    def test_custom_observer_disables_memoization(self):
+        """No L1 memo entry may be published by a delegated run."""
+        vector_mod._L1_MEMO.clear()
+        self._run("vector", config_unpartitioned("lru"), wrap=True)
+        assert len(vector_mod._L1_MEMO) == 0
+        # The same trace with the stock (absent) observer does memoize.
+        self._run("vector", config_unpartitioned("lru"), wrap=False)
+        assert len(vector_mod._L1_MEMO) == 1

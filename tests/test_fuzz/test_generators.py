@@ -1,0 +1,67 @@
+"""Generator determinism and validity.
+
+The campaign contract is that ``(seed, index)`` fully determines a case;
+everything downstream (CI reproducibility, shrink re-runs, corpus
+provenance) leans on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fuzz import TRACE_SHAPES, generate_case, generate_trace_shape
+from repro.fuzz.case import ALL_ENGINES
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("index", range(8))
+    def test_same_seed_same_case(self, index):
+        a = generate_case(42, index)
+        b = generate_case(42, index)
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seeds_differ(self):
+        dicts_a = [generate_case(1, i).to_dict() for i in range(4)]
+        dicts_b = [generate_case(2, i).to_dict() for i in range(4)]
+        assert dicts_a != dicts_b
+
+    def test_trace_shape_deterministic(self):
+        for shape in TRACE_SHAPES:
+            a = generate_trace_shape(shape, np.random.default_rng(9),
+                                     2, 2, 16)
+            b = generate_trace_shape(shape, np.random.default_rng(9),
+                                     2, 2, 16)
+            assert a.fingerprint() == b.fingerprint()
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace shape"):
+            generate_trace_shape("zigzag", np.random.default_rng(0),
+                                 2, 2, 16)
+
+
+class TestValidity:
+    """Every generated point must be a *legal* configuration — the
+    sampler owns the config invariants so the oracle never crashes on
+    its own inputs."""
+
+    @pytest.mark.parametrize("index", range(30))
+    def test_case_constructs_a_simulator(self, index):
+        case = generate_case(7, index)
+        engines = case.applicable_engines()
+        assert engines and set(engines) <= set(ALL_ENGINES)
+        # Constructing the simulator runs every config validation.
+        sim = case.simulator(engines[0])
+        assert len(sim.traces) == case.num_cores
+
+    def test_shapes_are_covered(self):
+        """The first 40 indices between them exercise every shape."""
+        seen = set()
+        for index in range(40):
+            seen.update(generate_case(7, index).shape.split("+"))
+        assert seen == set(TRACE_SHAPES)
+
+    def test_engine_variety(self):
+        """Both the 4-engine (1-core) and 2-engine (multi-core) paths
+        appear early in any campaign."""
+        counts = {len(generate_case(7, i).applicable_engines())
+                  for i in range(20)}
+        assert counts == {2, 4}

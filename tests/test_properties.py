@@ -196,3 +196,115 @@ class TestSDHDecayProperties:
         curve = sdh.miss_curve()
         assert (np.diff(curve) <= 0).all()
         assert (curve >= 0).all()
+
+
+class TestMetamorphicReplay:
+    """Metamorphic relations of trace replay.
+
+    These are the fuzz harness's invariants stated as properties: the
+    same reference stream must leave the same cache regardless of how it
+    is *delivered* (one bulk call vs chunks, a fresh cache vs a flushed
+    one), and a trace's identity must follow its content, never its
+    name.
+    """
+
+    policies = st.sampled_from(["lru", "fifo", "nru", "bt"])
+
+    @staticmethod
+    def _cache(policy):
+        return SetAssociativeCache(geometry(4, 4), policy,
+                                   rng=np.random.default_rng(5))
+
+    @given(line_streams, st.integers(0, 300), policies)
+    @settings(max_examples=40, deadline=None)
+    def test_chunked_replay_equals_concatenation(self, stream, cut, policy):
+        """Bulk replay of A+B == bulk replay of A then bulk replay of B."""
+        cut = cut % (len(stream) + 1)
+        lines = np.asarray(stream, dtype=np.int64)
+        whole = self._cache(policy)
+        flags_whole = whole.access_lines(lines)
+        chunked = self._cache(policy)
+        flags_a = chunked.access_lines(lines[:cut])
+        flags_b = chunked.access_lines(lines[cut:])
+        assert list(flags_whole) == list(flags_a) + list(flags_b)
+        assert list(whole.state.lines) == list(chunked.state.lines)
+        assert whole.stats.accesses == chunked.stats.accesses
+        assert whole.stats.misses == chunked.stats.misses
+
+    @given(line_streams, line_streams, policies)
+    @settings(max_examples=40, deadline=None)
+    def test_flush_then_replay_equals_fresh_cache(self, prefix, stream,
+                                                  policy):
+        """flush() erases all history: the next stream replays as if the
+        cache were newly built (tag store, replacement state, victims)."""
+        lines = np.asarray(stream, dtype=np.int64)
+        flushed = self._cache(policy)
+        flushed.access_lines(np.asarray(prefix, dtype=np.int64))
+        flushed.flush()
+        flags_flushed = flushed.access_lines(lines)
+        fresh = self._cache(policy)
+        flags_fresh = fresh.access_lines(lines)
+        assert list(flags_flushed) == list(flags_fresh)
+        assert list(flushed.state.lines) == list(fresh.state.lines)
+        assert list(flushed.state.invalid) == list(fresh.state.invalid)
+
+    @given(line_streams,
+           st.text(max_size=12), st.text(max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_fingerprint_stable_under_renaming(self, stream, name_a,
+                                               name_b):
+        """The fingerprint is content identity: renaming never changes
+        it, content changes always do."""
+        from repro.workloads.trace import Trace
+
+        lines = np.asarray(stream, dtype=np.int64)
+        a = Trace(name_a, lines.copy(), ipm=4.0, cpi_base=1.0)
+        b = Trace(name_b, lines.copy(), ipm=4.0, cpi_base=1.0)
+        assert a.fingerprint() == b.fingerprint()
+        shifted = Trace(name_a, lines + 1, ipm=4.0, cpi_base=1.0)
+        assert shifted.fingerprint() != a.fingerprint()
+        retimed = Trace(name_a, lines.copy(), ipm=2.0, cpi_base=1.0)
+        assert retimed.fingerprint() != a.fingerprint()
+
+    def test_engine_chunk_size_is_unobservable(self):
+        """The vector engine's chunked trace walk is a delivery detail:
+        shrinking CHUNK_SIZE (forcing many wrap/reload seams) must not
+        change a single result field."""
+        import dataclasses
+
+        import repro.cmp.engine.vector as vector_mod
+        from repro.cmp.simulator import CMPSimulator
+        from repro.config import (ProcessorConfig, SimulationConfig,
+                                  config_unpartitioned)
+        from repro.workloads.trace import Trace
+
+        rng = np.random.default_rng(41)
+        trace = Trace("t0", rng.integers(0, 400, size=5_000), ipm=4.0,
+                      cpi_base=1.0)
+        processor = ProcessorConfig(
+            num_cores=1,
+            l1i=CacheGeometry(2 * 2 * 128, 2, 128),
+            l1d=CacheGeometry(2 * 2 * 128, 2, 128),
+            l2=CacheGeometry(16 * 8 * 128, 8, 128),
+        )
+
+        def run():
+            sim = CMPSimulator(processor, config_unpartitioned("lru"),
+                               [trace],
+                               SimulationConfig(engine="vector",
+                                                instructions_per_thread=30_000))
+            return sim.run()
+
+        baseline = run()
+        default_chunk = vector_mod.CHUNK_SIZE
+        try:
+            vector_mod.CHUNK_SIZE = 512
+            vector_mod._L1_MEMO.clear()
+            chunked = run()
+        finally:
+            vector_mod.CHUNK_SIZE = default_chunk
+            vector_mod._L1_MEMO.clear()
+        assert dataclasses.asdict(baseline.threads[0]) == \
+            dataclasses.asdict(chunked.threads[0])
+        assert dataclasses.asdict(baseline.events) == \
+            dataclasses.asdict(chunked.events)
