@@ -47,6 +47,13 @@ SPEEDUP_FLOOR = 1.3
 #: floor key, checked by the CI perf-smoke job.
 VECTOR_SPEEDUP_FLOOR = 1.6
 
+#: The array kernel backend must stay at least this much faster than the
+#: python backend under the same vector engine.  Looser than the >=2x
+#: acceptance floor for the same reason: the strict same-recording gate
+#: is ``record.py engine``'s
+#: ``isolation_stage_array/.isolation_stage_vector`` floor key.
+ARRAY_SPEEDUP_FLOOR = 1.6
+
 
 def stage_jobs(scale: ExperimentScale) -> List[Job]:
     """The deduplicated isolation stage of a Figure-7-style campaign."""
@@ -82,10 +89,18 @@ def run_stage_once(engine: str, scale: ExperimentScale,
     of simulated memory references (for rate reporting).  Trace generation
     is *not* included — pass pregenerated ``traces`` so the measurement
     compares engines, not the generator.
+
+    ``engine`` may pin a kernel backend as ``"vector:python"``; the
+    keyword is only passed through when a suffix is present, so plain
+    engine names keep working against source trees that predate the
+    kernel-backend registry (the CI perf gate replays old worktrees
+    with the *current* benchmark drivers).
     """
+    engine_name, _, backend = engine.partition(":")
+    kwargs = {"kernel_backend": backend} if backend else {}
     runner = IsolationRunner(
         scale.processor(1),
-        SimulationConfig(seed=scale.seed, engine=engine),
+        SimulationConfig(seed=scale.seed, engine=engine_name, **kwargs),
     )
     accesses = 0
     start = time.perf_counter()
@@ -146,6 +161,23 @@ def test_vector_stage_speedup():
     assert speedup >= VECTOR_SPEEDUP_FLOOR
 
 
+def test_array_stage_speedup():
+    """Regression guard: the array kernel backend must stay well ahead
+    of the python backend on the isolation stage (cold-window replay)."""
+    scale = bench_scale(smoke=True)
+    jobs = stage_jobs(scale)
+    traces = stage_traces(scale, jobs)
+    best = {}
+    for engine in ("vector:python", "vector:array"):
+        best[engine] = min(
+            run_stage_once(engine, scale, jobs, traces)[0] for _ in range(3))
+    speedup = best["vector:python"] / best["vector:array"]
+    print(f"\nisolation-stage array speedup: {speedup:.2f}x "
+          f"(python {best['vector:python']:.2f}s, "
+          f"array {best['vector:array']:.2f}s)")
+    assert speedup >= ARRAY_SPEEDUP_FLOOR
+
+
 def main(argv) -> int:
     smoke = "--smoke" in argv
     scale = bench_scale(smoke)
@@ -156,24 +188,29 @@ def main(argv) -> int:
     print(f"isolation stage: {len(jobs)} jobs over {len(traces)} traces "
           f"({scale.accesses} accesses each; generation {gen_time:.2f} s)")
     seconds = {}
-    for engine in ("batched", "solo", "vector"):
+    for engine in ("batched", "solo", "vector:python", "vector:array"):
         best, accesses = None, 0
         for _ in range(2 if smoke else 3):
             elapsed, accesses = run_stage_once(engine, scale, jobs, traces)
             best = elapsed if best is None else min(best, elapsed)
         seconds[engine] = best
-        print(f"  {engine:8s} {best:6.2f} s "
+        print(f"  {engine:13s} {best:6.2f} s "
               f"({accesses / best / 1e6:.2f} M refs/s)")
     speedup = seconds["batched"] / seconds["solo"]
-    vector_speedup = seconds["solo"] / seconds["vector"]
+    vector_speedup = seconds["solo"] / seconds["vector:python"]
+    array_speedup = seconds["vector:python"] / seconds["vector:array"]
     print(f"  solo speedup    {speedup:6.2f} x (vs batched)")
     print(f"  vector speedup  {vector_speedup:6.2f} x (vs solo)")
+    print(f"  array speedup   {array_speedup:6.2f} x (vs vector:python)")
     status = 0
     if speedup < SPEEDUP_FLOOR:
         print(f"FAIL: solo speedup below the {SPEEDUP_FLOOR}x floor")
         status = 1
     if vector_speedup < VECTOR_SPEEDUP_FLOOR:
         print(f"FAIL: vector speedup below the {VECTOR_SPEEDUP_FLOOR}x floor")
+        status = 1
+    if array_speedup < ARRAY_SPEEDUP_FLOOR:
+        print(f"FAIL: array speedup below the {ARRAY_SPEEDUP_FLOOR}x floor")
         status = 1
     return status
 

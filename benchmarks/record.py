@@ -71,9 +71,13 @@ DEFAULT_FLOOR_KEYS = (
 #: recording instead — the vector floor is a same-recording ratio (the
 #: baseline tree predates both engines), enforcing the vector engine's
 #: >=2x acceptance bar over the solo engine on the same machine and run.
+#: The array floor likewise grades the array kernel backend against the
+#: python backend (the ``isolation_stage_vector`` row is pinned to
+#: ``vector:python``) in the same recording.
 DEFAULT_ENGINE_FLOOR_KEYS = (
     "isolation_stage_solo/isolation_stage_batched:1.5",
     "isolation_stage_vector/.isolation_stage_solo:2.0",
+    "isolation_stage_array/.isolation_stage_vector:2.0",
     "isolation_stage_batched:0.9",
     "engine_batched:0.9",
 )
@@ -199,7 +203,7 @@ def record_engine(accesses: int, repeats: int,
                   iso_accesses: int = 20_000) -> dict:
     from bench_engine import run_once
     from bench_isolation import run_stage_once, stage_jobs, stage_traces
-    from repro.config import ENGINES
+    from repro.config import ENGINES, SimulationConfig
     from repro.experiments.common import ExperimentScale
 
     timings = {}
@@ -221,13 +225,23 @@ def record_engine(accesses: int, repeats: int,
     traces = stage_traces(scale, jobs)
     iso_engines = ["batched"] + [e for e in ("solo", "vector")
                                  if e in ENGINES]
+    iso_specs = {e: e for e in iso_engines}
+    # When the tree has the kernel-backend registry, the vector row is
+    # pinned to the python backend — it stays the stable denominator the
+    # array floor divides by — and an array row rides along.  Old
+    # worktrees (the CI baselines) predate the knob and keep plain specs.
+    if ("vector" in iso_specs
+            and "kernel_backend" in SimulationConfig.__dataclass_fields__):
+        iso_specs["vector"] = "vector:python"
+        iso_specs["array"] = "vector:array"
+        iso_engines.append("array")
     iso_seconds = {}
     iso_totals = {}
     for engine in iso_engines:
         best = float("inf")
         for _ in range(repeats):
-            elapsed, total_accesses = run_stage_once(engine, scale, jobs,
-                                                     traces)
+            elapsed, total_accesses = run_stage_once(iso_specs[engine],
+                                                     scale, jobs, traces)
             if elapsed < best:
                 best = elapsed
             iso_totals[engine] = total_accesses
@@ -255,6 +269,9 @@ def record_engine(accesses: int, repeats: int,
     if "vector" in iso_seconds and "solo" in iso_seconds:
         payload["isolation_vector_speedup"] = round(
             iso_seconds["solo"] / iso_seconds["vector"], 3)
+    if "array" in iso_seconds:
+        payload["isolation_array_speedup"] = round(
+            iso_seconds["vector"] / iso_seconds["array"], 3)
     return payload
 
 
@@ -367,6 +384,9 @@ def main(argv=None) -> int:
             if "isolation_vector_speedup" in payload:
                 print(f"  isolation vector speedup (vs solo): "
                       f"{payload['isolation_vector_speedup']:.2f}x")
+            if "isolation_array_speedup" in payload:
+                print(f"  isolation array speedup (vs vector:python): "
+                      f"{payload['isolation_array_speedup']:.2f}x")
         if args.baseline:
             keys = [k.strip()
                     for k in (args.floor_keys.split(",")

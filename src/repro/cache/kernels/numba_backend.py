@@ -1,0 +1,156 @@
+"""Optional njit-compiled set-run kernels (the ``numba`` backend).
+
+Auto-detected at import: when the numba wheel is missing the backend is
+silently unavailable (:func:`available` returns False) and the registry
+resolves ``"auto"`` to the ``array`` backend instead.  The CI
+``numba-smoke`` job runs the vector differential suite under
+``REPRO_KERNEL_BACKEND=numba`` when a wheel can be installed.
+
+Scope is deliberately minimal: an njit variant of the unpartitioned LRU
+flat-loop body (the hottest kind on the paper's isolation stage); every
+other (policy, partition) delegates down the chain to ``array`` /
+``python``.  Per window the wrapper marshals the flat per-set state
+into int64 arrays, runs the compiled loop — a verbatim transliteration
+of ``repro.cache.state._lru_set_run_kernel``'s unpartitioned body, with
+the dict probe replaced by an associativity-bounded tag scan (exact:
+the tag store holds each line at most once and invalid ways carry -1) —
+and writes the state back as plain Python ints, replaying the
+install/evict sequence into the tag dict in trace order.  The eviction
+order, statistics and the stale ``order`` slots beyond each live prefix
+are all preserved, so the backend is bit-identical under the same
+oracle observables as the others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where the wheel exists
+    from numba import njit as _njit
+    _HAVE_NUMBA = True
+except Exception:  # pragma: no cover
+    _njit = None
+    _HAVE_NUMBA = False
+
+_MAX_ASSOC = 62
+
+
+def available() -> bool:
+    """True when the numba wheel imported successfully."""
+    return _HAVE_NUMBA
+
+
+if _HAVE_NUMBA:  # pragma: no cover - exercised only where the wheel exists
+
+    @_njit(cache=False)
+    def _lru_window_jit(lines, flags, tags, order, size, present,
+                        invalid, set_mask, assoc, ev_out, way_out):
+        n_miss = 0
+        n_inv = 0
+        for i in range(lines.size):
+            line = lines[i]
+            s = line & set_mask
+            base = s * assoc
+            way = -1
+            for w in range(assoc):
+                if tags[base + w] == line:
+                    way = w
+                    break
+            if way >= 0:
+                p = base
+                while order[p] != way:
+                    p += 1
+                if p != base:
+                    for k in range(p, base, -1):
+                        order[k] = order[k - 1]
+                    order[base] = way
+                flags[i] = 1
+                way_out[i] = -1
+                ev_out[i] = -1
+                continue
+            n_miss += 1
+            inv = invalid[s]
+            if inv != 0:
+                low = inv & (-inv)
+                way = 0
+                while (low >> way) & 1 == 0:
+                    way += 1
+                invalid[s] = inv & ~(1 << way)
+                n_inv += 1
+                sz = size[s]
+                for k in range(base + sz, base, -1):
+                    order[k] = order[k - 1]
+                order[base] = way
+                size[s] = sz + 1
+                present[s] |= 1 << way
+                ev_out[i] = -1
+            else:
+                way = order[base + assoc - 1]
+                ev_out[i] = tags[base + way]
+                for k in range(base + assoc - 1, base, -1):
+                    order[k] = order[k - 1]
+                order[base] = way
+            tags[base + way] = line
+            way_out[i] = way
+        return n_miss, n_inv
+
+
+def build(cache):  # pragma: no cover - exercised only where the wheel exists
+    """Numba kernel for ``cache``, or ``None`` when ineligible."""
+    if not _HAVE_NUMBA:
+        return None
+    if cache.partition is not None:
+        return None
+    if getattr(cache.policy, "kernel_kind", "") != "lru":
+        return None
+    store = cache.state
+    if store.assoc > _MAX_ASSOC:
+        return None
+    policy = cache.policy
+    set_mask = store.num_sets - 1
+    assoc = store.assoc
+    tag_map = store.map
+    tags = store.lines
+    invalid = store.invalid
+    order = policy._order
+    size = policy._size
+    present = policy._present
+    stats = cache.stats
+    accesses = stats.accesses
+    misses = stats.misses
+    fills_invalid = stats.fills_invalid
+    jit_window = _lru_window_jit
+
+    def run_window(lines, flags):
+        n = len(lines)
+        if not n:
+            return
+        arr = np.asarray(lines, dtype=np.int64)
+        tags_a = np.asarray(tags, dtype=np.int64)
+        order_a = np.asarray(order, dtype=np.int64)
+        size_a = np.asarray(size, dtype=np.int64)
+        present_a = np.asarray(present, dtype=np.int64)
+        invalid_a = np.asarray(invalid, dtype=np.int64)
+        flags_a = np.frombuffer(flags, dtype=np.uint8)
+        ev_out = np.empty(n, dtype=np.int64)
+        way_out = np.empty(n, dtype=np.int64)
+        n_miss, n_inv = jit_window(arr, flags_a, tags_a, order_a,
+                                   size_a, present_a, invalid_a,
+                                   set_mask, assoc, ev_out, way_out)
+        tags[:] = tags_a.tolist()
+        order[:] = order_a.tolist()
+        size[:] = size_a.tolist()
+        present[:] = present_a.tolist()
+        invalid[:] = invalid_a.tolist()
+        lines_l = arr.tolist()
+        for i, w in enumerate(way_out.tolist()):
+            if w >= 0:
+                old = ev_out[i]
+                if old >= 0:
+                    del tag_map[int(old)]
+                tag_map[lines_l[i]] = w
+        accesses[0] += n
+        misses[0] += n_miss
+        fills_invalid[0] += n_inv
+
+    return run_window

@@ -65,6 +65,9 @@ ENGINE_GUARDED_SOURCES = (
     "repro/cache/state.py",
     "repro/cache/cache.py",
     "repro/cache/hierarchy.py",
+    "repro/cache/kernels/__init__.py",
+    "repro/cache/kernels/array.py",
+    "repro/cache/kernels/numba_backend.py",
 )
 
 #: sha256 over ``ENGINE_VERSION`` and the guarded sources, recorded so the
@@ -73,7 +76,7 @@ ENGINE_GUARDED_SOURCES = (
 #: ENGINE_VERSION when simulation results changed) with::
 #:
 #:     python -m repro lint --refresh-engine-checksum
-ENGINE_SOURCE_CHECKSUM = "779bcd8e6b75e5a78a0b4cb36e9609f028eb0b98254d45716d917a0305f5660a"
+ENGINE_SOURCE_CHECKSUM = "6b3ed2e946216cc79e0ce518ac3ac0cbcb41c86012cffb2fd15f7908110f0cd3"
 
 _ENGINES = {
     ENGINE_REFERENCE: ReferenceEngine,

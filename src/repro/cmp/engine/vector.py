@@ -91,11 +91,8 @@ from collections import OrderedDict
 
 import numpy as np
 
-from repro.cache.state import (
-    build_set_run_kernel,
-    mru_repeat_elidable,
-    pair_elidable,
-)
+from repro.cache.kernels import build_set_run_kernel
+from repro.cache.state import mru_repeat_elidable, pair_elidable
 from repro.cmp.engine.batched import CHUNK_SIZE
 from repro.cmp.engine.common import EngineBase, deferrable_profiling
 from repro.cmp.engine.solo import SoloEngine
@@ -130,6 +127,28 @@ _ELIDE_MIN = 64
 _L1_MEMO: "OrderedDict[tuple, dict]" = OrderedDict()
 _L1_MEMO_MAX = 32
 
+#: Hit/miss counters over the module-global memo state, keyed by memo
+#: layer.  ``l1`` counts whole-run lookups of the per-chunk miss-index
+#: entry; ``window`` counts lookups of the per-variant window products
+#: (only runs eligible for window memoization — no controller, no
+#: observer — touch it).  Purely observational: nothing reads them back.
+_MEMO_STATS = {"l1_hits": 0, "l1_misses": 0,
+               "window_hits": 0, "window_misses": 0}
+
+
+def memo_stats() -> dict:
+    """Snapshot of the L1/window memo hit-miss counters (a copy)."""
+    stats = dict(_MEMO_STATS)
+    stats["l1_entries"] = len(_L1_MEMO)
+    return stats
+
+
+def clear_memos() -> None:
+    """Drop all memoized runs and zero the counters (test isolation)."""
+    _L1_MEMO.clear()
+    for key in _MEMO_STATS:
+        _MEMO_STATS[key] = 0
+
 
 class VectorEngine(EngineBase):
     """Single-thread set-parallel fast path over the L2 miss stream."""
@@ -157,7 +176,7 @@ class VectorEngine(EngineBase):
         l2 = hierarchy.l2
         profiling = deferrable_profiling(sim)
         observer = hierarchy.l2_observer
-        kernel = build_set_run_kernel(l2)
+        kernel = build_set_run_kernel(l2, sim.simulation.kernel_backend)
         if (self.has_writes or kernel is None
                 or (observer is not None and profiling is None)):
             # Write traces interleave L1 write-backs (and dirty-eviction
@@ -199,10 +218,12 @@ class VectorEngine(EngineBase):
                     l1.geometry.num_sets, l1.geometry.assoc)
         entry = _L1_MEMO.get(memo_key)
         if entry is not None:
+            _MEMO_STATS["l1_hits"] += 1
             _L1_MEMO.move_to_end(memo_key)
             replay = entry["miss"]
             record = None
         else:
+            _MEMO_STATS["l1_misses"] += 1
             replay = None
             record = []
         n_replayed = 0
@@ -225,7 +246,10 @@ class VectorEngine(EngineBase):
             if entry is not None:
                 w_replay = entry["windows"].get(vkey)
             if w_replay is None:
+                _MEMO_STATS["window_misses"] += 1
                 w_record = []
+            else:
+                _MEMO_STATS["window_hits"] += 1
         n_windows = 0
 
         # Pessimistic per-miss cost ceiling for the window cut: base plus

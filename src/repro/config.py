@@ -65,6 +65,14 @@ ENGINE_AUTO = "auto"             # vector when num_cores == 1, else batched
 ENGINES = (ENGINE_REFERENCE, ENGINE_BATCHED, ENGINE_SOLO, ENGINE_VECTOR,
            ENGINE_AUTO)
 
+#: Set-run kernel backend identifiers (see :mod:`repro.cache.kernels`).
+KERNEL_PYTHON = "python"   # the scalar loop kernels in cache/state.py
+KERNEL_ARRAY = "array"     # numpy whole-run kernels (hot unpartitioned kinds)
+KERNEL_NUMBA = "numba"     # njit-compiled variants (optional wheel)
+KERNEL_AUTO = "auto"       # numba if importable, else array; per-cache
+                           # eligibility falls back to python
+KERNEL_BACKENDS = (KERNEL_PYTHON, KERNEL_ARRAY, KERNEL_NUMBA, KERNEL_AUTO)
+
 
 @dataclass(frozen=True)
 class ProcessorConfig:
@@ -260,6 +268,16 @@ class SimulationConfig:
     #: engines produce identical results; the equivalence suites and the
     #: ``repro fuzz`` differential harness pin this.
     engine: str = ENGINE_AUTO
+    #: Set-run kernel backend for the vector engine's window replay:
+    #: ``"auto"`` (the default — ``"numba"`` when the wheel imports, else
+    #: the numpy ``"array"`` kernels; either delegates per cache to
+    #: ``"python"`` when the policy/partition is outside its eligibility),
+    #: ``"python"`` (the scalar loop kernels, always available),
+    #: ``"array"`` or ``"numba"`` (explicit; ``"numba"`` raises when the
+    #: wheel is missing).  ``REPRO_KERNEL_BACKEND`` overrides ``"auto"``
+    #: only.  All backends are bit-identical — the differential suites
+    #: and ``repro fuzz`` pin every available backend per case.
+    kernel_backend: str = KERNEL_AUTO
 
     def __post_init__(self) -> None:
         check_positive("instructions_per_thread", self.instructions_per_thread)
@@ -269,3 +287,4 @@ class SimulationConfig:
         if self.memory_service_interval < 0:
             raise ValueError("memory_service_interval cannot be negative")
         check_in("engine", self.engine, ENGINES)
+        check_in("kernel_backend", self.kernel_backend, KERNEL_BACKENDS)

@@ -25,6 +25,7 @@ from repro.config import (
     ENGINE_REFERENCE,
     ENGINE_SOLO,
     ENGINE_VECTOR,
+    KERNEL_AUTO,
     PartitioningConfig,
     ProcessorConfig,
     SimulationConfig,
@@ -78,13 +79,21 @@ class FuzzCase:
         )
 
     def simulation(self, engine: str) -> SimulationConfig:
-        """The case's simulation knobs bound to one engine."""
+        """The case's simulation knobs bound to one engine.
+
+        An engine spec may pin a kernel backend as ``"vector:python"``;
+        the suffix feeds ``SimulationConfig.kernel_backend`` so the
+        oracle can cross-check every backend, not just the ``auto``
+        resolution.
+        """
+        engine_name, _, backend = engine.partition(":")
         return SimulationConfig(
             instructions_per_thread=self.instructions_per_thread,
             per_thread_instructions=self.per_thread_instructions,
             seed=self.sim_seed,
             memory_service_interval=self.memory_service_interval,
-            engine=engine,
+            engine=engine_name,
+            kernel_backend=backend or KERNEL_AUTO,
         )
 
     def simulator(self, engine: str) -> CMPSimulator:
@@ -93,10 +102,24 @@ class FuzzCase:
                             self.traces, self.simulation(engine))
 
     def applicable_engines(self) -> Tuple[str, ...]:
-        """Engines this case can legally run (solo/vector need one core)."""
-        if self.num_cores == 1:
-            return ALL_ENGINES
-        return (ENGINE_REFERENCE, ENGINE_BATCHED)
+        """Engines this case can legally run (solo/vector need one core).
+
+        The plain ``vector`` entry runs the ``auto``-resolved kernel
+        backend; explicit ``vector:<backend>`` specs then cross-check
+        every *other* available backend per case, so a divergence
+        between backends is caught by the same oracle that pins the
+        engines to each other.
+        """
+        if self.num_cores != 1:
+            return (ENGINE_REFERENCE, ENGINE_BATCHED)
+        from repro.cache.kernels import (
+            available_backends,
+            resolve_kernel_backend,
+        )
+        auto = resolve_kernel_backend(KERNEL_AUTO)
+        return ALL_ENGINES + tuple(
+            f"{ENGINE_VECTOR}:{backend}"
+            for backend in available_backends() if backend != auto)
 
     def total_accesses(self) -> int:
         """Summed trace length — the shrinker's minimisation metric."""

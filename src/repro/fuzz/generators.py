@@ -27,6 +27,10 @@ uniform random stream almost never exercises:
   back: freeze-on-miss edges and maximal memory-channel queueing.
 * ``uniform`` — plain uniform noise over a footprint (the baseline the
   adversarial shapes are measured against).
+* ``set_collision`` — long single-L2-set runs (deeper than any
+  associativity), alternation tails and partial-fill grazing bursts:
+  the array kernels' stack-distance, eviction-pairing and invalid-way
+  fill paths, hammered in isolation.
 
 Configuration points sample the full legal cross product the repo's
 hand-written suites enumerate piecewise: all 10 policies, every
@@ -59,7 +63,7 @@ from repro.workloads.writes import overlay_writes
 #: Shape registry order is part of the deterministic contract — new
 #: shapes append, never reorder.
 TRACE_SHAPES = ("streak", "alternation", "phase_change", "wrap_heavy",
-                "stream", "uniform")
+                "stream", "uniform", "set_collision")
 
 #: Candidate ``ipm`` values; the non-dyadic entries force the timing
 #: recurrence to be evaluated with genuinely inexact float terms.
@@ -166,6 +170,45 @@ def _uniform_lines(rng, count, l1_sets, l1_assoc, l2_sets):
     return rng.integers(0, footprint, size=count).astype(np.int64)
 
 
+def _set_collision_lines(rng, count, l1_sets, l1_assoc, l2_sets):
+    """Long single-L2-set runs, alternation tails, invalid-way churn.
+
+    Aimed squarely at the array kernels' split paths: one L2 set is
+    hammered with more distinct lines than any associativity (deep
+    non-fit segments — stack-distance classification and eviction
+    pairing), alternation tails keep its windows hit-dense, sequential
+    sweeps maximise the per-window distinct count, and grazing bursts
+    over fresh sets leave them partially filled so later windows keep
+    consuming invalid ways (the fit path's fill ordering).
+    """
+    s = _int(rng, 0, l1_sets - 1)
+    # Lines congruent to ``target`` mod l2_sets share one L2 set and —
+    # l1_sets dividing l2_sets — one L1 set: every access reaches the L2.
+    target = s + l1_sets * _int(rng, 0, max(0, l2_sets // l1_sets - 1))
+    depth = _int(rng, 2, 24)
+    pool = target + l2_sets * np.arange(depth, dtype=np.int64)
+    out = np.empty(count, dtype=np.int64)
+    i = 0
+    while i < count:
+        mode = _int(rng, 0, 3)
+        span = min(_int(rng, 20, 200), count - i)
+        if mode == 0:     # long random run inside the hammered set
+            out[i:i + span] = pool[rng.integers(0, depth, size=span)]
+        elif mode == 1:   # alternation tail: X, Y, X, Y in the set
+            x, y = rng.choice(pool, size=2, replace=False)
+            seg = np.empty(span, dtype=np.int64)
+            seg[0::2] = x
+            seg[1::2] = y
+            out[i:i + span] = seg
+        elif mode == 2:   # sequential sweep: maximal distinct count
+            out[i:i + span] = target + l2_sets * (
+                np.arange(span, dtype=np.int64) % (2 * depth))
+        else:             # graze fresh sets, leaving them part-invalid
+            out[i:i + span] = rng.integers(0, 4 * l2_sets, size=span)
+        i += span
+    return out
+
+
 _SHAPE_FNS = {
     "streak": _streak_lines,
     "alternation": _alternation_lines,
@@ -173,6 +216,7 @@ _SHAPE_FNS = {
     "wrap_heavy": _wrap_heavy_lines,
     "stream": _stream_lines,
     "uniform": _uniform_lines,
+    "set_collision": _set_collision_lines,
 }
 
 

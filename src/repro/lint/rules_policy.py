@@ -14,7 +14,12 @@ rules hold; each gets a mechanical check here:
 * ``hot-path-purity`` — the closures built by the ``*_kernel`` factories
   in ``cache/state.py`` must run on bound locals only: no attribute
   loads (beyond int/list method calls on locals), no global lookups, no
-  list/dict/set or comprehension allocations.
+  list/dict/set or comprehension allocations.  The ``_*_array_kernel``
+  factories in ``cache/kernels/array.py`` are checked under a *relaxed*
+  window contract: their closures run once per window, so container
+  allocations are fine and single-level attribute loads on bound names
+  (``memo.get``, ``tag_map.update``) are fine — but global/builtin
+  lookups and multi-level attribute chains stay banned.
 """
 
 from __future__ import annotations
@@ -35,6 +40,10 @@ STATEFUL_DIRS = ("repro/cache/replacement/", "repro/cache/partition/")
 
 #: Modules whose ``*_kernel`` factories build the hot-path closures.
 HOT_KERNEL_MODULES = ("repro/cache/state.py",)
+
+#: Modules whose ``_*_array_kernel`` factories build *window-level*
+#: closures, checked under the relaxed array contract.
+ARRAY_KERNEL_MODULES = ("repro/cache/kernels/array.py",)
 
 #: Attribute loads permitted inside kernel closures: C-level int/list
 #: methods on already-bound locals.  Everything else (``obj.attr`` chases,
@@ -222,29 +231,34 @@ class HotPathPurityRule(Rule):
                    "factory-bound locals")
 
     def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
-        for rel in HOT_KERNEL_MODULES:
-            path = ctx.find(rel)
-            if path is None:
-                continue
-            tree = ctx.tree(path)
-            if tree is None:
-                continue
-            for node in tree.body:
-                if (isinstance(node, ast.FunctionDef)
-                        and node.name.endswith("_kernel")
-                        and node.name.startswith("_")):
-                    yield from self._check_factory(ctx, path, node)
+        for modules, suffix, relaxed in (
+                (HOT_KERNEL_MODULES, "_kernel", False),
+                (ARRAY_KERNEL_MODULES, "_array_kernel", True)):
+            for rel in modules:
+                path = ctx.find(rel)
+                if path is None:
+                    continue
+                tree = ctx.tree(path)
+                if tree is None:
+                    continue
+                for node in tree.body:
+                    if (isinstance(node, ast.FunctionDef)
+                            and node.name.endswith(suffix)
+                            and node.name.startswith("_")):
+                        yield from self._check_factory(ctx, path, node,
+                                                       relaxed)
 
-    def _check_factory(self, ctx: LintContext, path, factory
-                       ) -> Iterator[Diagnostic]:
+    def _check_factory(self, ctx: LintContext, path, factory,
+                       relaxed: bool) -> Iterator[Diagnostic]:
         outer = _ScopeCollector(factory).names
         for node in ast.walk(factory):
             if (isinstance(node, ast.FunctionDef) and node is not factory):
                 yield from self._check_closure(ctx, path, factory, node,
-                                               outer)
+                                               outer, relaxed)
 
     def _check_closure(self, ctx: LintContext, path, factory, closure,
-                       outer: Set[str]) -> Iterator[Diagnostic]:
+                       outer: Set[str], relaxed: bool
+                       ) -> Iterator[Diagnostic]:
         local = _ScopeCollector(closure).names
         bound = outer | local
         handler_types: Set[str] = set()
@@ -256,15 +270,22 @@ class HotPathPurityRule(Rule):
         where = f"{factory.name}.{closure.name}"
         for node in _closure_nodes(closure):
             if isinstance(node, ast.Attribute):
-                if (isinstance(node.ctx, ast.Load)
-                        and node.attr not in PURE_LOCAL_ATTRS):
-                    yield self.diag(
-                        ctx, path, node.lineno,
-                        f"attribute load .{node.attr} inside {where}; bind "
-                        f"it to a factory local outside the closure")
+                if not isinstance(node.ctx, ast.Load):
+                    continue
+                if node.attr in PURE_LOCAL_ATTRS:
+                    continue
+                if (relaxed and isinstance(node.value, ast.Name)
+                        and node.value.id in bound):
+                    continue   # single-level attr on a bound name
+                yield self.diag(
+                    ctx, path, node.lineno,
+                    f"attribute load .{node.attr} inside {where}; bind "
+                    f"it to a factory local outside the closure")
             elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
                                    ast.GeneratorExp, ast.List, ast.Dict,
                                    ast.Set)):
+                if relaxed:
+                    continue   # window-granularity allocations are fine
                 if isinstance(node, (ast.List, ast.Dict, ast.Set)) and \
                         not isinstance(getattr(node, "ctx", ast.Load()),
                                        ast.Load):

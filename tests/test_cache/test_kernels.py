@@ -1,0 +1,156 @@
+"""Kernel-backend registry: resolution matrix and build delegation.
+
+The registry's contract has two halves — *name resolution* (``auto`` /
+env override / unavailable-backend errors) and *build delegation* (a
+resolved backend without a kernel for the cache at hand falls down the
+chain ``numba -> array -> python`` without error).  The numba wheel is
+absent in most environments, so presence is simulated by stubbing the
+``_numba`` shim module the registry binds at import.
+"""
+
+import numpy as np
+import pytest
+
+import repro.cache.kernels as kernels
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.kernels import (
+    ENV_KERNEL_BACKEND,
+    available_backends,
+    build_set_run_kernel,
+    resolve_kernel_backend,
+)
+from repro.cache.replacement.base import make_policy
+from repro.config import SimulationConfig
+
+
+def make_cache(policy_name="lru", num_sets=8, assoc=8):
+    geometry = CacheGeometry(num_sets * assoc * 128, assoc, 128)
+    policy = make_policy(policy_name, num_sets, assoc,
+                         rng=np.random.default_rng(3))
+    return SetAssociativeCache(geometry, policy, partition=None,
+                               num_cores=1, kernels=True)
+
+
+class FakeNumba:
+    """Stand-in for the numba backend shim: present, builds a marker."""
+
+    def __init__(self, kernel="numba-kernel"):
+        self.kernel = kernel
+        self.build_calls = 0
+
+    def available(self):
+        return True
+
+    def build(self, cache):
+        self.build_calls += 1
+        return self.kernel
+
+
+class TestResolution:
+    def test_concrete_names_resolve_to_themselves(self):
+        assert resolve_kernel_backend("python") == "python"
+        assert resolve_kernel_backend("array") == "array"
+
+    def test_auto_without_numba_is_array(self, monkeypatch):
+        monkeypatch.delenv(ENV_KERNEL_BACKEND, raising=False)
+        assert resolve_kernel_backend("auto") == "array"
+        assert available_backends() == ("array", "python")
+
+    def test_auto_with_numba_stub_is_numba(self, monkeypatch):
+        monkeypatch.delenv(ENV_KERNEL_BACKEND, raising=False)
+        monkeypatch.setattr(kernels, "_numba", FakeNumba())
+        assert resolve_kernel_backend("auto") == "numba"
+        assert available_backends() == ("numba", "array", "python")
+
+    def test_explicit_numba_unavailable_raises(self, monkeypatch):
+        monkeypatch.delenv(ENV_KERNEL_BACKEND, raising=False)
+        if kernels.numba_available():
+            pytest.skip("numba wheel installed: unavailability untestable")
+        with pytest.raises(ValueError, match="numba"):
+            resolve_kernel_backend("numba")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_kernel_backend("cython")
+
+    def test_env_overrides_auto_only(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL_BACKEND, "python")
+        assert resolve_kernel_backend("auto") == "python"
+        # An explicit config value always wins over the environment.
+        assert resolve_kernel_backend("array") == "array"
+
+    def test_env_rejects_unknown_backend(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL_BACKEND, "fortran")
+        with pytest.raises(ValueError, match="REPRO_KERNEL_BACKEND"):
+            resolve_kernel_backend("auto")
+
+    def test_blank_env_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL_BACKEND, "  ")
+        assert resolve_kernel_backend("auto") == "array"
+
+    def test_simulation_config_validates_backend(self):
+        assert SimulationConfig().kernel_backend == "auto"
+        assert SimulationConfig(kernel_backend="array").kernel_backend \
+            == "array"
+        with pytest.raises(ValueError):
+            SimulationConfig(kernel_backend="cython")
+
+
+class TestBuildDelegation:
+    def test_python_backend_returns_loop_kernel(self):
+        from repro.cache.state import build_set_run_kernel as build_python
+        cache = make_cache("lru")
+        kernel = build_set_run_kernel(cache, "python")
+        assert kernel is not None
+        # Same closure shape as the state.py builder hands out.
+        assert kernel.__name__ == build_python(make_cache("lru")).__name__
+
+    def test_array_backend_builds_for_eligible_kind(self):
+        kernel = build_set_run_kernel(make_cache("lru"), "array")
+        assert kernel is not None
+        assert kernel.__module__ == "repro.cache.kernels.array"
+
+    @pytest.mark.parametrize("policy_name", ["random", "srrip", "dip"])
+    def test_ineligible_kind_falls_back_to_python(self, policy_name):
+        cache = make_cache(policy_name)
+        kernel = build_set_run_kernel(cache, "array")
+        assert kernel is not None
+        assert kernel.__module__ == "repro.cache.state"
+
+    def test_numba_stub_wins_when_eligible(self, monkeypatch):
+        monkeypatch.delenv(ENV_KERNEL_BACKEND, raising=False)
+        fake = FakeNumba()
+        monkeypatch.setattr(kernels, "_numba", fake)
+        assert build_set_run_kernel(make_cache("lru"), "auto") \
+            == "numba-kernel"
+        assert fake.build_calls == 1
+
+    def test_numba_stub_ineligible_delegates_to_array(self, monkeypatch):
+        monkeypatch.delenv(ENV_KERNEL_BACKEND, raising=False)
+        fake = FakeNumba(kernel=None)  # present but declines every cache
+        monkeypatch.setattr(kernels, "_numba", fake)
+        kernel = build_set_run_kernel(make_cache("lru"), "auto")
+        assert fake.build_calls == 1
+        assert kernel.__module__ == "repro.cache.kernels.array"
+
+    def test_env_steers_default_config_to_python(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL_BACKEND, "python")
+        kernel = build_set_run_kernel(make_cache("lru"), "auto")
+        assert kernel.__module__ == "repro.cache.state"
+
+    def test_backends_agree_on_a_shared_window(self):
+        """End-to-end: both concrete local backends replay one window
+        identically (the deep diff lives in test_state.py)."""
+        caches = {b: make_cache("nru") for b in ("python", "array")}
+        rng = np.random.default_rng(5)
+        lines = rng.integers(0, 150, size=900).tolist()
+        flags = {}
+        for backend, cache in caches.items():
+            f = bytearray(len(lines))
+            build_set_run_kernel(cache, backend)(lines, f)
+            flags[backend] = bytes(f)
+        assert flags["python"] == flags["array"]
+        assert caches["python"].stats.misses == caches["array"].stats.misses
+        assert [caches["python"].resident_lines(s) for s in range(8)] \
+            == [caches["array"].resident_lines(s) for s in range(8)]

@@ -412,3 +412,130 @@ class TestElisionEligibility:
         assert [full.resident_lines(s) for s in range(8)] \
             == [elided.resident_lines(s) for s in range(8)]
         assert window_policy_state(full) == window_policy_state(elided)
+
+
+class TestArrayKernelProperties:
+    """Array backend vs the python loop kernels: full-state equality.
+
+    Randomized per-set runs across geometries, biased toward the shapes
+    that stress the array kernels' split paths — fit sets (pure
+    invalid-way fills), non-fit single-set hammering (stack-distance
+    classification + eviction pairing) and tiny hot working sets (long
+    hit chains, order-rebuild correctness including stale slots).
+    """
+
+    ARRAY_KINDS = ("lru", "fifo", "nru", "bt")
+
+    def _pair(self, policy_name, num_sets, assoc):
+        from repro.cache.kernels import array as array_mod
+
+        def build():
+            geometry = CacheGeometry(num_sets * assoc * 128, assoc, 128)
+            policy = make_policy(policy_name, num_sets, assoc,
+                                 rng=np.random.default_rng(3))
+            return SetAssociativeCache(geometry, policy, partition=None,
+                                       num_cores=1, kernels=True)
+
+        ref, arr = build(), build()
+        k_ref = build_set_run_kernel(ref)
+        k_arr = array_mod.build(arr)
+        return ref, k_ref, arr, k_arr
+
+    @staticmethod
+    def _full_state(cache):
+        return (
+            list(cache.state.lines),
+            dict(cache.state.map),
+            list(cache.state.invalid),
+            list(cache.stats.accesses),
+            list(cache.stats.misses),
+            list(cache.stats.fills_invalid),
+            window_policy_state(cache),
+        )
+
+    @staticmethod
+    def _assert_python_ints(state):
+        # np.int64 leaking into the flat state would corrupt repr-based
+        # digests downstream (numpy-2 reprs as ``np.int64(5)``).
+        stack = [state]
+        while stack:
+            x = stack.pop()
+            if isinstance(x, dict):
+                stack.extend(x.keys())
+                stack.extend(x.values())
+            elif isinstance(x, (list, tuple)):
+                stack.extend(x)
+            elif not isinstance(x, str):
+                assert type(x) in (int, bool), f"non-python int: {x!r}"
+
+    @pytest.mark.parametrize("policy_name", ARRAY_KINDS)
+    @pytest.mark.parametrize("num_sets,assoc",
+                             [(8, 8), (4, 2), (2, 16), (1, 8)])
+    def test_randomized_runs_full_state_equal(self, policy_name, num_sets,
+                                              assoc):
+        ref, k_ref, arr, k_arr = self._pair(policy_name, num_sets, assoc)
+        assert k_arr is not None, "array kernel must exist for this kind"
+        rng = np.random.default_rng(97 * num_sets + assoc)
+        space = num_sets * assoc * 2
+        for w in range(10):
+            n = int(rng.integers(1, 400))
+            mode = int(rng.integers(0, 3))
+            if mode == 0:       # uniform across sets
+                lines = rng.integers(0, space, size=n).tolist()
+            elif mode == 1:     # single-set hammer (non-fit path)
+                s = int(rng.integers(0, num_sets))
+                lines = (rng.integers(0, 3 * assoc, size=n) * num_sets
+                         + s).tolist()
+            else:               # tiny hot working set (hit chains)
+                pool = rng.integers(0, space, size=assoc + 2)
+                lines = pool[rng.integers(0, pool.size, size=n)].tolist()
+            f_ref, f_arr = bytearray(n), bytearray(n)
+            k_ref(lines, f_ref)
+            k_arr(lines, f_arr)
+            assert bytes(f_ref) == bytes(f_arr), f"window {w} flags diverge"
+            state = self._full_state(arr)
+            assert self._full_state(ref) == state, f"window {w} state"
+            self._assert_python_ints(state)
+            if rng.integers(0, 8) == 0:
+                # Mid-run flush: the next window refills via invalid ways.
+                ref.flush()
+                arr.flush()
+
+    @pytest.mark.parametrize("policy_name", ARRAY_KINDS)
+    def test_cold_start_pure_fill_window(self, policy_name):
+        """An all-cold window exercises the fit path exclusively."""
+        ref, k_ref, arr, k_arr = self._pair(policy_name, 8, 8)
+        lines = list(range(64))  # exactly fills every way of every set
+        f_ref, f_arr = bytearray(64), bytearray(64)
+        k_ref(lines, f_ref)
+        k_arr(lines, f_arr)
+        assert bytes(f_ref) == bytes(f_arr) == bytes(64)
+        assert self._full_state(ref) == self._full_state(arr)
+        assert arr.stats.fills_invalid[0] == 64
+
+    def test_array_build_respects_eligibility(self):
+        """Ineligible (policy, partition) combinations must return None
+        so the registry can delegate to the python kernels."""
+        from repro.cache.kernels import array as array_mod
+        from repro.cache.partition.base import make_partition
+
+        num_sets, assoc = 8, 8
+        geometry = CacheGeometry(num_sets * assoc * 128, assoc, 128)
+
+        def cache_for(policy_name, partitioned=False):
+            policy = make_policy(policy_name, num_sets, assoc,
+                                 rng=np.random.default_rng(3))
+            part = None
+            if partitioned:
+                part = make_partition("masks", 2, num_sets, assoc)
+                part.apply(WayAllocation.from_counts((5, 3), assoc))
+            return SetAssociativeCache(geometry, policy, partition=part,
+                                       num_cores=2 if partitioned else 1,
+                                       kernels=True)
+
+        assert array_mod.build(cache_for("lru")) is not None
+        # RNG-draw and trace-order-aging kinds have no array kernel.
+        assert array_mod.build(cache_for("random")) is None
+        assert array_mod.build(cache_for("srrip")) is None
+        # Partitioned caches always delegate.
+        assert array_mod.build(cache_for("lru", partitioned=True)) is None

@@ -21,6 +21,7 @@ import pytest
 
 import repro.cmp.engine.vector as vector_mod
 from repro.cache.geometry import CacheGeometry
+from repro.cache.kernels import available_backends
 from repro.cmp.engine import SoloEngine, VectorEngine, make_engine, \
     resolve_engine_name
 from repro.cmp.simulator import CMPSimulator
@@ -87,16 +88,22 @@ def alternation_trace(count=8000, name="alt"):
 
 def run_engines(partitioning, traces, engines, num_cores=1, budget=30_000,
                 service_interval=0.0, per_thread=None, keep_sim=False):
-    """Run the same workload under each engine; returns results (and sims)."""
+    """Run the same workload under each engine; returns results (and sims).
+
+    An engine spec may carry a kernel backend as ``"vector:array"`` —
+    the suffix feeds ``SimulationConfig.kernel_backend``.
+    """
     results = []
     sims = []
     for engine in engines:
+        engine_name, _, backend = engine.partition(":")
         sim_config = SimulationConfig(
             instructions_per_thread=budget,
             per_thread_instructions=per_thread,
             seed=7,
             memory_service_interval=service_interval,
-            engine=engine,
+            engine=engine_name,
+            kernel_backend=backend or "auto",
         )
         sim = CMPSimulator(processor(num_cores), partitioning, traces,
                            sim_config)
@@ -130,6 +137,11 @@ def profiling_state(sim):
     ]
 
 
+#: Every kernel backend importable here, as vector-engine specs — the
+#: differential tests below run per backend, so a numba wheel in the
+#: environment (the CI ``numba-smoke`` job) widens the matrix for free.
+VECTOR_SPECS = tuple(f"vector:{b}" for b in available_backends())
+
 PARTITIONED_CONFIGS = [
     config_C_L(atd_sampling=4, interval_cycles=20_000),
     config_M_L(atd_sampling=4, interval_cycles=20_000),
@@ -143,19 +155,24 @@ PARTITIONED_CONFIGS = [
 class TestVectorVsReference:
     @pytest.mark.parametrize("policy", POLICIES)
     def test_all_policies_unpartitioned(self, policy):
-        ref, vec = run_engines(config_unpartitioned(policy), [make_trace()],
-                               ("reference", "vector"))
-        assert_identical(ref, vec)
+        results = run_engines(config_unpartitioned(policy), [make_trace()],
+                              ("reference",) + VECTOR_SPECS)
+        for vec in results[1:]:
+            assert_identical(results[0], vec)
 
     @pytest.mark.parametrize("config", PARTITIONED_CONFIGS,
                              ids=lambda c: c.acronym)
     def test_partitioned_schemes(self, config):
-        (ref, vec), (ref_sim, vec_sim) = run_engines(
-            config, [make_trace()], ("reference", "vector"), keep_sim=True)
-        assert_identical(ref, vec)
-        assert ref.events.repartitions > 0
-        # The deferred drains must leave the exact per-access ATD/SDH state.
-        assert profiling_state(ref_sim) == profiling_state(vec_sim)
+        # Partitioned caches are array/numba-ineligible: the specs pin
+        # the delegation fallback to the python kernels per backend.
+        results, sims = run_engines(
+            config, [make_trace()], ("reference",) + VECTOR_SPECS,
+            keep_sim=True)
+        assert results[0].events.repartitions > 0
+        for vec, vec_sim in zip(results[1:], sims[1:]):
+            assert_identical(results[0], vec)
+            # Deferred drains must leave the exact per-access ATD/SDH state.
+            assert profiling_state(sims[0]) == profiling_state(vec_sim)
 
     def test_write_trace_falls_back_to_solo(self):
         trace = overlay_writes(make_trace(), 0.4, seed=3)
@@ -258,9 +275,12 @@ class TestElision:
     @pytest.mark.parametrize("policy", ["lru", "fifo", "nru", "bt", "random"])
     def test_repeat_heavy_stream(self, policy):
         """Nearly every grouped access is an immediate same-set repeat."""
-        ref, vec = run_engines(config_unpartitioned(policy),
-                               [rotation_trace()], ("reference", "vector"))
-        assert_identical(ref, vec)
+        results = run_engines(config_unpartitioned(policy),
+                              [rotation_trace()],
+                              ("reference",) + VECTOR_SPECS)
+        ref = results[0]
+        for vec in results[1:]:
+            assert_identical(ref, vec)
         # The shape did reach the L2 slow path en masse.
         assert ref.threads[0].l1_misses > 5000
         assert ref.threads[0].l2_accesses > 5000
@@ -269,10 +289,12 @@ class TestElision:
     def test_alternation_stream(self, policy):
         """Two-line alternations: pair-elided for unpartitioned lru/bt,
         replayed in full (still bit-identical) for every other kind."""
-        ref, vec = run_engines(config_unpartitioned(policy),
-                               [alternation_trace()],
-                               ("reference", "vector"))
-        assert_identical(ref, vec)
+        results = run_engines(config_unpartitioned(policy),
+                              [alternation_trace()],
+                              ("reference",) + VECTOR_SPECS)
+        ref = results[0]
+        for vec in results[1:]:
+            assert_identical(ref, vec)
         assert ref.threads[0].l1_misses > 5000
 
     def test_alternation_partitioned_lru(self):
@@ -349,6 +371,58 @@ class TestL1Memo:
         for seed in (1, 2, 3):
             self._run_vector(make_trace(count=1500, seed=seed), budget=4_000)
         assert len(vector_mod._L1_MEMO) == 2
+
+
+class TestMemoStats:
+    """memo_stats()/clear_memos(): the module-global memo observability."""
+
+    def _run_vector(self, trace, backend="auto"):
+        sim = CMPSimulator(
+            processor(), config_unpartitioned("lru"), [trace],
+            SimulationConfig(instructions_per_thread=30_000, seed=7,
+                             engine="vector", kernel_backend=backend))
+        return sim.run()
+
+    def test_counters_track_lookups(self):
+        vector_mod.clear_memos()
+        stats = vector_mod.memo_stats()
+        assert stats == {"l1_hits": 0, "l1_misses": 0, "window_hits": 0,
+                         "window_misses": 0, "l1_entries": 0}
+        trace = make_trace(seed=4242, name="memo-stats")
+        self._run_vector(trace)
+        stats = vector_mod.memo_stats()
+        assert stats["l1_misses"] == 1 and stats["l1_hits"] == 0
+        assert stats["window_misses"] == 1 and stats["window_hits"] == 0
+        assert stats["l1_entries"] == 1
+        self._run_vector(trace)
+        stats = vector_mod.memo_stats()
+        assert stats["l1_hits"] == 1 and stats["l1_misses"] == 1
+        assert stats["window_hits"] == 1 and stats["window_misses"] == 1
+
+    def test_snapshot_is_a_copy_and_clear_resets(self):
+        vector_mod.clear_memos()
+        trace = make_trace(seed=2121, count=1500, name="memo-copy")
+        self._run_vector(trace)
+        snap = vector_mod.memo_stats()
+        snap["l1_misses"] = 99  # mutating the snapshot must not leak back
+        assert vector_mod.memo_stats()["l1_misses"] == 1
+        vector_mod.clear_memos()
+        assert vector_mod.memo_stats() == {
+            "l1_hits": 0, "l1_misses": 0, "window_hits": 0,
+            "window_misses": 0, "l1_entries": 0}
+
+    def test_window_products_shared_across_backends(self):
+        """A memo recorded under one backend replays under another —
+        the window products are backend-agnostic inputs — and the
+        results stay bit-identical."""
+        vector_mod.clear_memos()
+        trace = make_trace(seed=777, name="memo-xbackend")
+        first = self._run_vector(trace, backend="python")
+        assert vector_mod.memo_stats()["window_misses"] == 1
+        second = self._run_vector(trace, backend="array")
+        stats = vector_mod.memo_stats()
+        assert stats["l1_hits"] == 1 and stats["window_hits"] == 1
+        assert_identical(first, second)
 
 
 class TestEngineSelection:

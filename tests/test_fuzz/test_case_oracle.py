@@ -63,8 +63,10 @@ class TestOracle:
     def test_clean_case_reports_no_divergence(self):
         report = run_case(small_case())
         assert not report.divergent
-        assert set(report.engines) == {"reference", "batched", "solo",
-                                       "vector"}
+        # Besides the four engines, every non-auto kernel backend rides
+        # along as an explicit vector spec (numba widens this in CI).
+        assert {"reference", "batched", "solo", "vector",
+                "vector:python"} <= set(report.engines)
         assert all(not d for d in report.diffs.values())
         assert report.summary().startswith("ok:")
 

@@ -47,7 +47,8 @@ class TestValidity:
     def test_case_constructs_a_simulator(self, index):
         case = generate_case(7, index)
         engines = case.applicable_engines()
-        assert engines and set(engines) <= set(ALL_ENGINES)
+        base = {spec.partition(":")[0] for spec in engines}
+        assert engines and base <= set(ALL_ENGINES)
         # Constructing the simulator runs every config validation.
         sim = case.simulator(engines[0])
         assert len(sim.traces) == case.num_cores
@@ -60,8 +61,11 @@ class TestValidity:
         assert seen == set(TRACE_SHAPES)
 
     def test_engine_variety(self):
-        """Both the 4-engine (1-core) and 2-engine (multi-core) paths
-        appear early in any campaign."""
+        """Both the full single-core list (4 engines + the non-auto
+        kernel backends) and the 2-engine multi-core path appear early
+        in any campaign."""
+        from repro.cache.kernels import available_backends
+        full = 4 + len(available_backends()) - 1
         counts = {len(generate_case(7, i).applicable_engines())
                   for i in range(20)}
-        assert counts == {2, 4}
+        assert counts == {2, full}

@@ -99,13 +99,13 @@ class TestMutationAcceptance:
 
     def test_injected_bug_is_caught_and_shrunk(self, tmp_path, capsys):
         with MutatedVectorEngine():
-            rc = main(["fuzz", "--seed", "0", "--budget", "7",
+            rc = main(["fuzz", "--seed", "1", "--budget", "7",
                        "--out", str(tmp_path), "--quiet"])
         out = capsys.readouterr().out
         assert rc == 1, out
         assert "DIVERGENT" in out
 
-        repros = sorted(tmp_path.glob("div-seed0-case*.json"))
+        repros = sorted(tmp_path.glob("div-seed1-case*.json"))
         assert repros, "divergence reported but no repro emitted"
         case = FuzzCase.load(repros[0])
 

@@ -1,0 +1,24 @@
+"""Bad: an array-kernel closure leaking past the relaxed contract.
+
+Allocations and single-level attribute loads on bound names are fine at
+window granularity, but this closure also walks an attribute chain and
+looks up globals/builtins that the factory never bound.
+"""
+
+_MEMO = {}
+
+
+def _flat_array_kernel(cache):
+    """Factory forgets the bindings the relaxed contract still requires."""
+    tag_map = cache.state.map
+
+    def run_window(lines, flags):
+        n = len(lines)                       # builtin never bound
+        bundle = _MEMO.get(id(lines))        # module-global lookup
+        if bundle is None:
+            bundle = cache.state.invalid     # multi-level attribute chain
+        tag_map.update({})                   # fine: bound name, one level
+        flags[0:n] = [0] * n                 # fine: window allocation
+        return bundle
+
+    return run_window

@@ -1,0 +1,35 @@
+"""Good: an array-kernel closure under the relaxed window contract.
+
+Window-level container allocations and single-level attribute loads on
+factory-bound names are permitted here — the closure runs once per
+window, not once per access — but globals/builtins must still be bound
+in the factory.
+"""
+
+
+def _flat_array_kernel(cache):
+    """Factory binds state, builtins, and the memo once."""
+    tag_map = cache.state.map
+    map_update = tag_map.update
+    accesses = cache.stats.accesses
+    misses = cache.stats.misses
+    memo = {}
+    py_len = len
+    py_id = id
+
+    def run_window(lines, flags):
+        n = py_len(lines)
+        if not n:
+            return
+        bundle = memo.get(py_id(lines))      # single-level attr on bound name
+        if bundle is None:
+            hit_rows = [0] * n               # window-granularity allocation
+            bundle = (hit_rows, n)
+            memo[py_id(lines)] = bundle
+        rows, n_miss = bundle
+        flags[0:n] = rows
+        map_update({})                       # dict literal: once per window
+        accesses[0] += n
+        misses[0] += n_miss
+
+    return run_window
