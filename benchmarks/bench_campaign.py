@@ -16,11 +16,24 @@ stage's smaller width), and the warm run should be near-instant.  Results
 are checked bit-identical between the serial and pool paths, so the bench
 doubles as an end-to-end equivalence test at benchmark scale.
 
+A second comparison, ``--pool-modes``, races the *pool implementations*
+against each other on one matrix: serial, the persistent process pool
+(one set of workers for the whole campaign, locality-routed), the
+per-stage process pool (a fresh pool per stage with a barrier between —
+the pre-scheduler execution model), and a remote pool on loopback.  The
+persistent pool's advantage is CPU-time structural, so it shows even on
+a single core: workers keep their traces and window memos warm across
+the isolation/outcome boundary and across same-affinity jobs, where the
+per-stage baseline regenerates them per stage per worker.
+``record.py campaign`` records this comparison as ``BENCH_campaign.json``
+and CI holds the persistent pool to >=1.3x the per-stage baseline.
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_campaign.py                # fig6
     PYTHONPATH=src python benchmarks/bench_campaign.py --target fig7 -j 8
     PYTHONPATH=src python benchmarks/bench_campaign.py --smoke        # ~30 s
+    PYTHONPATH=src python benchmarks/bench_campaign.py --pool-modes
 
 ``REPRO_*`` environment knobs control the scale as everywhere else.
 """
@@ -32,11 +45,15 @@ import os
 import shutil
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import replace
 
+from repro.campaign.jobs import outcome_job
+from repro.campaign.pool import RemotePool, run_remote_worker
 from repro.campaign.runner import Campaign, plan_jobs, run_serial
 from repro.campaign.store import ResultStore
+from repro.config import config_unpartitioned
 from repro.experiments import fig6, fig7, fig8
 from repro.experiments.common import ExperimentScale, WorkloadRunner
 
@@ -95,6 +112,130 @@ def bench(scale: ExperimentScale, target: str, jobs: int) -> int:
     return 0 if ok else 1
 
 
+#: Scale of the pool-mode comparison: 1-core points over the default
+#: 1-thread benchmark set, two policies each.  Two jobs per trace keeps
+#: the per-trace fixed costs (generation, L1 window memo) a large slice
+#: of every job — exactly the work a persistent pool amortises and a
+#: per-stage pool re-pays per stage per worker.
+POOL_BENCH_SCALE = ExperimentScale(
+    scale=16, accesses=12_000, target_cycles=600_000.0,
+    atd_sampling=4, interval_cycles=50_000, seed=11,
+)
+
+
+def pool_bench_matrix(scale: ExperimentScale):
+    """1-core outcome jobs: every ``benchmarks_1t`` entry x {LRU, NRU}."""
+    jobs = []
+    for benchmark in scale.benchmarks_1t:
+        for policy in ("lru", "nru"):
+            jobs.append(outcome_job(scale, benchmark,
+                                    config_unpartitioned(policy),
+                                    benchmarks=(benchmark,)))
+    return jobs
+
+
+def _run_mode(mode: str, scale: ExperimentScale, matrix, jobs: int):
+    """One cold campaign run of ``matrix`` under one pool mode.
+
+    Returns ``(seconds, report)``; every mode starts from an empty store
+    so the same simulations execute — only the execution strategy varies.
+    """
+    store_root = tempfile.mkdtemp(prefix=f"repro-poolbench-{mode}-")
+    try:
+        store = ResultStore(store_root)
+        if mode == "serial":
+            campaign = Campaign(store, workers=1)
+        elif mode == "persistent":
+            campaign = Campaign(store, workers=jobs)
+        elif mode == "per-stage":
+            campaign = Campaign(store, workers=jobs, per_stage=True)
+        elif mode == "remote":
+            pool = RemotePool("127.0.0.1", 0)
+            campaign = Campaign(store, workers=jobs, pool=pool)
+            for _ in range(jobs):
+                threading.Thread(
+                    target=run_remote_worker,
+                    args=(pool.address, ResultStore(store_root)),
+                    daemon=True).start()
+        else:
+            raise ValueError(f"unknown pool mode {mode!r}")
+        t0 = time.perf_counter()
+        results, report = campaign.run(matrix)
+        elapsed = time.perf_counter() - t0
+        if report.failed:
+            raise RuntimeError(f"{mode}: {len(report.failed)} job(s) failed")
+        return elapsed, report, results
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+
+
+POOL_MODES = ("serial", "per-stage", "persistent", "remote")
+
+
+def _mode_child(mode: str, scale: ExperimentScale, jobs: int, conn) -> None:
+    """Run one mode in a pristine child; ship back timing + result digest."""
+    import hashlib
+
+    from repro.campaign.hashing import job_key
+    from repro.campaign.store import canonical_dumps
+
+    try:
+        matrix = pool_bench_matrix(scale)
+        elapsed, report, results = _run_mode(mode, scale, matrix, jobs)
+        snapshot = [(job_key(job), results[job].result.threads)
+                    for job in matrix]
+        digest = hashlib.sha256(canonical_dumps(snapshot)).hexdigest()
+        conn.send((elapsed, report.executed, digest))
+    except BaseException as exc:  # noqa: BLE001 - surface in the parent
+        conn.send(("error", str(exc), ""))
+    finally:
+        conn.close()
+
+
+def bench_pool_modes(scale: ExperimentScale = POOL_BENCH_SCALE,
+                     jobs: int = 2, repeats: int = 1, echo=print):
+    """Race the pool implementations; returns ``mode -> best seconds``.
+
+    Every measurement runs in its own **spawned** subprocess: a fork-based
+    pool in a shared bench process would inherit trace caches warmed by an
+    earlier mode (serial and the remote bench workers execute in-process)
+    and erase exactly the reuse being measured.  The modes' result digests
+    are cross-checked — the tri-modal bit-identity requirement at
+    benchmark scale.
+    """
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("spawn")
+    matrix = pool_bench_matrix(scale)
+    plan = plan_jobs(matrix)
+    echo(f"pool modes: {len(plan.outcome)} outcome + {len(plan.isolation)} "
+         f"isolation job(s), {jobs} worker(s), accesses={scale.accesses}")
+    seconds = {}
+    digests = {}
+    for mode in POOL_MODES:
+        best = float("inf")
+        executed = None
+        for _ in range(repeats):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_mode_child,
+                               args=(mode, scale, jobs, child_conn))
+            proc.start()
+            child_conn.close()
+            payload = parent_conn.recv()
+            proc.join()
+            if payload[0] == "error":
+                raise RuntimeError(f"{mode}: {payload[1]}")
+            elapsed, executed, digests[mode] = payload
+            best = min(best, elapsed)
+        seconds[mode] = best
+        echo(f"  {mode:<11} {best:8.2f} s   (executed={executed})")
+    if len(set(digests.values())) != 1:
+        raise RuntimeError(f"pool modes disagree on results: {digests}")
+    ratio = seconds["per-stage"] / seconds["persistent"]
+    echo(f"  persistent vs per-stage: {ratio:.2f}x")
+    return seconds
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--target", choices=sorted(MATRICES), default="fig6")
@@ -102,7 +243,13 @@ def main(argv=None) -> int:
                         default=os.cpu_count() or 1)
     parser.add_argument("--smoke", action="store_true",
                         help="micro matrix (~30 s): CI-friendly sanity run")
+    parser.add_argument("--pool-modes", action="store_true",
+                        help="race serial / per-stage / persistent / remote "
+                             "pools on the 1-core matrix")
     args = parser.parse_args(argv)
+    if args.pool_modes:
+        bench_pool_modes(jobs=max(2, min(args.jobs, 4)))
+        return 0
     if args.smoke:
         scale = SMOKE_SCALE
         jobs = min(args.jobs, 2)

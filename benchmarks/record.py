@@ -4,13 +4,19 @@ Two recording modes::
 
     PYTHONPATH=src python benchmarks/record.py core            # BENCH_core.json
     PYTHONPATH=src python benchmarks/record.py engine          # BENCH_engine.json
+    PYTHONPATH=src python benchmarks/record.py campaign        # BENCH_campaign.json
     PYTHONPATH=src python benchmarks/record.py core engine     # both
 
 ``core`` measures the raw operation rates of the building blocks (cache
 accesses under each replacement policy, ATD observation, the L1 paths) with
 a best-of-``--repeats`` ``perf_counter`` loop — the same setups as
 ``bench_core_structures.py`` but without the pytest-benchmark harness, so it
-runs in seconds and emits stable ops/sec numbers.  ``engine`` measures the
+runs in seconds and emits stable ops/sec numbers.  ``campaign`` races the
+worker-pool implementations of ``bench_campaign.py --pool-modes`` (serial,
+per-stage process pool, persistent process pool, remote loopback) and
+grades the persistent pool against the per-stage baseline with a
+same-recording >=1.3x floor — no committed baseline needed, so the check
+runs on every invocation.  ``engine`` measures the
 end-to-end reference vs batched engine wall-clock on the 4-core mix of
 ``bench_engine.py`` plus the campaign stage-1 **isolation composite**
 (``bench_isolation.py``) under the batched and — when the library on
@@ -80,6 +86,18 @@ DEFAULT_ENGINE_FLOOR_KEYS = (
     "isolation_stage_array/.isolation_stage_vector:2.0",
     "isolation_stage_batched:0.9",
     "engine_batched:0.9",
+)
+
+#: Default floor keys for the ``campaign`` target — a pure same-recording
+#: ratio (``cur/.base``): the persistent worker pool must complete the
+#: pool-mode matrix at >=1.3x the job rate of the per-stage baseline
+#: (fresh pool per stage, barrier between stages, no locality routing —
+#: the pre-scheduler execution model).  The gap is CPU-time structural
+#: (workers re-pay trace generation and window memos per stage), so the
+#: floor holds even on single-core CI runners; no committed baseline
+#: recording is needed, and ``campaign`` checks it without ``--baseline``.
+DEFAULT_CAMPAIGN_FLOOR_KEYS = (
+    "campaign_persistent/.campaign_per_stage:1.3",
 )
 
 
@@ -275,6 +293,33 @@ def record_engine(accesses: int, repeats: int,
     return payload
 
 
+def record_campaign(repeats: int, jobs: int = 2) -> dict:
+    from bench_campaign import (
+        POOL_BENCH_SCALE,
+        bench_pool_modes,
+        plan_jobs,
+        pool_bench_matrix,
+    )
+
+    scale = POOL_BENCH_SCALE
+    total = plan_jobs(pool_bench_matrix(scale)).total
+    seconds = bench_pool_modes(scale, jobs=jobs, repeats=repeats,
+                               echo=lambda msg: print(f"  {msg}"))
+    rates = {f"campaign_{mode.replace('-', '_')}": round(total / best, 2)
+             for mode, best in seconds.items()}
+    return {
+        "kind": "campaign", "unit": "jobs/sec", "machine": _machine(),
+        "jobs_total": total, "workers": jobs,
+        "accesses_per_trace": scale.accesses,
+        "seconds": {k: round(v, 4) for k, v in seconds.items()},
+        "rates": rates,
+        "persistent_vs_per_stage": round(
+            seconds["per-stage"] / seconds["persistent"], 3),
+        "persistent_vs_serial": round(
+            seconds["serial"] / seconds["persistent"], 3),
+    }
+
+
 def check_floor(current: dict, baseline_path: Path, default_floor: float,
                 keys) -> int:
     """Grade current rates against a baseline recording.
@@ -322,7 +367,8 @@ def check_floor(current: dict, baseline_path: Path, default_floor: float,
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("targets", nargs="+", choices=("core", "engine"),
+    parser.add_argument("targets", nargs="+",
+                        choices=("core", "engine", "campaign"),
                         help="which recordings to produce")
     parser.add_argument("--out-dir", default=str(Path(__file__).parent),
                         help="directory for BENCH_*.json (default: benchmarks/)")
@@ -354,6 +400,10 @@ def main(argv=None) -> int:
             payload = record_core(args.repeats)
             out = out_dir / "BENCH_core.json"
             default_keys = DEFAULT_FLOOR_KEYS
+        elif target == "campaign":
+            payload = record_campaign(args.repeats)
+            out = out_dir / "BENCH_campaign.json"
+            default_keys = DEFAULT_CAMPAIGN_FLOOR_KEYS
         else:
             payload = record_engine(args.engine_accesses, args.repeats,
                                     iso_accesses=args.isolation_accesses)
@@ -376,6 +426,18 @@ def main(argv=None) -> int:
         print(f"wrote {out}")
         for key in sorted(payload["rates"]):
             print(f"  {key}: {payload['rates'][key]:,.0f} ops/sec")
+        if target == "campaign":
+            print(f"  persistent vs per-stage: "
+                  f"{payload['persistent_vs_per_stage']:.2f}x")
+            if not args.baseline:
+                # The campaign floor is a same-recording ratio: grade it
+                # against the recording just written, no committed
+                # baseline required.
+                keys = [k.strip()
+                        for k in (args.floor_keys.split(",")
+                                  if args.floor_keys else default_keys)
+                        if k.strip()]
+                status |= check_floor(payload, out, args.floor, keys)
         if target == "engine":
             print(f"  batched speedup: {payload['batched_speedup']:.2f}x")
             if "isolation_solo_speedup" in payload:

@@ -1,37 +1,42 @@
-"""Campaign execution: job graph -> worker pool -> result store.
+"""Campaign execution: job graph -> scheduler -> worker pool -> store.
 
-The runner turns a flat list of :class:`Job` specs into a two-stage plan:
+The runner turns a flat list of :class:`Job` specs into a deduplicated
+:class:`Plan` (isolation dependencies expanded via
+:func:`isolation_deps`), partitions it into *cached* (store hit) and
+*pending*, and hands the pending graph to the dependency-aware
+:class:`~.scheduler.ReadySetScheduler` running on a
+:class:`~.pool.WorkerPool`:
 
-1. **isolation stage** — the union of every outcome job's isolation
-   dependencies (:func:`isolation_deps`), deduplicated by store key.  This
-   is where the shared sub-results live: the LRU isolation runs that define
-   cycle-matched budgets are computed once per (benchmark, core slot,
-   geometry) for the whole campaign, no matter how many figures reuse them;
-2. **outcome stage** — the actual (mix, configuration) simulations, free to
-   run embarrassingly parallel because every cross-job input is now a
-   store hit.
+* **SerialPool** (``workers == 1``) executes inline, still through the
+  store;
+* a persistent **ProcessPool** keeps one set of worker processes — and
+  their warm per-scale runners — for the whole campaign;
+* a **RemotePool** lets ``repro campaign worker`` processes on other
+  machines pull jobs.
 
-Each stage first partitions its jobs into *cached* (store hit) and
-*pending*; only pending jobs execute — on a :mod:`multiprocessing` pool
-when ``jobs > 1``, inline otherwise.  Workers write their results into the
-store themselves (atomic publishes, see :mod:`.store`), so an interrupted
-sweep resumes by simply re-running the campaign: completed jobs are cache
-hits, only the missing ones execute.
+There is no stage barrier: an outcome job dispatches the moment its own
+isolation dependencies land in the store, and placement routes jobs
+sharing traces and geometry to the same warm worker (see
+:mod:`.scheduler` for the exactness argument and failure semantics).
+Workers write their results into the store themselves (atomic publishes,
+see :mod:`.store`), so an interrupted sweep resumes by simply re-running
+the campaign: completed jobs are cache hits, only the missing ones
+execute.
 
 Determinism: a job's result is a pure function of its spec.  Traces are
 generated from ``(scale.seed, benchmark, core_id)`` via the repo's keyed
 RNG streams, budgets derive from store-shared isolation IPCs, and the
 simulation itself is seeded from the spec — so pool execution, serial
-execution and any interleaving of the two produce bit-identical metrics
-(pinned by ``tests/test_campaign/test_figures.py``).
+execution, remote execution and any interleaving of them produce
+bit-identical metrics (pinned by ``tests/test_campaign/test_figures.py``
+and the differential pool tests).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.campaign.hashing import canonical_spec, job_key
 from repro.campaign.jobs import (
@@ -40,6 +45,17 @@ from repro.campaign.jobs import (
     KIND_OUTCOME,
     isolation_deps,
     isolation_job,
+)
+from repro.campaign.pool import (
+    ProcessPool,
+    SerialPool,
+    WorkerPool,
+    resolve_workers,
+)
+from repro.campaign.scheduler import (
+    FailedJob,
+    ReadySetScheduler,
+    SchedulerStats,
 )
 from repro.campaign.store import ResultStore
 from repro.experiments.common import (
@@ -85,9 +101,11 @@ class StoreWorkloadRunner(WorkloadRunner):
 
     Overrides the :meth:`WorkloadRunner.iso_results` funnel: each per-thread
     isolation result is first looked up in an in-memory memo, then in the
-    on-disk store, and only computed (and published) on a genuine miss.
-    This is the piece that lets outcome jobs in different worker processes
-    share one set of isolation runs.
+    store, and only computed (and published) on a genuine miss.  This is
+    the piece that lets outcome jobs in different worker processes share
+    one set of isolation runs — and the safety net that makes scheduling
+    order correctness-neutral: a missing dependency is recomputed inline,
+    bit-identically.
     """
 
     def __init__(self, scale: ExperimentScale, store: ResultStore) -> None:
@@ -113,32 +131,6 @@ class StoreWorkloadRunner(WorkloadRunner):
 
 
 # ----------------------------------------------------------------------
-# Worker-process plumbing
-# ----------------------------------------------------------------------
-# Per-worker state, initialised once per process: the store handle and a
-# runner per scale (so a worker draining many jobs reuses its traces).
-_WORKER: Dict[str, Any] = {}
-
-
-def _init_worker(store_root: str) -> None:
-    _WORKER["store"] = ResultStore(store_root)
-    _WORKER["runners"] = {}
-
-
-def _run_job(item: Tuple[str, Job]) -> Tuple[str, Any]:
-    key, job = item
-    store: ResultStore = _WORKER["store"]
-    runners: Dict[ExperimentScale, StoreWorkloadRunner] = _WORKER["runners"]
-    runner = runners.get(job.scale)
-    if runner is None:
-        runner = StoreWorkloadRunner(job.scale, store)
-        runners[job.scale] = runner
-    value = execute_job(job, runner)
-    store.put(key, canonical_spec(job), value)
-    return key, value
-
-
-# ----------------------------------------------------------------------
 # The campaign driver
 # ----------------------------------------------------------------------
 @dataclass
@@ -148,27 +140,46 @@ class CampaignReport:
     total: int = 0
     executed: int = 0
     cached: int = 0
-    #: (stage name, executed, cached) per stage, in execution order.
-    stages: List[Tuple[str, int, int]] = field(default_factory=list)
+    #: Resolved worker count (``--jobs 0``/``auto`` resolves to the CPU
+    #: count before it lands here).
+    workers: int = 1
+    #: Pool flavour the run used ("serial", "process", "remote", ...).
+    pool: str = "serial"
+    #: (stage name, executed, cached, wall seconds) per stage, in
+    #: execution order.  Wall is the dispatch-to-last-finish span of the
+    #: stage's executed jobs (0.0 when everything was cached).
+    stages: List[Tuple[str, int, int, float]] = field(default_factory=list)
+    #: Ready-set scheduler counters (see :class:`SchedulerStats`).
+    scheduler: SchedulerStats = field(default_factory=SchedulerStats)
+    #: Jobs that exhausted their retries (empty on a clean run).
+    failed: List[FailedJob] = field(default_factory=list)
     elapsed: float = 0.0
 
     def summary(self) -> str:
         """One human-readable accounting line (CI asserts cache hits via
         ``--expect-cached`` exit codes, not by parsing this)."""
         return (f"campaign: total={self.total} executed={self.executed} "
-                f"cached={self.cached} elapsed={self.elapsed:.1f}s")
+                f"cached={self.cached} failed={len(self.failed)} "
+                f"workers={self.workers} pool={self.pool} "
+                f"elapsed={self.elapsed:.1f}s")
+
+    def stage_lines(self) -> List[str]:
+        """Per-stage accounting lines (wall-clock included)."""
+        return [f"{name}: executed={executed} cached={cached} "
+                f"wall={wall:.2f}s"
+                for name, executed, cached, wall in self.stages]
 
 
 @dataclass
 class Plan:
-    """Deduplicated two-stage execution plan for a set of jobs."""
+    """Deduplicated two-kind execution plan for a set of jobs."""
 
     isolation: List[Tuple[str, Job]]
     outcome: List[Tuple[str, Job]]
 
     @property
     def total(self) -> int:
-        """Unique jobs across both stages."""
+        """Unique jobs across both kinds."""
         return len(self.isolation) + len(self.outcome)
 
 
@@ -193,7 +204,7 @@ def plan_jobs(jobs: Sequence[Job]) -> Plan:
 
 
 class Campaign:
-    """Executes job lists against a store, optionally on a worker pool.
+    """Executes job lists against a store on a worker pool.
 
     Parameters
     ----------
@@ -201,23 +212,57 @@ class Campaign:
         The content-addressed result store (shared across invocations —
         memoisation and resume both fall out of it).
     workers:
-        Worker-process count; 1 executes inline (still through the store).
+        Worker count; ``0`` or ``None`` resolves to ``os.cpu_count()``
+        (the CLI's ``--jobs 0`` / ``--jobs auto``).  ``1`` executes
+        inline (still through the store).
     force:
         Ignore store hits and recompute everything (results are still
         republished, so a forced run refreshes the store).
     echo:
         Optional ``print``-like progress sink.
+    pool:
+        Explicit :class:`WorkerPool` to run on (a ``RemotePool``, a test
+        double).  One pool instance drives one run; the campaign starts
+        and closes it.  Default: a ``SerialPool`` at width 1, else a
+        persistent ``ProcessPool``.
+    per_stage:
+        Compatibility/benchmark mode reproducing the pre-scheduler
+        behaviour: a *fresh* pool per stage, global barrier between the
+        stages, scatter placement (no locality).  Strictly slower; kept
+        as the measured baseline of ``benchmarks/bench_campaign.py``.
+    max_retries:
+        Requeues allowed per job after worker failures before the job is
+        recorded in :attr:`CampaignReport.failed`.
+    locality:
+        Route jobs sharing traces/geometry to a sticky worker (default:
+        on, except in ``per_stage`` mode).
+    on_dispatch:
+        Test hook forwarded to the scheduler: ``(key, job, worker)`` at
+        each dispatch.
+    crash_token:
+        Fault-injection token file forwarded to internally created
+        process pools (see :func:`~.pool._crash_if_requested`).
     """
 
-    def __init__(self, store: ResultStore, workers: int = 1,
+    def __init__(self, store: ResultStore, workers: Optional[int] = 1,
                  force: bool = False,
-                 echo: Optional[Callable[[str], None]] = None) -> None:
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+                 echo: Optional[Callable[[str], None]] = None,
+                 pool: Optional[WorkerPool] = None,
+                 per_stage: bool = False,
+                 max_retries: int = 2,
+                 locality: Optional[bool] = None,
+                 on_dispatch: Optional[Callable[[str, Job, str], None]] = None,
+                 crash_token: Optional[str] = None) -> None:
         self.store = store
-        self.workers = workers
+        self.workers = resolve_workers(workers)
         self.force = force
         self.echo = echo or (lambda _msg: None)
+        self.pool = pool
+        self.per_stage = per_stage
+        self.max_retries = max_retries
+        self.locality = (not per_stage) if locality is None else locality
+        self.on_dispatch = on_dispatch
+        self.crash_token = crash_token
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[Job]) -> Tuple[Dict[Job, Any], CampaignReport]:
@@ -225,55 +270,136 @@ class Campaign:
 
         The result dict covers outcome *and* isolation jobs, keyed by the
         :class:`Job` itself, so figure assembly can look points up by
-        reconstructing their specs.
+        reconstructing their specs.  Jobs listed in
+        :attr:`CampaignReport.failed` are absent from the results.
         """
         start = time.perf_counter()
         plan = plan_jobs(jobs)
-        report = CampaignReport(total=plan.total)
+        report = CampaignReport(total=plan.total, workers=self.workers)
         results: Dict[Job, Any] = {}
+        satisfied: Set[str] = set()
+        stages: List[Tuple[str, List[Tuple[str, Job]], int]] = []
         for name, stage in (("isolation", plan.isolation),
                             ("outcome", plan.outcome)):
-            executed, cached = self._run_stage(name, stage, results)
-            report.executed += executed
+            pending: List[Tuple[str, Job]] = []
+            cached = 0
+            for key, job in stage:
+                value = None if self.force else self.store.get(key)
+                if value is None:
+                    pending.append((key, job))
+                else:
+                    results[job] = value
+                    satisfied.add(key)
+                    cached += 1
+            stages.append((name, pending, cached))
             report.cached += cached
-            report.stages.append((name, executed, cached))
+        pending_total = sum(len(pending) for _, pending, _ in stages)
+        if pending_total:
+            if self.per_stage:
+                walls = self._run_per_stage(stages, satisfied, results,
+                                            report)
+            else:
+                walls = self._run_scheduled(stages, satisfied, results,
+                                            report)
+        else:
+            walls = {}
+            for name, _pending, cached in stages:
+                if cached:
+                    self.echo(f"  {name}: all {cached} job(s) cached")
+        for name, pending, cached in stages:
+            executed = sum(1 for _key, job in pending if job in results)
+            report.executed += executed
+            report.stages.append((name, executed, cached,
+                                  walls.get(name, 0.0)))
         report.elapsed = time.perf_counter() - start
         return results, report
 
     # ------------------------------------------------------------------
-    def _run_stage(self, name: str, stage: List[Tuple[str, Job]],
-                   results: Dict[Job, Any]) -> Tuple[int, int]:
-        pending: List[Tuple[str, Job]] = []
-        cached = 0
-        for key, job in stage:
-            value = None if self.force else self.store.get(key)
-            if value is None:
-                pending.append((key, job))
-            else:
-                results[job] = value
-                cached += 1
-        if pending:
-            self.echo(f"  {name}: running {len(pending)} job(s) "
-                      f"({cached} cached) on "
-                      f"{min(self.workers, len(pending))} worker(s)")
-            by_key = {key: job for key, job in pending}
-            if self.workers == 1 or len(pending) == 1:
-                _init_worker(str(self.store.root))
+    def _make_pool(self, pending_count: int) -> Tuple[WorkerPool, bool]:
+        """Pool for a batch of jobs; the bool says whether we own it."""
+        if self.pool is not None:
+            return self.pool, False
+        width = min(self.workers, max(1, pending_count))
+        if width == 1:
+            return SerialPool(), True
+        return ProcessPool(width, crash_token=self.crash_token), True
+
+    def _run_scheduled(self, stages, satisfied: Set[str],
+                       results: Dict[Job, Any],
+                       report: CampaignReport) -> Dict[str, float]:
+        """The default path: one pool, one scheduler, no stage barrier."""
+        pending = [item for _name, stage_pending, _c in stages
+                   for item in stage_pending]
+        for name, stage_pending, cached in stages:
+            if stage_pending or cached:
+                self.echo(f"  {name}: {len(stage_pending)} pending "
+                          f"({cached} cached)")
+        pool, _owned = self._make_pool(len(pending))
+        report.pool = pool.name
+        self.echo(f"  pool: {pool.name} x{min(self.workers, len(pending))}")
+        scheduler = self._scheduler()
+        try:
+            pool.start(self.store)
+            scheduler.run(pool, pending, satisfied, results)
+        finally:
+            # One pool instance drives one run; external pools included.
+            pool.close()
+        report.scheduler = scheduler.stats
+        report.failed.extend(scheduler.failed)
+        self.echo("  " + scheduler.stats.summary())
+        return scheduler.kind_walls
+
+    def _run_per_stage(self, stages, satisfied: Set[str],
+                       results: Dict[Job, Any],
+                       report: CampaignReport) -> Dict[str, float]:
+        """Baseline mode: fresh pool per stage, barrier between stages."""
+        walls: Dict[str, float] = {}
+        totals = SchedulerStats()
+        try:
+            for name, stage_pending, cached in stages:
+                if not stage_pending:
+                    if cached:
+                        self.echo(f"  {name}: all {cached} job(s) cached")
+                    continue
+                self.echo(f"  {name}: {len(stage_pending)} pending "
+                          f"({cached} cached), fresh pool")
+                pool, owned = self._make_pool(len(stage_pending))
+                report.pool = f"{pool.name}/per-stage"
+                scheduler = self._scheduler()
                 try:
-                    for item in pending:
-                        key, value = _run_job(item)
-                        results[by_key[key]] = value
+                    pool.start(self.store)
+                    scheduler.run(pool, stage_pending, satisfied, results)
                 finally:
-                    _WORKER.clear()
-            else:
-                with multiprocessing.Pool(
-                    processes=min(self.workers, len(pending)),
-                    initializer=_init_worker,
-                    initargs=(str(self.store.root),),
-                ) as pool:
-                    for key, value in pool.imap_unordered(
-                            _run_job, pending, chunksize=1):
-                        results[by_key[key]] = value
-        elif stage:
-            self.echo(f"  {name}: all {cached} job(s) cached")
-        return len(pending), cached
+                    if owned:
+                        pool.close()
+                satisfied.update(key for key, job in stage_pending
+                                 if job in results)
+                walls.update(scheduler.kind_walls)
+                report.failed.extend(scheduler.failed)
+                self._merge_stats(totals, scheduler.stats)
+        finally:
+            if self.pool is not None:
+                self.pool.close()
+        report.scheduler = totals
+        return walls
+
+    def _scheduler(self) -> ReadySetScheduler:
+        """A scheduler wired to this campaign's knobs."""
+        return ReadySetScheduler(self.store, max_retries=self.max_retries,
+                                 locality=self.locality,
+                                 on_dispatch=self.on_dispatch,
+                                 echo=self.echo)
+
+    @staticmethod
+    def _merge_stats(into: SchedulerStats, stats: SchedulerStats) -> None:
+        """Accumulate one stage's counters into the run totals."""
+        into.ready_peak = max(into.ready_peak, stats.ready_peak)
+        into.max_concurrency = max(into.max_concurrency,
+                                   stats.max_concurrency)
+        into.dispatched += stats.dispatched
+        into.retries += stats.retries
+        into.steals += stats.steals
+        into.locality_hits += stats.locality_hits
+        into.locality_misses += stats.locality_misses
+        into.worker_deaths += stats.worker_deaths
+        into.workers_seen += stats.workers_seen

@@ -13,9 +13,13 @@ Examples::
     python -m repro policies                # list replacement policies
 
     python -m repro campaign run fig6 fig7 --jobs 8   # parallel sweep
-    python -m repro campaign run all -j 8 --store /tmp/repro-store
-    python -m repro campaign status fig6              # cached vs missing
+    python -m repro campaign run all -j auto --store /tmp/repro-store
+    python -m repro campaign status fig6              # cached/missing/ready
     python -m repro campaign clean                    # wipe the store
+
+    python -m repro campaign serve --bind 0.0.0.0:9000      # share a store
+    python -m repro campaign run smoke --pool remote --bind 0.0.0.0:9100
+    python -m repro campaign worker HOST:9100 --store-url http://HOST:9000/
 
     python -m repro report run --scale micro --jobs 2 # populate the store
     python -m repro report build                      # html/md/json artifacts
@@ -31,10 +35,14 @@ variables used by the benches (``--scale``, ``--accesses``, ``--mixes``,
 precedence.
 
 ``campaign run`` executes the selected figures' job matrices on a worker
-pool (``--jobs N``), memoising every simulation in a content-addressed
-store (``--store DIR``, default ``.repro-store`` or ``$REPRO_STORE``).
-Re-running an interrupted or finished sweep only executes missing jobs —
-that *is* the resume mechanism — and ``--force`` recomputes everything.
+pool (``--jobs N``, ``--pool serial|process|per-stage|remote``),
+memoising every simulation in a content-addressed store (``--store DIR``,
+default ``.repro-store`` or ``$REPRO_STORE``; add ``--store-url`` /
+``$REPRO_STORE_URL`` to read through a shared HTTP store).  Re-running an
+interrupted or finished sweep only executes missing jobs — that *is* the
+resume mechanism — and ``--force`` recomputes everything.  ``campaign
+serve`` exports a store over HTTP and ``campaign worker`` joins a
+``--pool remote`` coordinator from another process or machine.
 
 ``report`` turns a campaign store into the paper's artifacts:
 ``report run`` populates the store for the selected sections and records
@@ -177,25 +185,59 @@ def _cmd_policies(args: argparse.Namespace) -> int:
 
 
 def _campaign_store(args: argparse.Namespace):
-    from repro.campaign.store import ResultStore, default_store_path
-    return ResultStore(args.store if args.store else default_store_path())
+    from repro.campaign.store import open_store
+    return open_store(args.store or None, getattr(args, "store_url", None))
+
+
+def _jobs_count(value: str) -> int:
+    """``--jobs`` parser: an integer, or ``auto`` for every core."""
+    if value == "auto":
+        return 0
+    return int(value)
+
+
+def _parse_hostport(value: str, default_port: int = 0):
+    """Split a ``HOST:PORT`` argument (bare host means an ephemeral port)."""
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        return value, default_port
+    return host or "127.0.0.1", int(port)
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    import os
-
     from repro.campaign import registry
+    from repro.campaign.pool import ProcessPool, RemotePool, resolve_workers
     from repro.campaign.runner import Campaign
 
     scale = _scale_from_args(args)
     targets = registry.resolve_targets(args.targets)
     jobs = [job for target in targets for job in target.matrix(scale)]
     store = _campaign_store(args)
-    workers = args.jobs if args.jobs else (os.cpu_count() or 1)
-    campaign = Campaign(store, workers=workers, force=args.force, echo=print)
-    print(f"campaign store: {store.root}")
+    workers = 1 if args.pool == "serial" else args.jobs
+    pool = None
+    if args.pool == "remote":
+        host, port = _parse_hostport(args.bind or "127.0.0.1:0")
+        pool = RemotePool(host, port)
+        print(f"remote pool: waiting for `repro campaign worker "
+              f"{pool.address[0]}:{pool.address[1]}` to connect")
+    elif args.pool == "process":
+        pool = ProcessPool(resolve_workers(args.jobs))
+    campaign = Campaign(store, workers=workers, force=args.force,
+                        echo=print, pool=pool,
+                        per_stage=(args.pool == "per-stage"),
+                        max_retries=args.max_retries)
+    print(f"campaign store: {store.describe()}")
     results, report = campaign.run(jobs)
     print(report.summary())
+    for line in report.stage_lines():
+        print(f"  {line}")
+    if report.failed:
+        print(f"ERROR: {len(report.failed)} job(s) failed permanently:",
+              file=sys.stderr)
+        for failure in report.failed:
+            print(f"  {failure.label}: {failure.error} "
+                  f"(after {failure.attempts} attempts)", file=sys.stderr)
+        return 1
     for target in targets:
         print()
         print(f"=== {target.name} ===")
@@ -209,6 +251,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
     from repro.campaign import registry
+    from repro.campaign.hashing import job_key
+    from repro.campaign.jobs import KIND_OUTCOME, isolation_deps
     from repro.campaign.runner import plan_jobs
     from repro.experiments.report import format_table
 
@@ -218,13 +262,24 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     rows = []
     for target in targets:
         plan = plan_jobs(target.matrix(scale))
-        cached = sum(1 for key, _ in plan.isolation + plan.outcome
-                     if key in store)
+        entries = plan.isolation + plan.outcome
+        cached = {key for key, _ in entries if key in store}
+        # Dispatchable right now under ready-set scheduling: a missing
+        # job whose own isolation deps are all already stored.
+        ready = 0
+        for key, job in entries:
+            if key in cached:
+                continue
+            if job.kind != KIND_OUTCOME:
+                ready += 1
+            elif all(job_key(dep) in cached for dep in isolation_deps(job)):
+                ready += 1
         rows.append([target.name, len(plan.outcome), len(plan.isolation),
-                     cached, plan.total - cached])
-    print(f"campaign store: {store.root} ({len(store)} object(s))")
+                     len(cached), plan.total - len(cached), ready])
+    print(f"campaign store: {store.describe()} ({len(store)} object(s))")
     print(format_table(
-        ["target", "sim jobs", "iso jobs", "cached", "missing"], rows,
+        ["target", "sim jobs", "iso jobs", "cached", "missing", "ready"],
+        rows,
         title="campaign status (at the current scale)",
     ))
     return 0
@@ -233,7 +288,40 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
 def _cmd_campaign_clean(args: argparse.Namespace) -> int:
     store = _campaign_store(args)
     removed = store.clean()
-    print(f"campaign store: {store.root} — removed {removed} object(s)")
+    print(f"campaign store: {store.describe()} — removed {removed} object(s)")
+    return 0
+
+
+def _cmd_campaign_worker(args: argparse.Namespace) -> int:
+    from repro.campaign.pool import run_remote_worker
+
+    store = _campaign_store(args)
+    address = _parse_hostport(args.coordinator)
+    print(f"worker store: {store.describe()}")
+    try:
+        return run_remote_worker(address, store, name=args.name,
+                                 connect_timeout=args.connect_timeout,
+                                 crash_on_job=args.crash_on_job,
+                                 echo=print)
+    except OSError as exc:
+        print(f"ERROR: could not reach coordinator at "
+              f"{address[0]}:{address[1]}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_campaign_serve(args: argparse.Namespace) -> int:
+    from repro.campaign.server import StoreServer
+    from repro.campaign.store import default_store_path
+
+    host, port = _parse_hostport(args.bind or "127.0.0.1:0")
+    server = StoreServer(args.store or default_store_path(), host, port)
+    print(f"serving store {server.backend.describe()} at {server.url}")
+    print(f"point workers at it with --store-url {server.url} "
+          f"(or REPRO_STORE_URL)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
     return 0
 
 
@@ -448,11 +536,29 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("targets", nargs="+", metavar="TARGET",
                        help="fig6..fig9, table1, table2, smoke, or all")
     _add_scale_arguments(run_p)
-    run_p.add_argument("--jobs", "-j", type=int, default=None,
-                       help="worker processes (default: all cores)")
+    run_p.add_argument("--jobs", "-j", type=_jobs_count, default=None,
+                       metavar="N|auto",
+                       help="worker processes; 0 or 'auto' means every core "
+                            "(the default)")
     run_p.add_argument("--store", default=None,
                        help="result store directory (default: .repro-store "
                             "or $REPRO_STORE)")
+    run_p.add_argument("--store-url", default=None, metavar="URL",
+                       help="remote object store (repro campaign serve), "
+                            "read through a local cache "
+                            "(default: $REPRO_STORE_URL)")
+    run_p.add_argument("--pool", default="auto",
+                       choices=["auto", "serial", "process", "per-stage",
+                                "remote"],
+                       help="execution pool: auto picks serial/process from "
+                            "--jobs; per-stage restores the two-stage "
+                            "barrier; remote waits for campaign workers")
+    run_p.add_argument("--bind", default=None, metavar="HOST:PORT",
+                       help="listen address for --pool remote "
+                            "(default: 127.0.0.1:0)")
+    run_p.add_argument("--max-retries", type=int, default=2, metavar="N",
+                       help="requeue attempts after a worker death before a "
+                            "job is reported failed (default: 2)")
     run_p.add_argument("--resume", action="store_true",
                        help="only run jobs missing from the store "
                             "(the default; spelled out for scripts)")
@@ -462,15 +568,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail if any job actually executed "
                             "(CI cache-hit assertion)")
     status_p = csub.add_parser(
-        "status", help="cached vs missing jobs per target")
+        "status", help="cached vs missing vs ready jobs per target")
     status_p.add_argument("targets", nargs="*", metavar="TARGET",
                           help="targets to inspect (default: all)")
     _add_scale_arguments(status_p)
     status_p.add_argument("--store", default=None,
                           help="result store directory")
+    status_p.add_argument("--store-url", default=None, metavar="URL",
+                          help="remote object store to read through")
     clean_p = csub.add_parser("clean", help="delete every stored result")
     clean_p.add_argument("--store", default=None,
                          help="result store directory")
+    worker_p = csub.add_parser(
+        "worker", help="pull jobs from a remote-pool coordinator")
+    worker_p.add_argument("coordinator", metavar="HOST:PORT",
+                          help="address printed by "
+                               "`campaign run --pool remote`")
+    worker_p.add_argument("--store", default=None,
+                          help="local result store / cache directory")
+    worker_p.add_argument("--store-url", default=None, metavar="URL",
+                          help="shared object store so the coordinator sees "
+                               "results (default: $REPRO_STORE_URL)")
+    worker_p.add_argument("--name", default=None,
+                          help="worker name shown in scheduler logs")
+    worker_p.add_argument("--connect-timeout", type=float, default=30.0,
+                          metavar="SECONDS",
+                          help="how long to retry the first connection")
+    worker_p.add_argument("--crash-on-job", type=int, default=None,
+                          help=argparse.SUPPRESS)
+    serve_p = csub.add_parser(
+        "serve", help="serve a store directory over HTTP for remote workers")
+    serve_p.add_argument("--store", default=None,
+                         help="store directory to serve (default: "
+                              ".repro-store or $REPRO_STORE)")
+    serve_p.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+                         help="listen address (default: 127.0.0.1:0)")
 
     report = sub.add_parser(
         "report",
@@ -491,8 +623,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--store", default=None,
                        help="campaign store directory (default: "
                             ".repro-store or $REPRO_STORE)")
-        p.add_argument("--jobs", "-j", type=int, default=None,
-                       help="worker processes")
+        p.add_argument("--jobs", "-j", type=_jobs_count, default=None,
+                       metavar="N|auto",
+                       help="worker processes; 0 or 'auto' means every core")
 
     run_r = rsub.add_parser(
         "run", help="populate the campaign store for the report sections")
@@ -546,6 +679,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_campaign_status(args)
         if args.campaign_command == "clean":
             return _cmd_campaign_clean(args)
+        if args.campaign_command == "worker":
+            return _cmd_campaign_worker(args)
+        if args.campaign_command == "serve":
+            return _cmd_campaign_serve(args)
     if command == "report":
         if args.report_command == "run":
             return _cmd_report_run(args)

@@ -130,9 +130,17 @@ class TestIsolationSharing:
         _, report = Campaign(store, workers=1).run(small_matrix(micro_scale)[:1])
         assert "executed=" in report.summary()
         assert f"total={report.total}" in report.summary()
+        assert "workers=1" in report.summary()
 
 
 class TestValidation:
-    def test_zero_workers_rejected(self, store):
+    def test_negative_workers_rejected(self, store):
         with pytest.raises(ValueError):
-            Campaign(store, workers=0)
+            Campaign(store, workers=-1)
+
+    def test_zero_workers_resolves_to_cpu_count(self, store):
+        # --jobs 0 / --jobs auto: "use every core", never an error.
+        import os
+        campaign = Campaign(store, workers=0)
+        assert campaign.workers == (os.cpu_count() or 1)
+        assert Campaign(store, workers=None).workers == campaign.workers

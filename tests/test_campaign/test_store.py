@@ -4,10 +4,19 @@ import pickle
 
 import pytest
 
+from repro.campaign.server import StoreServer
 from repro.campaign.store import (
     DEFAULT_STORE,
+    CachingStore,
+    HTTPBackend,
+    LocalBackend,
     ResultStore,
+    StoreUnavailable,
+    canonical_dumps,
     default_store_path,
+    open_store,
+    store_from_spec,
+    store_spec,
 )
 from repro.cmp.results import ThreadResult
 
@@ -121,3 +130,133 @@ def test_payload_is_plain_pickle(store):
     with open(path, "rb") as fh:
         payload = pickle.load(fh)
     assert payload == {"key": KEY, "spec": "the-spec", "value": 42}
+
+
+class TestCanonicalPickle:
+    def test_bytes_independent_of_string_identity(self):
+        """Shared vs distinct sub-objects must serialise identically.
+
+        A plain pickle memoises by id(), so a value holding the *same*
+        string object twice produces different bytes than an equal value
+        holding two copies — exactly the serial-vs-unpickled-job history
+        difference between pools.  canonical_dumps must erase it.
+        """
+        shared = "crafty"
+        distinct = "".join(["cra", "fty"])  # equal, different identity
+        assert shared == distinct and shared is not distinct
+        a = {"names": [shared, shared], "n": 1}
+        b = {"names": [shared, distinct], "n": 1}
+        assert pickle.dumps(a) != pickle.dumps(b)  # the hazard is real
+        assert canonical_dumps(a) == canonical_dumps(b)
+
+    def test_put_uses_canonical_bytes(self, store, tmp_path):
+        other = ResultStore(tmp_path / "other")
+        shared = "crafty"
+        store.put(KEY, "s", [shared, shared])
+        other.put(KEY, "s", [shared, "".join(["cra", "fty"])])
+        assert (store.path_for(KEY).read_bytes()
+                == other.path_for(KEY).read_bytes())
+
+
+class TestSpecs:
+    def test_local_round_trip(self, store, tmp_path):
+        rebuilt = store_from_spec(store_spec(store))
+        store.put(KEY, "spec", 41)
+        assert rebuilt.get(KEY) == 41
+        assert rebuilt.root == store.root
+
+    def test_caching_round_trip(self, tmp_path):
+        backend = CachingStore(HTTPBackend("http://127.0.0.1:1/"),
+                               LocalBackend(tmp_path / "cache"))
+        rebuilt = store_from_spec(store_spec(ResultStore(backend=backend)))
+        assert isinstance(rebuilt.backend, CachingStore)
+        assert rebuilt.root == tmp_path / "cache"
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            store_from_spec({"kind": "carrier-pigeon"})
+
+
+@pytest.fixture
+def served(tmp_path):
+    """(server, remote_store_dir) — an HTTP endpoint over a fresh dir."""
+    with StoreServer(tmp_path / "remote") as server:
+        yield server
+
+
+class TestHTTPBackend:
+    def test_put_get_round_trip(self, served, tmp_path):
+        store = ResultStore(backend=CachingStore(
+            HTTPBackend(served.url), LocalBackend(tmp_path / "cache")))
+        store.put(KEY, "spec", sample_value())
+        # The object is on the server, readable by an uncached peer.
+        peer = ResultStore(backend=CachingStore(
+            HTTPBackend(served.url), LocalBackend(tmp_path / "peer")))
+        assert peer.get(KEY) == sample_value()
+
+    def test_read_through_caches_once(self, served, tmp_path):
+        ResultStore(served.backend.root).put(KEY, "spec", sample_value())
+        store = ResultStore(backend=CachingStore(
+            HTTPBackend(served.url), LocalBackend(tmp_path / "cache")))
+        assert store.get(KEY) == sample_value()
+        fetches = served.stats.get("get", 0)
+        assert store.get(KEY) == sample_value()  # second read: cache only
+        assert served.stats.get("get", 0) == fetches
+
+    def test_corrupt_remote_object_reads_as_miss_and_is_not_cached(
+            self, served, tmp_path):
+        remote = ResultStore(served.backend.root)
+        remote.put(KEY, "spec", sample_value())
+        remote.path_for(KEY).write_bytes(b"\x80\x05 garbage")
+        store = ResultStore(backend=CachingStore(
+            HTTPBackend(served.url), LocalBackend(tmp_path / "cache")))
+        assert store.get(KEY) is None
+        assert not store.path_for(KEY).exists()
+
+    def test_put_dedup_leaves_existing_object_untouched(self, served,
+                                                        tmp_path):
+        store = ResultStore(backend=CachingStore(
+            HTTPBackend(served.url), LocalBackend(tmp_path / "cache")))
+        store.put(KEY, "spec", sample_value())
+        original = served.backend.load(KEY)
+        store.put(KEY, "spec", sample_value())
+        assert served.stats.get("put_dedup", 0) == 1
+        assert served.backend.load(KEY) == original
+
+    def test_keys_listing_comes_from_remote(self, served, tmp_path):
+        ResultStore(served.backend.root).put(KEY, "a", 1)
+        store = ResultStore(backend=CachingStore(
+            HTTPBackend(served.url), LocalBackend(tmp_path / "cache")))
+        assert set(store.iter_keys()) == {KEY}
+
+    def test_unreachable_remote_write_raises(self, tmp_path):
+        backend = HTTPBackend("http://127.0.0.1:1")  # nothing listens here
+        with pytest.raises(StoreUnavailable):
+            backend.store(KEY, b"data")
+        assert backend.load(KEY) is None  # reads degrade to a miss
+
+    def test_path_traversal_keys_rejected(self, served):
+        backend = HTTPBackend(served.url)
+        assert backend.load("../../etc/passwd") is None
+        with pytest.raises(StoreUnavailable):
+            backend.store("not-a-hex-key", b"data")
+
+
+class TestOpenStore:
+    def test_plain_local(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_URL", raising=False)
+        store = open_store(tmp_path / "local")
+        assert isinstance(store.backend, LocalBackend)
+        assert store.root == tmp_path / "local"
+
+    def test_url_env_selects_caching_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_URL", "http://example.test:9000")
+        store = open_store(tmp_path / "cache")
+        assert isinstance(store.backend, CachingStore)
+        assert store.backend.remote.url == "http://example.test:9000"
+        assert store.root == tmp_path / "cache"
+
+    def test_explicit_url_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_URL", "http://env.test:1")
+        store = open_store(tmp_path / "c", "http://flag.test:2")
+        assert store.backend.remote.url == "http://flag.test:2"
